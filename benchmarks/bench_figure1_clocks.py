@@ -1,0 +1,33 @@
+"""Figure 1 — clocks with both initial offset and different constant drifts.
+
+Regenerates the offset-vs-time series of two drifting clocks: the mutual
+offset starts non-zero and changes linearly, which is why one offset
+measurement cannot synchronize a whole run and two measurements plus linear
+interpolation can.
+"""
+
+from repro.experiments.figures import run_figure1
+
+from benchmarks.conftest import write_artifact
+
+
+def test_figure1_clock_drift(benchmark, artifact_dir):
+    rows = benchmark.pedantic(
+        lambda: run_figure1(duration_s=100.0, samples=11), rounds=1, iterations=1
+    )
+    lines = [
+        "Figure 1: clocks with initial offset and different constant drifts",
+        "",
+        f"{'true time [s]':>14s} {'clock A [s]':>16s} {'clock B [s]':>16s} "
+        f"{'offset A-B [ms]':>16s}",
+    ]
+    for t, a, b, offset in rows:
+        lines.append(f"{t:14.1f} {a:16.6f} {b:16.6f} {offset * 1e3:16.6f}")
+    write_artifact("figure1.txt", "\n".join(lines))
+
+    offsets = [row[3] for row in rows]
+    # Non-zero initial offset, linearly growing divergence.
+    assert abs(offsets[0]) > 1e-3
+    assert abs(offsets[-1] - offsets[0]) > 1e-4
+    benchmark.extra_info["initial_offset_ms"] = offsets[0] * 1e3
+    benchmark.extra_info["final_offset_ms"] = offsets[-1] * 1e3

@@ -1,0 +1,50 @@
+"""Figures 2 and 5 — the metacomputer schematic and the VIOLA topology.
+
+Renders the structure of the simulated testbed: three metahosts with their
+internal networks (Figure 2's hierarchy) and the pairwise 10 Gbps external
+links between CAESAR, FH-BRS and FZJ (Figure 5).
+"""
+
+from repro.topology.presets import viola_testbed
+
+from benchmarks.conftest import write_artifact
+
+
+def _render_topology(mc) -> str:
+    lines = ["Figures 2/5: VIOLA metacomputer topology", ""]
+    for index, host in enumerate(mc.metahosts):
+        cpu = host.nodes[0].cpu
+        lines.append(
+            f"metahost {index}: {host.name} — {host.node_count} nodes × "
+            f"{host.nodes[0].cpus} CPUs ({cpu.model} @ {cpu.clock_ghz} GHz, "
+            f"speed ×{cpu.speed_factor})"
+        )
+        lines.append(
+            f"  internal: {host.interconnect}, "
+            f"{host.internal_latency_s * 1e6:.1f} µs ± "
+            f"{host.internal_latency_jitter_s * 1e6:.2f} µs, "
+            f"{host.internal_bandwidth_bps / 1e6:.0f} MB/s"
+        )
+    lines.append("")
+    for a in range(mc.machine_count):
+        for b in range(a + 1, mc.machine_count):
+            link = mc.external_link(a, b)
+            lines.append(
+                f"external {mc.metahosts[a].name} <-> {mc.metahosts[b].name}: "
+                f"{link.latency_s * 1e6:.0f} µs ± {link.jitter_s * 1e6:.2f} µs, "
+                f"{link.bandwidth_bps * 8 / 1e9:.0f} Gbps"
+            )
+    return "\n".join(lines)
+
+
+def test_figure2_topology_structure(benchmark, artifact_dir):
+    mc = benchmark.pedantic(viola_testbed, rounds=1, iterations=1)
+    text = _render_topology(mc)
+    write_artifact("figure2_figure5.txt", text)
+
+    # Figure 5 facts: three sites, fully meshed with 10 Gbps links.
+    assert mc.machine_count == 3
+    for a in range(3):
+        for b in range(a + 1, 3):
+            assert mc.external_link(a, b).bandwidth_bps * 8 == 10e9
+    benchmark.extra_info["total_cpus"] = mc.total_cpus

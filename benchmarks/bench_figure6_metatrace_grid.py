@@ -1,0 +1,70 @@
+"""Figure 6 — MetaTrace on three metahosts (Experiment 1 of Table 3).
+
+Regenerates the paper's headline analysis: on the heterogeneous VIOLA
+configuration, the Grid Late Sender pattern consumes ≈ 9.3 % of execution
+time — concentrated in ``cgiteration()`` with the waiting on the faster
+FH-BRS cluster — and Grid Wait at Barrier ≈ 23.1 %, concentrated in
+Partrace's ``ReadVelFieldFromTrace()`` on the Cray XD1.
+"""
+
+from repro.analysis.patterns import (
+    GRID_LATE_SENDER,
+    GRID_WAIT_AT_BARRIER,
+    LATE_SENDER,
+    WAIT_AT_BARRIER,
+)
+from repro.experiments.configs import table3_text
+from repro.experiments.figures import run_metatrace_experiment
+from repro.report.render import render_analysis, render_system_tree
+
+from benchmarks.conftest import write_artifact
+
+PAPER_GRID_LATE_SENDER_PCT = 9.3
+PAPER_GRID_WAIT_AT_BARRIER_PCT = 23.1
+
+
+def test_figure6_three_metahost_metatrace(benchmark, artifact_dir):
+    outcome = benchmark.pedantic(
+        lambda: run_metatrace_experiment(1, seed=11), rounds=1, iterations=1
+    )
+    result = outcome.result
+    text = "\n".join(
+        [
+            table3_text(),
+            "",
+            f"measured grid late sender:    {outcome.grid_late_sender_pct:6.2f} % "
+            f"(paper: {PAPER_GRID_LATE_SENDER_PCT} %)",
+            f"measured grid wait at barrier: {outcome.grid_wait_at_barrier_pct:5.2f} % "
+            f"(paper: {PAPER_GRID_WAIT_AT_BARRIER_PCT} %)",
+            "",
+            render_analysis(result, metric=LATE_SENDER, min_pct=0.5),
+            "",
+            "-- Wait at Barrier system distribution "
+            "(ReadVelFieldFromTrace on the XD1) --",
+            render_system_tree(result, WAIT_AT_BARRIER),
+        ]
+    )
+    write_artifact("figure6.txt", text)
+
+    # Shape assertions (bands around the paper's numbers).
+    assert 5.0 <= outcome.grid_late_sender_pct <= 15.0
+    assert 15.0 <= outcome.grid_wait_at_barrier_pct <= 32.0
+    # Late Sender concentrated in cgiteration, waiting on FH-BRS.
+    ls_total = result.metric_total(LATE_SENDER)
+    assert outcome.late_sender_in("cgiteration") / ls_total > 0.9
+    by_machine = result.machine_breakdown(LATE_SENDER)
+    assert by_machine["FH-BRS"] > 0.8 * sum(by_machine.values())
+    # Barrier waits concentrated in ReadVelFieldFromTrace on the XD1.
+    wab_total = result.metric_total(WAIT_AT_BARRIER)
+    assert outcome.wait_at_barrier_in("ReadVelFieldFromTrace") / wab_total > 0.9
+    wab_by_machine = result.machine_breakdown(WAIT_AT_BARRIER)
+    assert wab_by_machine["FZJ-XD1"] > 0.9 * sum(wab_by_machine.values())
+
+    benchmark.extra_info["grid_late_sender_pct"] = outcome.grid_late_sender_pct
+    benchmark.extra_info["grid_wait_at_barrier_pct"] = (
+        outcome.grid_wait_at_barrier_pct
+    )
+    benchmark.extra_info["paper_grid_late_sender_pct"] = PAPER_GRID_LATE_SENDER_PCT
+    benchmark.extra_info["paper_grid_wait_at_barrier_pct"] = (
+        PAPER_GRID_WAIT_AT_BARRIER_PCT
+    )

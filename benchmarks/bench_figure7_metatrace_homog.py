@@ -1,0 +1,63 @@
+"""Figure 7 — MetaTrace on one homogeneous metahost (Experiment 2).
+
+On the IBM AIX POWER configuration the grid severities vanish, the Wait at
+Barrier inside ``ReadVelFieldFromTrace()`` decreases sharply, the receive
+waits inside ``cgiteration()`` shrink — but the Late Sender on the steering
+communication from Partrace back to Trace *increases*: "now Trace mostly
+waits for Partrace".
+"""
+
+from repro.analysis.patterns import LATE_SENDER, WAIT_AT_BARRIER
+from repro.experiments.figures import run_metatrace_experiment
+from repro.report.render import render_analysis
+
+from benchmarks.conftest import write_artifact
+
+
+def test_figure7_one_metahost_metatrace(benchmark, artifact_dir):
+    def workload():
+        return (
+            run_metatrace_experiment(1, seed=11),
+            run_metatrace_experiment(2, seed=11),
+        )
+
+    exp1, exp2 = benchmark.pedantic(workload, rounds=1, iterations=1)
+
+    text = "\n".join(
+        [
+            "Figure 7: one-metahost (homogeneous) MetaTrace analysis",
+            "",
+            f"{'metric':34s} {'Experiment 1':>13s} {'Experiment 2':>13s}",
+            f"{'grid late sender [% time]':34s} "
+            f"{exp1.grid_late_sender_pct:13.2f} {exp2.grid_late_sender_pct:13.2f}",
+            f"{'grid wait at barrier [% time]':34s} "
+            f"{exp1.grid_wait_at_barrier_pct:13.2f} "
+            f"{exp2.grid_wait_at_barrier_pct:13.2f}",
+            f"{'wait at barrier [% time]':34s} "
+            f"{exp1.wait_at_barrier_pct:13.2f} {exp2.wait_at_barrier_pct:13.2f}",
+            f"{'late sender in cgiteration [s]':34s} "
+            f"{exp1.late_sender_in('cgiteration'):13.3f} "
+            f"{exp2.late_sender_in('cgiteration'):13.3f}",
+            f"{'late sender in getsteering [s]':34s} "
+            f"{exp1.late_sender_in('getsteering'):13.3f} "
+            f"{exp2.late_sender_in('getsteering'):13.3f}",
+            "",
+            render_analysis(exp2.result, metric=LATE_SENDER, min_pct=0.5),
+        ]
+    )
+    write_artifact("figure7.txt", text)
+
+    # Grid patterns vanish on a single metahost.
+    assert exp2.grid_late_sender_pct == 0.0
+    assert exp2.grid_wait_at_barrier_pct == 0.0
+    # Barrier waiting decreases significantly.
+    assert exp2.wait_at_barrier_pct < exp1.wait_at_barrier_pct / 3
+    # cgiteration receive waits shrink.
+    assert exp2.late_sender_in("cgiteration") < exp1.late_sender_in("cgiteration") / 5
+    # Steering Late Sender increases significantly: Trace waits for Partrace.
+    assert exp2.late_sender_in("getsteering") > 10 * max(
+        exp1.late_sender_in("getsteering"), 1e-9
+    )
+
+    benchmark.extra_info["exp1"] = exp1.summary()
+    benchmark.extra_info["exp2"] = exp2.summary()

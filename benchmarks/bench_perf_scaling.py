@@ -1,0 +1,47 @@
+"""Simulator scaling benchmarks: wall time vs simulated process count.
+
+Measures how the pure-Python substrate scales with world size — relevant
+because the paper's own experiments use 32 processes and the VIOLA testbed
+offers 232 CPUs.  Each benchmark runs a fixed per-rank workload (ring halo
+exchange + allreduce), so total simulated events grow linearly with ranks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim.mpi import World
+from repro.topology.metacomputer import Placement
+from repro.topology.presets import uniform_metacomputer
+
+
+def _ring_app(iterations=10):
+    def app(ctx):
+        succ = (ctx.rank + 1) % ctx.size
+        pred = (ctx.rank - 1) % ctx.size
+        for _ in range(iterations):
+            yield ctx.compute(0.001)
+            yield ctx.comm.sendrecv(
+                dest=succ, send_size=1024, send_tag=1, source=pred, recv_tag=1
+            )
+            yield ctx.comm.allreduce(8)
+
+    return app
+
+
+@pytest.mark.parametrize("nprocs", [8, 32, 128])
+def test_perf_world_scaling(benchmark, nprocs):
+    mc = uniform_metacomputer(
+        metahost_count=2, node_count=max(4, nprocs // 4), cpus_per_node=2
+    )
+    placement = Placement.block(mc, nprocs)
+
+    def run():
+        world = World(mc, placement, rng=np.random.default_rng(1))
+        world.launch(_ring_app(), seed=1)
+        stats = world.run()
+        return stats.p2p_messages
+
+    messages = benchmark(run)
+    assert messages == nprocs * 10
+    benchmark.extra_info["nprocs"] = nprocs
+    benchmark.extra_info["simulated_messages"] = messages

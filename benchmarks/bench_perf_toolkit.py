@@ -1,0 +1,80 @@
+"""Toolkit performance benchmarks (proper pytest-benchmark timing runs).
+
+These measure the reproduction's own machinery — event-engine throughput,
+message matching, trace codec, and replay analysis — rather than paper
+results; they guard against performance regressions of the simulator.
+"""
+
+import numpy as np
+
+from repro.analysis.replay import analyze_run
+from repro.apps.imbalance import make_imbalance_app
+from repro.sim.engine import Engine
+from repro.sim.mpi import World
+from repro.sim.runtime import MetaMPIRuntime
+from repro.topology.metacomputer import Placement
+from repro.topology.presets import single_cluster, uniform_metacomputer
+from repro.trace.encoding import decode_events, encode_events
+from repro.trace.events import EnterEvent, ExitEvent, SendEvent
+
+
+def test_perf_engine_throughput(benchmark):
+    def run_engine():
+        engine = Engine()
+        for i in range(10_000):
+            engine.schedule(float(i) * 1e-6, lambda: None)
+        engine.run()
+        return engine.processed_events
+
+    assert benchmark(run_engine) == 10_000
+
+
+def test_perf_p2p_message_rate(benchmark):
+    mc = single_cluster(node_count=2, cpus_per_node=1)
+    placement = Placement.block(mc, 2)
+
+    def pingpong_run():
+        def app(ctx):
+            for i in range(500):
+                if ctx.rank == 0:
+                    yield ctx.comm.send(1, 64, tag=0)
+                    yield ctx.comm.recv(1, 1)
+                else:
+                    yield ctx.comm.recv(0, 0)
+                    yield ctx.comm.send(0, 64, tag=1)
+
+        world = World(mc, placement, rng=np.random.default_rng(0))
+        world.launch(app, seed=0)
+        return world.run().p2p_messages
+
+    assert benchmark(pingpong_run) == 1000
+
+
+def test_perf_trace_codec(benchmark):
+    events = []
+    t = 0.0
+    for i in range(2000):
+        events.append(EnterEvent(t, i % 16))
+        events.append(SendEvent(t + 1e-6, i % 8, 0, 0, 1024))
+        events.append(ExitEvent(t + 2e-6, i % 16))
+        t += 1e-5
+
+    def round_trip():
+        _, decoded = decode_events(encode_events(0, events))
+        return len(decoded)
+
+    assert benchmark(round_trip) == 6000
+
+
+def test_perf_replay_analysis(benchmark):
+    mc = uniform_metacomputer(metahost_count=2, node_count=2, cpus_per_node=1)
+    placement = Placement.block(mc, 4)
+    runtime = MetaMPIRuntime(mc, placement, seed=0)
+    run = runtime.run(
+        make_imbalance_app({r: 0.001 for r in range(4)}, iterations=100)
+    )
+
+    def analyze():
+        return analyze_run(run).violations.total
+
+    assert benchmark(analyze) == 400  # 4 ranks × 100 ring messages

@@ -1,0 +1,88 @@
+"""Extension bench — DIMEMAS-style prediction (related work, Section 2).
+
+Badia et al. "used the prediction tool DIMEMAS to predict the performance
+on a metacomputer based on execution traces from a single machine in
+combination with measured network parameters."  This bench validates our
+implementation of that workflow on MetaTrace:
+
+1. **self-prediction**: the Experiment-1 skeleton replayed on Experiment
+   1's machine must reproduce the direct simulation's severities;
+2. **cross-prediction**: the Experiment-1 skeleton replayed on the
+   homogeneous IBM POWER machine must reproduce the *direct* Experiment-2
+   analysis — grid severities vanish, steering Late Sender appears — before
+   the application ever "runs" there.
+"""
+
+from repro.analysis.patterns import (
+    GRID_LATE_SENDER,
+    GRID_WAIT_AT_BARRIER,
+    LATE_SENDER,
+    WAIT_AT_BARRIER,
+)
+from repro.experiments.configs import experiment1, experiment2
+from repro.experiments.figures import run_metatrace_experiment
+from repro.predict import predict_run, skeleton_from_run
+
+from benchmarks.conftest import write_artifact
+
+
+def test_prediction_fidelity(benchmark, artifact_dir):
+    def workload():
+        exp1 = run_metatrace_experiment(1, seed=11)
+        exp2 = run_metatrace_experiment(2, seed=11)
+        skeleton = skeleton_from_run(exp1.run, exp1.result)
+        mc1, placement1, _ = experiment1()
+        self_pred = predict_run(skeleton, mc1, placement1, seed=6)
+        mc2, placement2, _ = experiment2()
+        cross_pred = predict_run(skeleton, mc2, placement2, seed=6)
+        return exp1, exp2, self_pred, cross_pred
+
+    exp1, exp2, self_pred, cross_pred = benchmark.pedantic(
+        workload, rounds=1, iterations=1
+    )
+
+    def row(label, result):
+        return (
+            f"{label:34s} {result.pct(GRID_LATE_SENDER):8.2f} "
+            f"{result.pct(GRID_WAIT_AT_BARRIER):8.2f} "
+            f"{result.pct(WAIT_AT_BARRIER):8.2f} "
+            f"{result.metric_under_region(LATE_SENDER, 'getsteering'):10.2f}"
+        )
+
+    lines = [
+        "Prediction bench: skeleton of Experiment 1 re-timed elsewhere",
+        "",
+        f"{'run':34s} {'gridLS%':>8s} {'gridWAB%':>8s} {'WAB%':>8s} "
+        f"{'steerLS[s]':>10s}",
+        row("direct exp1", exp1.result),
+        row("self-predicted exp1", self_pred.result),
+        row("direct exp2", exp2.result),
+        row("predicted exp2 (from exp1 trace)", cross_pred.result),
+    ]
+    write_artifact("prediction.txt", "\n".join(lines))
+
+    # Self-prediction fidelity.
+    assert self_pred.result.pct(GRID_WAIT_AT_BARRIER) == (
+        exp1.result.pct(GRID_WAIT_AT_BARRIER)
+    ) or abs(
+        self_pred.result.pct(GRID_WAIT_AT_BARRIER)
+        - exp1.result.pct(GRID_WAIT_AT_BARRIER)
+    ) < 1.0
+    assert abs(
+        self_pred.result.pct(GRID_LATE_SENDER) - exp1.result.pct(GRID_LATE_SENDER)
+    ) < 1.0
+    # Cross-prediction reproduces the homogeneous run's shape.
+    assert cross_pred.result.pct(GRID_WAIT_AT_BARRIER) == 0.0
+    assert abs(
+        cross_pred.result.pct(WAIT_AT_BARRIER) - exp2.result.pct(WAIT_AT_BARRIER)
+    ) < 1.0
+    predicted_steering = cross_pred.result.metric_under_region(
+        LATE_SENDER, "getsteering"
+    )
+    direct_steering = exp2.result.metric_under_region(LATE_SENDER, "getsteering")
+    assert abs(predicted_steering - direct_steering) < 0.3 * max(direct_steering, 1e-9)
+
+    benchmark.extra_info["self_grid_wab_pct"] = self_pred.result.pct(
+        GRID_WAIT_AT_BARRIER
+    )
+    benchmark.extra_info["cross_wab_pct"] = cross_pred.result.pct(WAIT_AT_BARRIER)

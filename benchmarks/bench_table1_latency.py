@@ -1,0 +1,32 @@
+"""Table 1 — latencies of the internal and external networks in VIOLA.
+
+Regenerates the three latency rows via the ping-pong benchmark on the
+simulated testbed.  Shape targets: external latency two orders of magnitude
+above the FZJ internal latency, and the largest jitter on the external
+link.
+"""
+
+from repro.experiments.table1 import (
+    check_table1_shape,
+    run_table1,
+    table1_text,
+)
+
+from benchmarks.conftest import write_artifact
+
+
+def test_table1_latencies(benchmark, artifact_dir):
+    rows = benchmark.pedantic(
+        lambda: run_table1(seed=0, repetitions=400), rounds=1, iterations=1
+    )
+    text = table1_text(rows)
+    write_artifact("table1.txt", text)
+
+    checks = check_table1_shape(rows)
+    assert all(checks.values()), checks
+    for row in rows:
+        benchmark.extra_info[row.label] = {
+            "mean_us": row.mean_s * 1e6,
+            "std_us": row.std_s * 1e6,
+            "paper_mean_us": row.paper_mean_s * 1e6,
+        }

@@ -1,0 +1,30 @@
+"""Table 2 — clock-condition violations under the three sync schemes.
+
+One traced run of the varying-pairs short-message benchmark; three analyses
+of the same archive.  Shape targets (paper: 7560 / 2179 / 0): the single
+flat offset is worst, two flat offsets still violate substantially (always
+on internal messages of non-master metahosts), and the hierarchical scheme
+is violation-free.
+"""
+
+from repro.experiments.table2 import check_table2_shape, run_table2, table2_text
+
+from benchmarks.conftest import write_artifact
+
+
+def test_table2_clock_condition_violations(benchmark, artifact_dir):
+    rows, run, _analyses = benchmark.pedantic(
+        lambda: run_table2(seed=7), rounds=1, iterations=1
+    )
+    text = table2_text(rows)
+    write_artifact("table2.txt", text)
+
+    checks = check_table2_shape(rows)
+    assert all(checks.values()), checks
+    for row in rows:
+        benchmark.extra_info[row.scheme] = {
+            "violations": row.violations,
+            "paper": row.paper_violations,
+        }
+    benchmark.extra_info["messages"] = rows[0].messages
+    benchmark.extra_info["run_seconds_simulated"] = run.stats.finish_time

@@ -1,0 +1,28 @@
+"""Benchmark-suite helpers.
+
+Every benchmark regenerates one table or figure of the paper and writes the
+rendered text to ``benchmarks/out/`` so the reproduction artifacts can be
+inspected after a run (pytest captures stdout).  Key numbers are also
+attached to the pytest-benchmark ``extra_info`` so they appear in the
+benchmark JSON.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> pathlib.Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+def write_artifact(name: str, text: str) -> None:
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / name).write_text(text, encoding="utf-8")
+    print(f"\n=== {name} ===\n{text}\n")

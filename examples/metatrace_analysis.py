@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""The paper's Section 5 workflow: analyze MetaTrace on two configurations.
+
+Runs the coupled multi-physics application on (1) the heterogeneous
+three-metahost VIOLA testbed and (2) the homogeneous IBM POWER machine
+(Table 3), prints the headline pattern severities of Figures 6 and 7, and
+uses the cross-experiment algebra to localize what changed — the comparison
+the paper performs manually.
+
+Run with:  python examples/metatrace_analysis.py
+"""
+
+from repro.analysis.patterns import (
+    GRID_LATE_SENDER,
+    GRID_WAIT_AT_BARRIER,
+    LATE_SENDER,
+    WAIT_AT_BARRIER,
+)
+from repro.experiments.figures import run_metatrace_experiment
+from repro.report.algebra import canonicalize, diff
+from repro.report.render import render_metric_tree
+
+
+def describe(outcome) -> None:
+    result = outcome.result
+    print(f"--- {outcome.label} ---")
+    print(f"total time: {result.total_time:.1f} s (sum over 32 processes)")
+    for metric in (LATE_SENDER, GRID_LATE_SENDER, WAIT_AT_BARRIER, GRID_WAIT_AT_BARRIER):
+        print(f"  {metric:22s} {result.pct(metric):6.2f} % of time")
+    print(f"  late sender inside cgiteration():      "
+          f"{outcome.late_sender_in('cgiteration'):8.2f} s")
+    print(f"  late sender inside getsteering():      "
+          f"{outcome.late_sender_in('getsteering'):8.2f} s")
+    print(f"  barrier wait in ReadVelFieldFromTrace: "
+          f"{outcome.wait_at_barrier_in('ReadVelFieldFromTrace'):8.2f} s")
+    print()
+
+
+def main() -> None:
+    print("running Experiment 1 (CAESAR + FH-BRS + FZJ-XD1)...")
+    exp1 = run_metatrace_experiment(1, seed=11)
+    print("running Experiment 2 (IBM AIX POWER)...\n")
+    exp2 = run_metatrace_experiment(2, seed=11)
+
+    describe(exp1)
+    describe(exp2)
+
+    print("metric hierarchy of the three-metahost run:")
+    print(render_metric_tree(exp1.result, min_pct=0.2))
+
+    # Cross-experiment algebra (the paper's planned Song-et-al. utilities):
+    # positive values = time Experiment 1 spent that Experiment 2 did not.
+    delta = diff(canonicalize(exp1.result, "exp1"), canonicalize(exp2.result, "exp2"))
+    print("\nexp1 − exp2 (where did the heterogeneous run lose time?)")
+    print(f"  wait at barrier:   {delta.metric_total(WAIT_AT_BARRIER):+9.2f} s")
+    print(f"  late sender:       {delta.metric_total(LATE_SENDER):+9.2f} s")
+    print(f"    in cgiteration:  "
+          f"{delta.value_in_region(LATE_SENDER, 'MPI_Recv'):+9.2f} s (receives)")
+    by_path = delta.by_path(LATE_SENDER)
+    steering = sum(v for p, v in by_path.items() if "getsteering" in p)
+    print(f"    under getsteering: {steering:+9.2f} s "
+          "(negative: the homogeneous run waits MORE for steering)")
+
+
+if __name__ == "__main__":
+    main()

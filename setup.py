@@ -1,0 +1,6 @@
+"""Setuptools shim (the environment lacks the `wheel` package, so the
+legacy `setup.py develop` path is used for editable installs)."""
+
+from setuptools import setup
+
+setup()

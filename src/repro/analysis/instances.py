@@ -1,0 +1,242 @@
+"""Per-process timelines: local trace events → synchronized MPI op instances.
+
+This is the local phase of the replay: each analysis process walks its own
+rank's events once, converting node-local stamps to master time with the
+selected synchronization scheme, reconstructing call paths, accumulating
+per-call-path exclusive time, and collecting one :class:`MPIOpInstance` per
+completed MPI call (with its attached SEND/RECV/COLLEXIT records).  Nothing
+here requires data from other ranks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.callpath import CallPathBuilder, CallPathRegistry
+from repro.clocks.sync import LinearConverter
+from repro.errors import AnalysisError
+from repro.ids import Location, NodeId, node_of
+from repro.trace.events import (
+    CollExitEvent,
+    OmpRegionEvent,
+    EnterEvent,
+    Event,
+    ExitEvent,
+    RecvEvent,
+    SendEvent,
+)
+from repro.trace.regions import RegionRegistry, is_mpi_region
+
+
+@dataclass(frozen=True)
+class SendRecord:
+    """A SEND event with synchronized stamp, in trace order."""
+
+    time: float
+    dest: int  # global rank
+    tag: int
+    comm: int
+    size: int
+
+
+@dataclass(frozen=True)
+class RecvRecord:
+    """A RECV event with synchronized stamp, in trace order."""
+
+    time: float
+    source: int  # global rank
+    tag: int
+    comm: int
+    size: int
+
+
+@dataclass(frozen=True)
+class CollRecord:
+    """A COLLEXIT event with synchronized stamp."""
+
+    time: float
+    region: int
+    comm: int
+    root: int  # global rank
+    sent: int
+    recvd: int
+
+
+@dataclass(frozen=True)
+class OmpRegionRecord:
+    """One fork-join region with synchronized times and team summary."""
+
+    cpid: int
+    enter: float
+    exit: float
+    nthreads: int
+    busy_sum: float
+    busy_max: float
+
+    @property
+    def idle_thread_seconds(self) -> float:
+        """Thread-seconds idled waiting for the slowest team member."""
+        return max(0.0, self.nthreads * self.busy_max - self.busy_sum)
+
+
+@dataclass
+class MPIOpInstance:
+    """One completed MPI call of one rank, with synchronized times."""
+
+    rank: int
+    region: int
+    op_name: str
+    cpid: int
+    enter: float
+    exit: float
+    sends: List[SendRecord] = field(default_factory=list)
+    recvs: List[RecvRecord] = field(default_factory=list)
+    coll: Optional[CollRecord] = None
+
+    @property
+    def duration(self) -> float:
+        return max(0.0, self.exit - self.enter)
+
+
+@dataclass
+class ProcessTimeline:
+    """Everything the replay needs about one rank, locally derived."""
+
+    rank: int
+    location: Location
+    first_time: float
+    last_time: float
+    exclusive_time: Dict[int, float] = field(default_factory=dict)
+    #: Number of times each call path was entered.
+    visits: Dict[int, int] = field(default_factory=dict)
+    mpi_ops: List[MPIOpInstance] = field(default_factory=list)
+    omp_regions: List[OmpRegionRecord] = field(default_factory=list)
+    event_count: int = 0
+
+    @property
+    def node(self) -> NodeId:
+        return node_of(self.location)
+
+    @property
+    def machine(self) -> int:
+        return self.location.machine
+
+    @property
+    def total_time(self) -> float:
+        return max(0.0, self.last_time - self.first_time)
+
+
+def build_timeline(
+    rank: int,
+    location: Location,
+    events: Sequence[Event],
+    converter: LinearConverter,
+    callpaths: CallPathRegistry,
+    regions: RegionRegistry,
+) -> ProcessTimeline:
+    """Walk one rank's events and produce its synchronized timeline."""
+    builder = CallPathBuilder(callpaths)
+    timeline = ProcessTimeline(
+        rank=rank, location=location, first_time=0.0, last_time=0.0
+    )
+    # Per-open-frame state: (cpid, region, enter_sync, child_time, instance)
+    frame_stack: List[List] = []
+    first: Optional[float] = None
+    last = 0.0
+
+    for event in events:
+        t = converter.convert(event.time)
+        if first is None:
+            first = t
+        last = t
+        if isinstance(event, EnterEvent):
+            cpid = builder.enter(event.region)
+            timeline.visits[cpid] = timeline.visits.get(cpid, 0) + 1
+            name = regions.name_of(event.region)
+            instance = None
+            if is_mpi_region(name):
+                instance = MPIOpInstance(
+                    rank=rank,
+                    region=event.region,
+                    op_name=name,
+                    cpid=cpid,
+                    enter=t,
+                    exit=t,
+                )
+            frame_stack.append([cpid, event.region, t, 0.0, instance])
+        elif isinstance(event, ExitEvent):
+            builder.exit(event.region)
+            if not frame_stack:
+                raise AnalysisError(f"rank {rank}: EXIT without open frame")
+            cpid, region, enter_t, child_time, instance = frame_stack.pop()
+            if region != event.region:
+                raise AnalysisError(
+                    f"rank {rank}: EXIT region {event.region} does not match "
+                    f"open region {region}"
+                )
+            duration = max(0.0, t - enter_t)
+            exclusive = max(0.0, duration - child_time)
+            timeline.exclusive_time[cpid] = (
+                timeline.exclusive_time.get(cpid, 0.0) + exclusive
+            )
+            if frame_stack:
+                frame_stack[-1][3] += duration
+            if instance is not None:
+                instance.exit = t
+                timeline.mpi_ops.append(instance)
+        elif isinstance(event, SendEvent):
+            instance = _open_mpi_instance(frame_stack, rank, "SEND")
+            instance.sends.append(
+                SendRecord(t, event.dest, event.tag, event.comm, event.size)
+            )
+        elif isinstance(event, RecvEvent):
+            instance = _open_mpi_instance(frame_stack, rank, "RECV")
+            instance.recvs.append(
+                RecvRecord(t, event.source, event.tag, event.comm, event.size)
+            )
+        elif isinstance(event, CollExitEvent):
+            instance = _open_mpi_instance(frame_stack, rank, "COLLEXIT")
+            instance.coll = CollRecord(
+                t, event.region, event.comm, event.root, event.sent, event.recvd
+            )
+        elif isinstance(event, OmpRegionEvent):
+            if not frame_stack or frame_stack[-1][1] != event.region:
+                raise AnalysisError(
+                    f"rank {rank}: OMPREGION record outside its region frame"
+                )
+            cpid, _region, enter_t, _child, _inst = frame_stack[-1]
+            timeline.omp_regions.append(
+                OmpRegionRecord(
+                    cpid=cpid,
+                    enter=enter_t,
+                    exit=t,
+                    nthreads=event.nthreads,
+                    busy_sum=event.busy_sum,
+                    busy_max=event.busy_max,
+                )
+            )
+        else:  # pragma: no cover - closed event union
+            raise AnalysisError(f"rank {rank}: unknown event {event!r}")
+        timeline.event_count += 1
+
+    if frame_stack:
+        raise AnalysisError(
+            f"rank {rank}: {len(frame_stack)} regions still open at trace end"
+        )
+    timeline.first_time = first if first is not None else 0.0
+    timeline.last_time = last if first is not None else 0.0
+    return timeline
+
+
+def _open_mpi_instance(frame_stack: List[List], rank: int, what: str) -> MPIOpInstance:
+    if not frame_stack or frame_stack[-1][4] is None:
+        raise AnalysisError(
+            f"rank {rank}: {what} record outside an MPI region"
+        )
+    return frame_stack[-1][4]
+
+
+def total_time_of(timelines: Dict[int, ProcessTimeline]) -> float:
+    """Aggregate wall time over all ranks (the Figure 6 percentage base)."""
+    return sum(tl.total_time for tl in timelines.values())

@@ -1,0 +1,242 @@
+"""Collective wait-state patterns.
+
+*Wait at N×N* (paper Figure 4(b)): n-to-n operations "exhibit an inherent
+synchronization among all participants, that is, no process can finish the
+operation until the last process has started it"; the pattern covers the
+time each process spends in the operation until all have reached it.
+*Wait at Barrier* is the barrier variant.  *Early Reduce* and *Late
+Broadcast* cover the rooted cases, *Barrier Completion* the time needed to
+leave a barrier after the last arrival.
+
+Grid variants fire when "the entire communicator is searched for processes
+differing in their machine (i.e., metahost) location component" — i.e. the
+instance spans metahosts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.analysis.matching import CollectiveInstance
+from repro.analysis.patterns.base import (
+    BARRIER_COMPLETION,
+    EARLY_SCAN,
+    NXN_COMPLETION,
+    EARLY_REDUCE,
+    PREFIX_OPS,
+    GRID_WAIT_AT_BARRIER,
+    GRID_WAIT_AT_NXN,
+    LATE_BROADCAST,
+    NXN_OPS,
+    N_TO_1_OPS,
+    ONE_TO_N_OPS,
+    WAIT_AT_BARRIER,
+    WAIT_AT_NXN,
+)
+
+
+@dataclass(frozen=True)
+class CollContribution:
+    metric: str
+    rank: int
+    cpid: int
+    value: float
+
+
+class CollectivePattern:
+    """Base class: consumes collective instances, emits contributions."""
+
+    name: str = "abstract"
+
+    def contributions(self, instance: CollectiveInstance) -> List[CollContribution]:
+        raise NotImplementedError
+
+
+def _wait_for_last(instance: CollectiveInstance) -> Dict[int, float]:
+    """Per-rank time from own entry until the last participant's entry."""
+    last = instance.last_enter
+    waits: Dict[int, float] = {}
+    for rank, (op, _) in instance.members.items():
+        waits[rank] = max(0.0, min(last, op.exit) - op.enter)
+    return waits
+
+
+class WaitAtNxNPattern(CollectivePattern):
+    name = WAIT_AT_NXN
+
+    def contributions(self, instance: CollectiveInstance) -> List[CollContribution]:
+        if instance.op_name not in NXN_OPS:
+            return []
+        return [
+            CollContribution(self.name, rank, instance.members[rank][0].cpid, wait)
+            for rank, wait in _wait_for_last(instance).items()
+            if wait > 0.0
+        ]
+
+
+class GridWaitAtNxNPattern(CollectivePattern):
+    name = GRID_WAIT_AT_NXN
+
+    def contributions(self, instance: CollectiveInstance) -> List[CollContribution]:
+        if instance.op_name not in NXN_OPS or not instance.spans_metahosts:
+            return []
+        return [
+            CollContribution(self.name, rank, instance.members[rank][0].cpid, wait)
+            for rank, wait in _wait_for_last(instance).items()
+            if wait > 0.0
+        ]
+
+
+class WaitAtBarrierPattern(CollectivePattern):
+    name = WAIT_AT_BARRIER
+
+    def contributions(self, instance: CollectiveInstance) -> List[CollContribution]:
+        if instance.op_name != "MPI_Barrier":
+            return []
+        return [
+            CollContribution(self.name, rank, instance.members[rank][0].cpid, wait)
+            for rank, wait in _wait_for_last(instance).items()
+            if wait > 0.0
+        ]
+
+
+class GridWaitAtBarrierPattern(CollectivePattern):
+    name = GRID_WAIT_AT_BARRIER
+
+    def contributions(self, instance: CollectiveInstance) -> List[CollContribution]:
+        if instance.op_name != "MPI_Barrier" or not instance.spans_metahosts:
+            return []
+        return [
+            CollContribution(self.name, rank, instance.members[rank][0].cpid, wait)
+            for rank, wait in _wait_for_last(instance).items()
+            if wait > 0.0
+        ]
+
+
+class EarlyReducePattern(CollectivePattern):
+    """Root of an n-to-1 operation waits for the last contributor."""
+
+    name = EARLY_REDUCE
+
+    def contributions(self, instance: CollectiveInstance) -> List[CollContribution]:
+        if instance.op_name not in N_TO_1_OPS:
+            return []
+        root = instance.root
+        if root not in instance.members:
+            return []
+        root_op = instance.members[root][0]
+        last_other = max(
+            (op.enter for rank, (op, _) in instance.members.items() if rank != root),
+            default=root_op.enter,
+        )
+        wait = max(0.0, min(last_other, root_op.exit) - root_op.enter)
+        if wait <= 0.0:
+            return []
+        return [CollContribution(self.name, root, root_op.cpid, wait)]
+
+
+class LateBroadcastPattern(CollectivePattern):
+    """Non-roots of a 1-to-n operation wait for the root to arrive."""
+
+    name = LATE_BROADCAST
+
+    def contributions(self, instance: CollectiveInstance) -> List[CollContribution]:
+        if instance.op_name not in ONE_TO_N_OPS:
+            return []
+        root = instance.root
+        if root not in instance.members:
+            return []
+        root_enter = instance.members[root][0].enter
+        out: List[CollContribution] = []
+        for rank, (op, _) in instance.members.items():
+            if rank == root:
+                continue
+            wait = max(0.0, min(root_enter, op.exit) - op.enter)
+            if wait > 0.0:
+                out.append(CollContribution(self.name, rank, op.cpid, wait))
+        return out
+
+
+class EarlyScanPattern(CollectivePattern):
+    """A prefix-reduction rank waits for the slowest lower-ranked member.
+
+    MPI_Scan's result at comm rank *i* depends on ranks 0..i, so *i* cannot
+    finish before the last of them has started; time spent waiting for a
+    lower rank is Early Scan (higher ranks entering late cost nothing).
+    Comm-rank order must be recovered from the communicator definition; the
+    analyzer passes a global→comm-rank mapping via ``instance.comm_order``
+    when available, and falls back to global-rank order (correct for
+    world-communicator scans and rank-sorted subcomms).
+    """
+
+    name = EARLY_SCAN
+
+    def contributions(self, instance: CollectiveInstance) -> List[CollContribution]:
+        if instance.op_name not in PREFIX_OPS:
+            return []
+        order = instance.comm_order or sorted(instance.members)
+        out: List[CollContribution] = []
+        for index, rank in enumerate(order):
+            op = instance.members[rank][0]
+            prefix_last = max(
+                instance.members[r][0].enter for r in order[: index + 1]
+            )
+            wait = max(0.0, min(prefix_last, op.exit) - op.enter)
+            if wait > 0.0:
+                out.append(CollContribution(self.name, rank, op.cpid, wait))
+        return out
+
+
+class NxNCompletionPattern(CollectivePattern):
+    """Time spent finishing an n-to-n operation after the last arrival.
+
+    The counterpart of Wait at N×N: together they partition the operation's
+    duration into the synchronization phase (waiting for the last entry)
+    and the data-movement phase after it.
+    """
+
+    name = NXN_COMPLETION
+
+    def contributions(self, instance: CollectiveInstance) -> List[CollContribution]:
+        if instance.op_name not in NXN_OPS:
+            return []
+        last = instance.last_enter
+        out: List[CollContribution] = []
+        for rank, (op, _) in instance.members.items():
+            completion = max(0.0, op.exit - max(last, op.enter))
+            if completion > 0.0:
+                out.append(CollContribution(self.name, rank, op.cpid, completion))
+        return out
+
+
+class BarrierCompletionPattern(CollectivePattern):
+    """Time spent leaving the barrier after everyone arrived."""
+
+    name = BARRIER_COMPLETION
+
+    def contributions(self, instance: CollectiveInstance) -> List[CollContribution]:
+        if instance.op_name != "MPI_Barrier":
+            return []
+        last = instance.last_enter
+        out: List[CollContribution] = []
+        for rank, (op, _) in instance.members.items():
+            completion = max(0.0, op.exit - max(last, op.enter))
+            if completion > 0.0:
+                out.append(CollContribution(self.name, rank, op.cpid, completion))
+        return out
+
+
+def default_collective_patterns() -> List[CollectivePattern]:
+    """Fresh instances of the full collective catalogue."""
+    return [
+        WaitAtNxNPattern(),
+        GridWaitAtNxNPattern(),
+        NxNCompletionPattern(),
+        EarlyScanPattern(),
+        WaitAtBarrierPattern(),
+        GridWaitAtBarrierPattern(),
+        EarlyReducePattern(),
+        LateBroadcastPattern(),
+        BarrierCompletionPattern(),
+    ]

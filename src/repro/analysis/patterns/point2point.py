@@ -1,0 +1,153 @@
+"""Point-to-point wait-state patterns.
+
+*Late Sender* (paper Figure 4(a)): "a process is waiting in a blocking
+receive operation that is posted earlier than the corresponding send
+operation" — the waiting time is the interval between entering the
+receiving call and the sender entering the sending call, clipped to the
+receiving call's duration.
+
+*Late Receiver*: the dual — a (rendezvous) send blocks until the receiver
+posts its receive.  Eager sends return immediately, so their instances
+contribute ~0 naturally without the analyzer needing to know the protocol
+threshold.
+
+The grid variants "simply check whether communication across different
+metahosts has taken place" and attribute the same waiting time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.analysis.matching import MatchedPair
+from repro.analysis.patterns.base import (
+    GRID_LATE_RECEIVER,
+    GRID_LATE_SENDER,
+    LATE_RECEIVER,
+    LATE_SENDER,
+    LATE_SENDER_WRONG_ORDER,
+)
+
+
+@dataclass(frozen=True)
+class P2PContribution:
+    """One pattern hit: severity located at (rank, call path)."""
+
+    metric: str
+    rank: int
+    cpid: int
+    value: float
+
+
+class P2PPattern:
+    """Base class: consumes matched pairs, emits contributions."""
+
+    name: str = "abstract"
+
+    def contributions(self, pair: MatchedPair) -> List[P2PContribution]:
+        raise NotImplementedError
+
+
+def late_sender_wait(pair: MatchedPair) -> float:
+    """Waiting time of the Late Sender situation for one pair (≥ 0)."""
+    recv_enter = pair.recv_op.enter
+    recv_exit = pair.recv_op.exit
+    send_enter = pair.send_op.enter
+    return max(0.0, min(send_enter, recv_exit) - recv_enter)
+
+
+def late_receiver_wait(pair: MatchedPair) -> float:
+    """Waiting time of the Late Receiver situation for one pair (≥ 0)."""
+    send_enter = pair.send_op.enter
+    send_exit = pair.send_op.exit
+    recv_enter = pair.recv_op.enter
+    return max(0.0, min(recv_enter, send_exit) - send_enter)
+
+
+class LateSenderPattern(P2PPattern):
+    name = LATE_SENDER
+
+    def contributions(self, pair: MatchedPair) -> List[P2PContribution]:
+        wait = late_sender_wait(pair)
+        if wait <= 0.0:
+            return []
+        return [
+            P2PContribution(self.name, pair.receiver_rank, pair.recv_op.cpid, wait)
+        ]
+
+
+class GridLateSenderPattern(P2PPattern):
+    name = GRID_LATE_SENDER
+
+    def contributions(self, pair: MatchedPair) -> List[P2PContribution]:
+        if not pair.crosses_metahosts:
+            return []
+        wait = late_sender_wait(pair)
+        if wait <= 0.0:
+            return []
+        return [
+            P2PContribution(self.name, pair.receiver_rank, pair.recv_op.cpid, wait)
+        ]
+
+
+class WrongOrderPattern(P2PPattern):
+    """Late Sender whose message overtook an earlier-sent pending message.
+
+    Stateful: tracks, per receiver and communicator, the latest send time
+    already retrieved.  If a later receive matches an *earlier* send, the
+    messages were consumed out of send order and the Late Sender waiting
+    time is (also) attributed to this sub-pattern.
+    """
+
+    name = LATE_SENDER_WRONG_ORDER
+
+    def __init__(self) -> None:
+        self._latest_send: Dict[Tuple[int, int], float] = {}
+
+    def contributions(self, pair: MatchedPair) -> List[P2PContribution]:
+        key = (pair.receiver_rank, pair.recv.comm)
+        previous = self._latest_send.get(key)
+        this_send = pair.send.time
+        self._latest_send[key] = max(this_send, previous) if previous is not None else this_send
+        if previous is None or this_send >= previous:
+            return []
+        wait = late_sender_wait(pair)
+        if wait <= 0.0:
+            return []
+        return [
+            P2PContribution(self.name, pair.receiver_rank, pair.recv_op.cpid, wait)
+        ]
+
+
+class LateReceiverPattern(P2PPattern):
+    name = LATE_RECEIVER
+
+    def contributions(self, pair: MatchedPair) -> List[P2PContribution]:
+        wait = late_receiver_wait(pair)
+        if wait <= 0.0:
+            return []
+        return [P2PContribution(self.name, pair.sender_rank, pair.send_op.cpid, wait)]
+
+
+class GridLateReceiverPattern(P2PPattern):
+    name = GRID_LATE_RECEIVER
+
+    def contributions(self, pair: MatchedPair) -> List[P2PContribution]:
+        if not pair.crosses_metahosts:
+            return []
+        wait = late_receiver_wait(pair)
+        if wait <= 0.0:
+            return []
+        return [P2PContribution(self.name, pair.sender_rank, pair.send_op.cpid, wait)]
+
+
+def default_p2p_patterns() -> List[P2PPattern]:
+    """Fresh instances of the full point-to-point catalogue."""
+    return [
+        LateSenderPattern(),
+        GridLateSenderPattern(),
+        WrongOrderPattern(),
+        LateReceiverPattern(),
+        GridLateReceiverPattern(),
+    ]

@@ -1,0 +1,311 @@
+"""The parallel replay analyzer.
+
+Mirrors SCALASCA's metacomputing-enabled analysis (paper Section 4):
+
+* every rank's trace is read **through the mount namespace of its own
+  metahost** — the analyzer never copies a trace file across machines;
+* the replay exchanges only per-event metadata (matched-pair records and
+  collective enter times), whose volume is tracked in
+  :class:`ReplayTraffic` so it can be compared against the merged-trace
+  baseline ("the amount of data transferred per process is significantly
+  smaller than the entire trace file belonging to that process");
+* while matching, the analyzer also "reports violations of the clock
+  condition" — the Table 2 metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.callpath import CallPathRegistry
+from repro.analysis.instances import ProcessTimeline, build_timeline, total_time_of
+from repro.analysis.matching import MessageMatcher
+from repro.analysis.patterns import (
+    COLLECTIVE,
+    COMMUNICATION,
+    EXECUTION,
+    IDLE_THREADS,
+    MPI,
+    P2P,
+    SYNCHRONIZATION,
+    TIME,
+    default_collective_patterns,
+    default_p2p_patterns,
+    metric_tree,
+)
+from repro.analysis.patterns.base import classify_region
+from repro.analysis.patterns.grid import (
+    GridPairBreakdown,
+    accumulate_collective,
+    accumulate_p2p,
+)
+from repro.analysis.severity import SeverityCube
+from repro.clocks.condition import ClockConditionChecker, MessageStamp
+from repro.clocks.sync import HierarchicalInterpolation, SyncScheme
+from repro.errors import AnalysisError
+from repro.ids import node_of
+from repro.trace.archive import ArchiveReader, Definitions, trace_filename
+
+
+@dataclass
+class ReplayTraffic:
+    """Bytes moved by the replay vs. a merged-trace analysis."""
+
+    replay_metadata_bytes: int = 0
+    merged_copy_bytes: int = 0
+    trace_bytes_total: int = 0
+
+    @property
+    def saving_factor(self) -> float:
+        """How many times more data a merged analysis would have moved."""
+        if self.replay_metadata_bytes == 0:
+            return float("inf") if self.merged_copy_bytes > 0 else 1.0
+        return self.merged_copy_bytes / self.replay_metadata_bytes
+
+
+@dataclass
+class AnalysisResult:
+    """Severity cube plus everything needed to interpret it."""
+
+    cube: SeverityCube
+    callpaths: CallPathRegistry
+    definitions: Definitions
+    violations: ClockConditionChecker
+    traffic: ReplayTraffic
+    scheme_name: str
+    total_time: float
+    timelines: Dict[int, ProcessTimeline] = field(default_factory=dict)
+    #: Fine-grained grid classification (paper §6 future work): grid
+    #: severities per (causing metahost, waiting metahost) combination.
+    grid_pairs: GridPairBreakdown = field(default_factory=GridPairBreakdown)
+
+    # -- metric access ----------------------------------------------------------
+
+    def metric_total(self, metric: str) -> float:
+        """Inclusive total of a metric over all call paths and ranks."""
+        if metric == EXECUTION:
+            # No measurement overhead is modeled, so Execution == Time.
+            return self.cube.total(TIME)
+        return self.cube.total(metric)
+
+    def pct(self, metric: str) -> float:
+        """Metric total as percent of total time (the Figure 6 numbers)."""
+        total = self.metric_total(TIME)
+        if total <= 0.0:
+            return 0.0
+        return 100.0 * self.metric_total(metric) / total
+
+    def exclusive_total(self, metric: str) -> float:
+        """Metric total minus its children's totals (browser display value).
+
+        The Idle Threads child is measured in thread-seconds rather than
+        process wall seconds, so it is never subtracted from its parent.
+        """
+        children = [
+            m
+            for m in metric_tree()
+            if m.parent == metric and m.name != IDLE_THREADS
+        ]
+        value = self.metric_total(metric) - sum(
+            self.metric_total(child.name) for child in children
+        )
+        return max(0.0, value)
+
+    # -- distributions -------------------------------------------------------------
+
+    def grid_pair_breakdown(self, metric: str) -> Dict[tuple, float]:
+        """Grid severity per (causing, waiting) metahost name pair.
+
+        Implements the paper's desired finer-grained classification of the
+        grid patterns by metahost combination.
+        """
+        return self.grid_pairs.named(metric, self.definitions.machine_names)
+
+    def machine_breakdown(self, metric: str) -> Dict[str, float]:
+        """Metric total per metahost name (the right panel of Figure 6)."""
+        out: Dict[str, float] = {}
+        for rank, value in self.cube.by_rank(metric).items():
+            machine = self.definitions.machine_of(rank)
+            name = self.definitions.machine_names[machine]
+            out[name] = out.get(name, 0.0) + value
+        return out
+
+    def rank_breakdown(self, metric: str) -> Dict[int, float]:
+        return self.cube.by_rank(metric)
+
+    def top_callpaths(
+        self, metric: str, n: int = 5
+    ) -> List[Tuple[str, float]]:
+        """Largest call-path contributors, rendered as path strings."""
+        return [
+            (self.callpaths.render(cpid, self.definitions.regions), value)
+            for cpid, value in self.cube.top_callpaths(metric, n)
+        ]
+
+    def callpath_value(self, metric: str, *names: str) -> float:
+        """Metric value at the exact call path given by region names."""
+        cpid = self.callpaths.find(self.definitions.regions, *names)
+        if cpid is None:
+            return 0.0
+        return sum(self.cube.at(metric, cpid).values())
+
+    def metric_in_region(self, metric: str, region_name: str) -> float:
+        """Metric total over all call paths whose innermost frame is *region_name*."""
+        regions = self.definitions.regions
+        if region_name not in regions:
+            return 0.0
+        rid = regions.id_of(region_name)
+        total = 0.0
+        for cpid, value in self.cube.by_callpath(metric).items():
+            if self.callpaths.path(cpid).region == rid:
+                total += value
+        return total
+
+    def metric_under_region(self, metric: str, region_name: str) -> float:
+        """Metric total over call paths containing *region_name* anywhere."""
+        regions = self.definitions.regions
+        if region_name not in regions:
+            return 0.0
+        rid = regions.id_of(region_name)
+        total = 0.0
+        for cpid, value in self.cube.by_callpath(metric).items():
+            if rid in self.callpaths.frames(cpid):
+                total += value
+        return total
+
+
+class ReplayAnalyzer:
+    """Drives one analysis over a set of per-metahost archive readers."""
+
+    def __init__(
+        self,
+        readers: Dict[int, ArchiveReader],
+        scheme: Optional[SyncScheme] = None,
+    ) -> None:
+        if not readers:
+            raise AnalysisError("no archive readers supplied")
+        self.readers = dict(readers)
+        self.scheme = scheme if scheme is not None else HierarchicalInterpolation()
+
+    def analyze(self) -> AnalysisResult:
+        first_reader = next(iter(self.readers.values()))
+        definitions = first_reader.definitions()
+        sync_data = first_reader.sync_data()
+        synchronized = self.scheme.convert_all(sync_data)
+
+        callpaths = CallPathRegistry()
+        timelines: Dict[int, ProcessTimeline] = {}
+        trace_bytes: Dict[int, int] = {}
+        for rank in sorted(definitions.locations):
+            location = definitions.locations[rank]
+            reader = self.readers.get(location.machine)
+            if reader is None:
+                raise AnalysisError(
+                    f"no archive reader for machine {location.machine} "
+                    f"(rank {rank} lives there)"
+                )
+            if not reader.has_trace(rank):
+                raise AnalysisError(
+                    f"rank {rank}'s trace is not visible on its own metahost "
+                    f"({trace_filename(rank)} missing)"
+                )
+            events = reader.read_trace(rank)
+            trace_bytes[rank] = len(
+                reader.namespace.read_file(f"{reader.path}/{trace_filename(rank)}")
+            )
+            converter = synchronized.converters.get(node_of(location))
+            if converter is None:
+                raise AnalysisError(f"no clock converter for node {node_of(location)}")
+            timelines[rank] = build_timeline(
+                rank, location, events, converter, callpaths, definitions.regions
+            )
+
+        cube = SeverityCube()
+        self._base_metrics(cube, timelines)
+
+        matcher = MessageMatcher(
+            timelines,
+            comm_ranks={
+                cid: ranks
+                for cid, (_name, ranks) in definitions.communicators.items()
+            },
+        )
+        checker = ClockConditionChecker()
+        grid_pairs = GridPairBreakdown()
+        p2p_patterns = default_p2p_patterns()
+        for pair in matcher.matched_pairs():
+            accumulate_p2p(grid_pairs, pair)
+            checker.add(
+                MessageStamp(
+                    sender_node=node_of(pair.sender_location),
+                    receiver_node=node_of(pair.receiver_location),
+                    send_time_s=pair.send.time,
+                    recv_time_s=pair.recv.time,
+                )
+            )
+            for pattern in p2p_patterns:
+                for hit in pattern.contributions(pair):
+                    cube.add(hit.metric, hit.cpid, hit.rank, hit.value)
+
+        coll_patterns = default_collective_patterns()
+        for instance in matcher.collective_instances():
+            accumulate_collective(grid_pairs, instance)
+            for pattern in coll_patterns:
+                for hit in pattern.contributions(instance):
+                    cube.add(hit.metric, hit.cpid, hit.rank, hit.value)
+
+        master_machine = definitions.machine_of(0)
+        merged_copy_bytes = sum(
+            size
+            for rank, size in trace_bytes.items()
+            if definitions.machine_of(rank) != master_machine
+        )
+        traffic = ReplayTraffic(
+            replay_metadata_bytes=matcher.stats.metadata_bytes,
+            merged_copy_bytes=merged_copy_bytes,
+            trace_bytes_total=sum(trace_bytes.values()),
+        )
+
+        return AnalysisResult(
+            cube=cube,
+            callpaths=callpaths,
+            definitions=definitions,
+            violations=checker,
+            traffic=traffic,
+            scheme_name=self.scheme.name,
+            total_time=total_time_of(timelines),
+            timelines=timelines,
+            grid_pairs=grid_pairs,
+        )
+
+    @staticmethod
+    def _base_metrics(cube: SeverityCube, timelines: Dict[int, ProcessTimeline]) -> None:
+        """Accumulate structural metrics (time, MPI, communication classes)."""
+        for rank, timeline in timelines.items():
+            for cpid, exclusive in timeline.exclusive_time.items():
+                cube.add(TIME, cpid, rank, exclusive)
+            for op in timeline.mpi_ops:
+                duration = op.duration
+                if duration <= 0.0:
+                    continue
+                cube.add(MPI, op.cpid, rank, duration)
+                leaf = classify_region(op.op_name)
+                if leaf == P2P:
+                    cube.add(COMMUNICATION, op.cpid, rank, duration)
+                    cube.add(P2P, op.cpid, rank, duration)
+                elif leaf == COLLECTIVE:
+                    cube.add(COMMUNICATION, op.cpid, rank, duration)
+                    cube.add(COLLECTIVE, op.cpid, rank, duration)
+                elif leaf == SYNCHRONIZATION:
+                    cube.add(SYNCHRONIZATION, op.cpid, rank, duration)
+            for omp in timeline.omp_regions:
+                cube.add(IDLE_THREADS, omp.cpid, rank, omp.idle_thread_seconds)
+
+
+def analyze_run(run_result, scheme: Optional[SyncScheme] = None) -> AnalysisResult:
+    """Analyze a :class:`~repro.sim.runtime.RunResult` end to end."""
+    readers = {
+        machine: run_result.reader(machine) for machine in run_result.machines_used
+    }
+    return ReplayAnalyzer(readers, scheme=scheme).analyze()

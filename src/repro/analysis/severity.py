@@ -1,0 +1,99 @@
+"""The severity cube: metric × call path × process.
+
+Detected pattern instances are "classified by the type of behavior and
+quantified by their significance" (paper Section 1) — each instance adds
+its waiting time to the cell addressed by its pattern (metric), the call
+path of the waiting MPI call, and the waiting process.  Aggregations over
+any axis produce the three panels of the result browser.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+from repro.errors import AnalysisError
+
+
+@dataclass
+class SeverityCube:
+    """Sparse 3-D accumulator keyed ``metric → cpid → rank``."""
+
+    data: Dict[str, Dict[int, Dict[int, float]]] = field(default_factory=dict)
+
+    def add(self, metric: str, cpid: int, rank: int, value: float) -> None:
+        """Accumulate *value* seconds into one cell (negatives rejected)."""
+        if value < 0:
+            raise AnalysisError(
+                f"negative severity {value} for {metric} at cpid={cpid} rank={rank}"
+            )
+        if value == 0.0:
+            return
+        by_cp = self.data.setdefault(metric, {})
+        by_rank = by_cp.setdefault(cpid, {})
+        by_rank[rank] = by_rank.get(rank, 0.0) + value
+
+    # -- aggregations -------------------------------------------------------
+
+    def metrics(self) -> List[str]:
+        return sorted(self.data)
+
+    def total(self, metric: str) -> float:
+        """Sum over all call paths and ranks."""
+        return sum(
+            value
+            for by_rank in self.data.get(metric, {}).values()
+            for value in by_rank.values()
+        )
+
+    def by_callpath(self, metric: str) -> Dict[int, float]:
+        return {
+            cpid: sum(by_rank.values())
+            for cpid, by_rank in self.data.get(metric, {}).items()
+        }
+
+    def by_rank(self, metric: str) -> Dict[int, float]:
+        out: Dict[int, float] = {}
+        for by_rank in self.data.get(metric, {}).values():
+            for rank, value in by_rank.items():
+                out[rank] = out.get(rank, 0.0) + value
+        return out
+
+    def at(self, metric: str, cpid: int) -> Dict[int, float]:
+        """Per-rank distribution of one (metric, call path) cell row."""
+        return dict(self.data.get(metric, {}).get(cpid, {}))
+
+    def value(self, metric: str, cpid: int, rank: int) -> float:
+        return self.data.get(metric, {}).get(cpid, {}).get(rank, 0.0)
+
+    def cells(self, metric: str) -> Iterable[Tuple[int, int, float]]:
+        for cpid, by_rank in self.data.get(metric, {}).items():
+            for rank, value in by_rank.items():
+                yield (cpid, rank, value)
+
+    def top_callpaths(self, metric: str, n: int = 5) -> List[Tuple[int, float]]:
+        ranked = sorted(
+            self.by_callpath(metric).items(), key=lambda kv: kv[1], reverse=True
+        )
+        return ranked[:n]
+
+    # -- algebra support ------------------------------------------------------
+
+    def copy(self) -> "SeverityCube":
+        return SeverityCube(
+            data={
+                metric: {cpid: dict(by_rank) for cpid, by_rank in by_cp.items()}
+                for metric, by_cp in self.data.items()
+            }
+        )
+
+    def scale(self, factor: float) -> "SeverityCube":
+        """New cube with every cell multiplied by *factor* (must be ≥ 0)."""
+        if factor < 0:
+            raise AnalysisError(f"scale factor must be non-negative, got {factor}")
+        out = SeverityCube()
+        for metric, by_cp in self.data.items():
+            for cpid, by_rank in by_cp.items():
+                for rank, value in by_rank.items():
+                    out.add(metric, cpid, rank, value * factor)
+        return out

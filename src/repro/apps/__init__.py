@@ -1,0 +1,24 @@
+"""Workloads: benchmark kernels and the MetaTrace multi-physics skeleton.
+
+Applications are factory functions returning generator apps for
+:class:`~repro.sim.mpi.World` / :class:`~repro.sim.runtime.MetaMPIRuntime`.
+"""
+
+from repro.apps.decomp import CartesianDecomposition
+from repro.apps.pingpong import PingPongResults, make_pingpong_app
+from repro.apps.clockbench import ClockBenchConfig, make_clockbench_app, pair_schedule
+from repro.apps.imbalance import make_imbalance_app, make_barrier_imbalance_app
+from repro.apps.metatrace import MetaTraceConfig, make_metatrace_app
+
+__all__ = [
+    "CartesianDecomposition",
+    "PingPongResults",
+    "make_pingpong_app",
+    "ClockBenchConfig",
+    "make_clockbench_app",
+    "pair_schedule",
+    "make_imbalance_app",
+    "make_barrier_imbalance_app",
+    "MetaTraceConfig",
+    "make_metatrace_app",
+]

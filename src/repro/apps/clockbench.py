@@ -1,0 +1,95 @@
+"""The clock-condition benchmark (Table 2 workload).
+
+The paper verified the hierarchical synchronization "using a benchmark that
+has been specifically designed to exchange a large number of short messages
+between varying pairs of processes.  This way, the benchmark produces pairs
+of send and receive events that are chronologically close to each other" —
+the send→receive gap is just one message latency, so any synchronization
+error larger than the link latency flips the observed order and the
+parallel analyzer reports a clock-condition violation.
+
+Pairing uses the self-inverse schedule ``partner(r, i) = (r − i) mod n``:
+in round *r* process *i* talks to ``(r − i) mod n`` (skipping the fixed
+point), which cycles every process through every partner — internal and
+external pairs alike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+
+def pair_schedule(nprocs: int, round_index: int) -> List[Tuple[int, int]]:
+    """The (lower, higher) pairs of one round of the benchmark."""
+    if nprocs < 2:
+        raise ConfigurationError("clock benchmark needs at least two processes")
+    pairs = []
+    for i in range(nprocs):
+        j = (round_index - i) % nprocs
+        if i < j:
+            pairs.append((i, j))
+    return pairs
+
+
+def partner_of(rank: int, nprocs: int, round_index: int) -> Optional[int]:
+    """Partner of *rank* in a round, or None when it pairs with itself."""
+    j = (round_index - rank) % nprocs
+    return None if j == rank else j
+
+
+@dataclass(frozen=True)
+class ClockBenchConfig:
+    """Benchmark parameters.
+
+    ``rounds`` rounds are executed; in each, every pair exchanges
+    ``exchanges_per_round`` ping-pongs of ``size_bytes``-byte messages, and
+    all processes then advance by ``inter_round_gap_s`` of computation so
+    the run spans enough wall time for clock drift to matter.
+    """
+
+    rounds: int = 200
+    exchanges_per_round: int = 2
+    size_bytes: int = 64
+    inter_round_gap_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.rounds < 1 or self.exchanges_per_round < 1:
+            raise ConfigurationError("rounds and exchanges must be positive")
+        if self.size_bytes < 0 or self.inter_round_gap_s < 0:
+            raise ConfigurationError("sizes and gaps must be non-negative")
+
+    @property
+    def total_messages(self) -> int:
+        """Messages per full run for n processes ≈ rounds · n · exchanges."""
+        return self.rounds * self.exchanges_per_round
+
+
+def make_clockbench_app(config: ClockBenchConfig):
+    """Build the varying-pairs short-message benchmark app."""
+
+    def app(ctx):
+        n = ctx.size
+        with ctx.region("clockbench"):
+            for round_index in range(config.rounds):
+                partner = partner_of(ctx.rank, n, round_index)
+                if partner is not None:
+                    lower = ctx.rank < partner
+                    with ctx.region("exchange"):
+                        for _ in range(config.exchanges_per_round):
+                            if lower:
+                                yield ctx.comm.send(
+                                    partner, config.size_bytes, tag=round_index
+                                )
+                                yield ctx.comm.recv(partner, tag=round_index)
+                            else:
+                                yield ctx.comm.recv(partner, tag=round_index)
+                                yield ctx.comm.send(
+                                    partner, config.size_bytes, tag=round_index
+                                )
+                yield ctx.sleep(config.inter_round_gap_s)
+        yield ctx.comm.barrier()
+
+    return app

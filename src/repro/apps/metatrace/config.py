@@ -1,0 +1,145 @@
+"""MetaTrace configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.apps.decomp import CartesianDecomposition
+from repro.errors import ConfigurationError
+
+Coord = Tuple[int, int, int]
+
+#: Names of the sub-communicators the application needs.
+TRACE_COMM = "trace"
+PARTRACE_COMM = "partrace"
+COUPLED_COMM = "coupled"
+
+
+@dataclass(frozen=True)
+class MetaTraceConfig:
+    """Workload parameters of the coupled simulation.
+
+    Parameters
+    ----------
+    trace_ranks / partrace_ranks:
+        Global ranks of the two submodels.  Counts must match ("we assigned
+        the same number of processors to Trace and Partrace"); the *i*-th
+        trace rank couples with the *i*-th partrace rank.
+    dims:
+        3-D process grid of the Trace domain decomposition.
+    trace_coords:
+        Optional explicit trace-comm-rank → grid-coordinate mapping;
+        defaults to x-major order.  Experiment 1 uses an interleaved
+        mapping so metahost boundaries cut through the x dimension.
+    coupling_intervals:
+        Number of velocity-field transfers ("every 10–15 seconds" in the
+        original; the interval length here follows from the work sizes).
+    cg_iterations / cg_work_s:
+        CG iterations per interval and reference compute per iteration.
+    finelassdt_work_s:
+        Reference compute of the MPI-free Trace function ``finelassdt``.
+    partrace_work_s:
+        Reference compute of particle tracking per interval.
+    velocity_field_bytes:
+        Total velocity-field volume per transfer (split across pairs);
+        200 MB in the paper.
+    halo_bytes / dot_bytes / steering_bytes:
+        Halo-face, CG-dot-product, and steering message sizes.
+    work_jitter:
+        Relative uniform noise on compute phases (per-rank RNG).
+    """
+
+    trace_ranks: Tuple[int, ...]
+    partrace_ranks: Tuple[int, ...]
+    dims: Coord = (4, 2, 2)
+    trace_coords: Optional[Tuple[Coord, ...]] = None
+    coupling_intervals: int = 6
+    cg_iterations: int = 25
+    cg_work_s: float = 0.02
+    finelassdt_work_s: float = 0.08
+    partrace_work_s: float = 0.66
+    velocity_field_bytes: int = 200 * 1024 * 1024
+    halo_bytes: int = 16 * 1024
+    dot_bytes: int = 16
+    steering_bytes: int = 1024
+    work_jitter: float = 0.01
+
+    def __post_init__(self) -> None:
+        if not self.trace_ranks or not self.partrace_ranks:
+            raise ConfigurationError("both submodels need at least one rank")
+        if len(self.trace_ranks) != len(self.partrace_ranks):
+            raise ConfigurationError(
+                "Trace and Partrace must use the same number of processes "
+                f"({len(self.trace_ranks)} vs {len(self.partrace_ranks)})"
+            )
+        if set(self.trace_ranks) & set(self.partrace_ranks):
+            raise ConfigurationError("a rank cannot belong to both submodels")
+        nx, ny, nz = self.dims
+        if nx * ny * nz != len(self.trace_ranks):
+            raise ConfigurationError(
+                f"grid {self.dims} does not cover {len(self.trace_ranks)} "
+                "trace ranks"
+            )
+        if self.coupling_intervals < 1 or self.cg_iterations < 1:
+            raise ConfigurationError("intervals and iterations must be positive")
+        if min(
+            self.cg_work_s,
+            self.finelassdt_work_s,
+            self.partrace_work_s,
+            self.work_jitter,
+        ) < 0:
+            raise ConfigurationError("work amounts must be non-negative")
+        if self.work_jitter >= 1.0:
+            raise ConfigurationError("work jitter must stay below 100%")
+
+    # -- derived structure --------------------------------------------------
+
+    def decomposition(self) -> CartesianDecomposition:
+        return CartesianDecomposition.build(self.dims, self.trace_coords)
+
+    def partner_of_trace(self, trace_index: int) -> int:
+        """Global partrace rank coupled with the given trace-comm index."""
+        return self.partrace_ranks[trace_index]
+
+    def partner_of_partrace(self, partrace_index: int) -> int:
+        """Global trace rank coupled with the given partrace-comm index."""
+        return self.trace_ranks[partrace_index]
+
+    @property
+    def velocity_chunk_bytes(self) -> int:
+        """Per-pair share of the velocity field."""
+        return self.velocity_field_bytes // len(self.trace_ranks)
+
+    def subcomms(self) -> Dict[str, Sequence[int]]:
+        """Sub-communicators to register with the runtime."""
+        return {
+            TRACE_COMM: list(self.trace_ranks),
+            PARTRACE_COMM: list(self.partrace_ranks),
+            COUPLED_COMM: sorted(set(self.trace_ranks) | set(self.partrace_ranks)),
+        }
+
+
+def interleaved_x_coords(dims: Coord, first_count: int) -> Tuple[Coord, ...]:
+    """Coordinate mapping placing the first *first_count* ranks on even x planes.
+
+    Used by Experiment 1 so that every FH-BRS process has a CAESAR
+    x-neighbor: the first block (FH-BRS) occupies x ∈ {0, 2, ...}, the
+    second block (CAESAR) x ∈ {1, 3, ...}.
+    """
+    nx, ny, nz = dims
+    if nx % 2 != 0:
+        raise ConfigurationError("interleaved mapping needs an even x extent")
+    plane = ny * nz
+    if first_count != (nx // 2) * plane:
+        raise ConfigurationError(
+            f"first block of {first_count} ranks does not fill half the grid"
+        )
+    coords = []
+    for block, x_start in ((0, 0), (1, 1)):
+        for half_x in range(nx // 2):
+            x = x_start + 2 * half_x
+            for y in range(ny):
+                for z in range(nz):
+                    coords.append((x, y, z))
+    return tuple(coords)

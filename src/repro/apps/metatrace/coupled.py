@@ -1,0 +1,34 @@
+"""The coupled MetaTrace driver.
+
+"The entire simulation is provided as a single executable that integrates
+the two submodels" — likewise here: one app function dispatches each rank
+into its submodel based on the configuration.  Ranks outside both
+submodels (if any) return immediately.
+"""
+
+from __future__ import annotations
+
+from repro.apps.metatrace.config import MetaTraceConfig
+from repro.apps.metatrace.partrace import partrace_process
+from repro.apps.metatrace.velocity import trace_process
+
+
+def make_metatrace_app(config: MetaTraceConfig):
+    """Build the coupled application.
+
+    The runtime must be given ``config.subcomms()`` so the ``trace``,
+    ``partrace`` and ``coupled`` communicators exist.
+    """
+    decomp = config.decomposition()
+    trace_set = set(config.trace_ranks)
+    partrace_set = set(config.partrace_ranks)
+
+    def app(ctx):
+        if ctx.rank in trace_set:
+            yield from trace_process(ctx, config, decomp)
+        elif ctx.rank in partrace_set:
+            yield from partrace_process(ctx, config)
+        # Ranks outside the coupled simulation have nothing to do; they
+        # must not join the coupled barrier.
+
+    return app

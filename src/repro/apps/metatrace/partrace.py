@@ -1,0 +1,49 @@
+"""Partrace: the particle-tracking submodel.
+
+Per coupling interval, a Partrace process
+
+1. synchronizes with Trace and receives its velocity-field chunk
+   (``ReadVelFieldFromTrace`` — the function carrying the paper's dominant
+   Wait at Barrier severity in the three-metahost experiment);
+2. tracks its particles through the field (``trackparticles``);
+3. sends steering information back to its Trace partner
+   (``sendsteering``).
+"""
+
+from __future__ import annotations
+
+from repro.apps.metatrace.config import COUPLED_COMM, PARTRACE_COMM, MetaTraceConfig
+from repro.apps.metatrace.velocity import TAG_STEERING, TAG_VELOCITY, _jittered
+from repro.errors import ConfigurationError
+
+
+def partrace_process(ctx, config: MetaTraceConfig):
+    """Generator body of one Partrace process (global rank in partrace_ranks)."""
+    partrace_comm = ctx.get_comm(PARTRACE_COMM)
+    coupled_comm = ctx.get_comm(COUPLED_COMM)
+    if partrace_comm is None or coupled_comm is None:
+        raise ConfigurationError(
+            f"rank {ctx.rank} runs Partrace but lacks its communicators"
+        )
+    my_index = partrace_comm.rank
+    partner_global = config.partner_of_partrace(my_index)
+    partner_coupled = coupled_comm.data.comm_rank(partner_global)
+
+    with ctx.region("partrace_main"):
+        for _interval in range(config.coupling_intervals):
+            # -- coupling: synchronize and receive the velocity field ------
+            with ctx.region("ReadVelFieldFromTrace"):
+                yield coupled_comm.barrier()
+                yield coupled_comm.recv(partner_coupled, tag=TAG_VELOCITY)
+
+            # -- particle tracking ---------------------------------------------
+            with ctx.region("trackparticles"):
+                yield ctx.compute(
+                    _jittered(ctx, config.partrace_work_s, config.work_jitter)
+                )
+
+            # -- steering back to Trace ----------------------------------------
+            with ctx.region("sendsteering"):
+                yield coupled_comm.send(
+                    partner_coupled, config.steering_bytes, tag=TAG_STEERING
+                )

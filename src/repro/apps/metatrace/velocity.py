@@ -1,0 +1,92 @@
+"""Trace: the flow submodel (velocity-field computation).
+
+Per coupling interval, a Trace process
+
+1. synchronizes with Partrace and ships its velocity-field chunk
+   (``printtolink`` — "Trace waits at the barrier in function
+   printtolink() ... before Trace unidirectionally sends the velocity
+   field to Partrace");
+2. runs MPI-free assembly work (``finelassdt`` — the function the paper
+   uses to demonstrate the 2× CPU-speed gap between FH-BRS and CAESAR);
+3. iterates the conjugate-gradient solver (``cgiteration``): per-iteration
+   compute, nearest-neighbor halo exchange (isend-all-then-receive,
+   deadlock-free), and two dot-product allreduces on the Trace
+   communicator;
+4. receives steering information back from its Partrace partner
+   (``getsteering``).
+
+The algorithm "assigns the same portion of work to every process", so all
+imbalance comes from CPU-speed differences and jitter.
+"""
+
+from __future__ import annotations
+
+from repro.apps.decomp import CartesianDecomposition
+from repro.apps.metatrace.config import COUPLED_COMM, TRACE_COMM, MetaTraceConfig
+from repro.errors import ConfigurationError
+
+#: Message tags.
+TAG_HALO_BASE = 10  # + dimension index
+TAG_VELOCITY = 20
+TAG_STEERING = 21
+
+
+def _jittered(ctx, work: float, jitter: float) -> float:
+    if jitter <= 0.0 or work <= 0.0:
+        return work
+    return work * float(ctx.rng.uniform(1.0 - jitter, 1.0 + jitter))
+
+
+def trace_process(ctx, config: MetaTraceConfig, decomp: CartesianDecomposition):
+    """Generator body of one Trace process (global rank in trace_ranks)."""
+    trace_comm = ctx.get_comm(TRACE_COMM)
+    coupled_comm = ctx.get_comm(COUPLED_COMM)
+    if trace_comm is None or coupled_comm is None:
+        raise ConfigurationError(
+            f"rank {ctx.rank} runs Trace but lacks the trace/coupled communicators"
+        )
+    my_index = trace_comm.rank
+    partner_global = config.partner_of_trace(my_index)
+    partner_coupled = coupled_comm.data.comm_rank(partner_global)
+    neighbors = decomp.neighbors(my_index)
+
+    with ctx.region("trace_main"):
+        for _interval in range(config.coupling_intervals):
+            # -- coupling: synchronize and ship the velocity field --------
+            with ctx.region("printtolink"):
+                yield coupled_comm.barrier()
+                yield coupled_comm.send(
+                    partner_coupled, config.velocity_chunk_bytes, tag=TAG_VELOCITY
+                )
+
+            # -- MPI-free assembly ------------------------------------------
+            with ctx.region("finelassdt"):
+                yield ctx.compute(
+                    _jittered(ctx, config.finelassdt_work_s, config.work_jitter)
+                )
+
+            # -- CG solve -----------------------------------------------------
+            for _it in range(config.cg_iterations):
+                with ctx.region("cgiteration"):
+                    yield ctx.compute(
+                        _jittered(ctx, config.cg_work_s, config.work_jitter)
+                    )
+                    # Halo exchange: post all sends up front, then receive
+                    # from every neighbor; receives from slower neighbors
+                    # exhibit the Late Sender pattern.
+                    send_handles = []
+                    for dim, _direction, nbr in neighbors:
+                        handle = yield trace_comm.isend(
+                            nbr, config.halo_bytes, tag=TAG_HALO_BASE + dim
+                        )
+                        send_handles.append(handle)
+                    for dim, _direction, nbr in neighbors:
+                        yield trace_comm.recv(nbr, tag=TAG_HALO_BASE + dim)
+                    yield trace_comm.waitall(send_handles)
+                    # Two dot products per CG iteration.
+                    yield trace_comm.allreduce(config.dot_bytes)
+                    yield trace_comm.allreduce(config.dot_bytes)
+
+            # -- steering information from Partrace ------------------------
+            with ctx.region("getsteering"):
+                yield coupled_comm.recv(partner_coupled, tag=TAG_STEERING)

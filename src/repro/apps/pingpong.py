@@ -1,0 +1,84 @@
+"""Ping-pong latency benchmark (Table 1 workload).
+
+Measures one-way message latency between selected rank pairs the way the
+paper measured VIOLA's internal and external networks with MetaMPICH: many
+round trips, half the round-trip time each.  Pairs are exercised one after
+another so measurements do not interfere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class PingPongResults:
+    """Half-RTT samples per measured pair, filled in by the app."""
+
+    samples: Dict[Tuple[int, int], List[float]] = field(default_factory=dict)
+
+    def mean_s(self, pair: Tuple[int, int]) -> float:
+        return float(np.mean(self.samples[pair]))
+
+    def std_s(self, pair: Tuple[int, int]) -> float:
+        return float(np.std(self.samples[pair], ddof=1))
+
+    def summary(self) -> Dict[Tuple[int, int], Tuple[float, float]]:
+        """Pair → (mean, standard deviation) in seconds."""
+        return {pair: (self.mean_s(pair), self.std_s(pair)) for pair in self.samples}
+
+
+def make_pingpong_app(
+    results: PingPongResults,
+    pairs: Sequence[Tuple[int, int]],
+    repetitions: int = 500,
+    size_bytes: int = 64,
+    warmup: int = 10,
+):
+    """Build the benchmark app.
+
+    Parameters
+    ----------
+    results:
+        Output container; ``results.samples[(a, b)]`` receives
+        *repetitions* half-RTT values measured by rank *a*.
+    pairs:
+        ``(initiator, responder)`` global-rank pairs, measured sequentially.
+    warmup:
+        Untimed round trips before sampling (protocol warm-up).
+    """
+    if repetitions < 2:
+        raise ConfigurationError("need at least two repetitions for a std deviation")
+    for a, b in pairs:
+        if a == b:
+            raise ConfigurationError(f"ping-pong pair ({a}, {b}) must be distinct")
+
+    pair_list = [tuple(p) for p in pairs]
+
+    def app(ctx):
+        with ctx.region("pingpong"):
+            for a, b in pair_list:
+                if ctx.rank == a:
+                    with ctx.region(f"measure_{a}_{b}"):
+                        samples: List[float] = []
+                        for i in range(warmup + repetitions):
+                            t0 = ctx.now
+                            yield ctx.comm.send(b, size_bytes, tag=1)
+                            yield ctx.comm.recv(b, tag=2)
+                            if i >= warmup:
+                                samples.append((ctx.now - t0) / 2.0)
+                        results.samples[(a, b)] = samples
+                elif ctx.rank == b:
+                    for _ in range(warmup + repetitions):
+                        yield ctx.comm.recv(a, tag=1)
+                        yield ctx.comm.send(a, size_bytes, tag=2)
+                # All ranks synchronize between pair measurements so the
+                # next pair starts from a quiet network.
+                yield ctx.comm.barrier()
+
+    return app

@@ -1,0 +1,53 @@
+"""Clock substrate and time-stamp synchronization.
+
+Implements the paper's clock model (Figure 1: node-local clocks with both
+initial offset and different constant drifts), the remote-clock-reading
+offset measurement of Cristian, and the three synchronization schemes
+compared in Table 2:
+
+* single flat offset (no drift compensation),
+* two flat offsets + linear interpolation (KOJAK's previous method),
+* two *hierarchical* offsets + linear interpolation (this paper's method).
+"""
+
+from repro.clocks.clock import LinearClock, ClockEnsemble, perfect_clock
+from repro.clocks.measurement import (
+    OffsetMeasurement,
+    measure_offset,
+    OffsetMeasurementConfig,
+)
+from repro.clocks.sync import (
+    LinearConverter,
+    SyncData,
+    NodeSyncRecord,
+    SyncScheme,
+    FlatSingleOffset,
+    FlatInterpolation,
+    HierarchicalInterpolation,
+    SCHEMES,
+)
+from repro.clocks.condition import (
+    ClockConditionChecker,
+    count_violations,
+    MessageStamp,
+)
+
+__all__ = [
+    "LinearClock",
+    "ClockEnsemble",
+    "perfect_clock",
+    "OffsetMeasurement",
+    "measure_offset",
+    "OffsetMeasurementConfig",
+    "LinearConverter",
+    "SyncData",
+    "NodeSyncRecord",
+    "SyncScheme",
+    "FlatSingleOffset",
+    "FlatInterpolation",
+    "HierarchicalInterpolation",
+    "SCHEMES",
+    "ClockConditionChecker",
+    "count_violations",
+    "MessageStamp",
+]

@@ -1,0 +1,140 @@
+"""Linear clock models.
+
+The paper assumes "all clocks have a constant drift and can be described in
+terms of a linear function, based on an initial offset and a constant slope"
+(Section 3).  :class:`LinearClock` is exactly that function::
+
+    local(t) = offset + (1 + drift) * t        [+ reading noise]
+
+where *t* is true (simulation) time.  A drift of ``1e-6`` means the clock
+gains one microsecond per second.  Reading noise models the granularity and
+jitter of the timer register and is small compared to network latencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+from repro.errors import ClockError
+from repro.ids import NodeId
+
+
+@dataclass(frozen=True)
+class LinearClock:
+    """A node-local clock with constant offset and drift.
+
+    Parameters
+    ----------
+    offset_s:
+        Clock value at true time zero, in seconds.
+    drift:
+        Relative rate deviation; the clock advances ``1 + drift`` seconds
+        per true second.  Typical quartz oscillators stay within ±50 ppm
+        (±5e-5); the defaults used by :class:`ClockEnsemble` draw a few ppm.
+    noise_s:
+        Standard deviation of per-reading Gaussian noise.  Zero by default
+        so that a clock read is a pure function of true time.
+    """
+
+    offset_s: float = 0.0
+    drift: float = 0.0
+    noise_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.drift <= -1.0:
+            raise ClockError(f"drift must be > -1 (clock must advance): {self.drift}")
+        if self.noise_s < 0.0:
+            raise ClockError(f"noise must be non-negative: {self.noise_s}")
+
+    def local_time(self, true_time: float) -> float:
+        """Deterministic local clock value at *true_time*."""
+        return self.offset_s + (1.0 + self.drift) * true_time
+
+    def read(self, true_time: float, rng: Optional[np.random.Generator] = None) -> float:
+        """Read the clock, adding reading noise when an *rng* is supplied."""
+        value = self.local_time(true_time)
+        if rng is not None and self.noise_s > 0.0:
+            value += rng.normal(0.0, self.noise_s)
+        return value
+
+    def true_time(self, local: float) -> float:
+        """Invert the deterministic clock function (ground truth only).
+
+        Real tools never have this; it exists so tests can compare a
+        synchronization scheme's output against the truth.
+        """
+        return (local - self.offset_s) / (1.0 + self.drift)
+
+    def offset_to(self, other: "LinearClock", true_time: float) -> float:
+        """True instantaneous offset ``self - other`` at *true_time*."""
+        return self.local_time(true_time) - other.local_time(true_time)
+
+
+def perfect_clock() -> LinearClock:
+    """A clock identical to true time (used for single-node references)."""
+    return LinearClock(0.0, 0.0, 0.0)
+
+
+class ClockEnsemble:
+    """The set of node clocks of a metacomputer run.
+
+    All CPUs of one node share a clock ("we assume that time stamps taken on
+    the same node are already synchronized"), so the ensemble is keyed by
+    :class:`~repro.ids.NodeId`.
+    """
+
+    def __init__(self, clocks: Dict[NodeId, LinearClock]) -> None:
+        if not clocks:
+            raise ClockError("clock ensemble must contain at least one clock")
+        self._clocks = dict(clocks)
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._clocks
+
+    def __len__(self) -> int:
+        return len(self._clocks)
+
+    def nodes(self) -> Iterable[NodeId]:
+        return self._clocks.keys()
+
+    def clock(self, node: NodeId) -> LinearClock:
+        try:
+            return self._clocks[node]
+        except KeyError:
+            raise ClockError(f"no clock for node {node}") from None
+
+    def local_time(self, node: NodeId, true_time: float) -> float:
+        return self.clock(node).local_time(true_time)
+
+    @classmethod
+    def random(
+        cls,
+        nodes: Iterable[NodeId],
+        rng: np.random.Generator,
+        offset_scale_s: float = 5e-3,
+        drift_scale: float = 2e-6,
+        noise_s: float = 0.0,
+    ) -> "ClockEnsemble":
+        """Draw independent offsets and drifts for every node.
+
+        Offsets are uniform in ``±offset_scale_s`` and drifts uniform in
+        ``±drift_scale``; both defaults match commodity clusters without
+        hardware synchronization.
+        """
+        clocks = {
+            node: LinearClock(
+                offset_s=float(rng.uniform(-offset_scale_s, offset_scale_s)),
+                drift=float(rng.uniform(-drift_scale, drift_scale)),
+                noise_s=noise_s,
+            )
+            for node in nodes
+        }
+        return cls(clocks)
+
+    @classmethod
+    def synchronized(cls, nodes: Iterable[NodeId]) -> "ClockEnsemble":
+        """An ensemble where every node has a perfect clock (global clock)."""
+        return cls({node: perfect_clock() for node in nodes})

@@ -1,0 +1,156 @@
+"""Remote clock reading: ping-pong offset measurements.
+
+Implements the measurement primitive both synchronization generations rely
+on (paper Section 3: "carried out according to the remote clock reading
+technique [Cristian]"): the master sends a request, the slave answers with
+its current clock value, and the master brackets the reply between two of
+its own readings::
+
+    m1 ---- d_fwd ----> s ---- d_bwd ----> m2
+
+The slave-minus-master offset estimate is ``s - (m1 + m2) / 2``; its error
+is ``(d_bwd - d_fwd) / 2``, i.e. half the latency *asymmetry* of that
+particular exchange.  Repeating the exchange and keeping the reply with the
+smallest round-trip time bounds the error by half the observed RTT spread —
+which is why offset measurements across a high-jitter external link are
+fundamentally less precise than across an internal link, the observation
+motivating the paper's hierarchical scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.clocks.clock import LinearClock
+from repro.errors import MeasurementError
+from repro.ids import NodeId
+from repro.topology.network import LatencyModel
+
+
+@dataclass(frozen=True)
+class OffsetMeasurementConfig:
+    """Tunables of one offset measurement.
+
+    Parameters
+    ----------
+    exchanges:
+        Number of ping-pongs; the minimum-RTT exchange is kept.  KOJAK-era
+        tools used a handful of exchanges to keep startup cost low.
+    payload_bytes:
+        Size of the probe messages (clock value + header).
+    """
+
+    exchanges: int = 8
+    payload_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        if self.exchanges < 1:
+            raise MeasurementError(f"need at least one exchange: {self.exchanges}")
+        if self.payload_bytes < 0:
+            raise MeasurementError(f"payload must be non-negative: {self.payload_bytes}")
+
+
+@dataclass(frozen=True)
+class OffsetMeasurement:
+    """Result of one remote clock reading between two nodes.
+
+    Attributes
+    ----------
+    node / reference:
+        The measured (slave) node and the reference (master) node.
+    offset_s:
+        Estimated offset *slave_local − reference_local* at the measurement
+        instant.
+    reference_local_s:
+        Reference-clock local time at the midpoint of the winning exchange.
+        Interpolation anchors offsets at these times.
+    slave_local_s:
+        Slave-clock reading of the winning exchange.
+    rtt_s:
+        Round-trip time of the winning exchange (reference clock units).
+    true_offset_s:
+        Ground-truth offset at the same instant (available only in
+        simulation; used to validate schemes, never used by them).
+    true_time_s:
+        True (simulation) time of the winning exchange's midpoint.
+    """
+
+    node: NodeId
+    reference: NodeId
+    offset_s: float
+    reference_local_s: float
+    slave_local_s: float
+    rtt_s: float
+    true_offset_s: float
+    true_time_s: float
+
+    @property
+    def error_s(self) -> float:
+        """Signed measurement error (estimate − truth)."""
+        return self.offset_s - self.true_offset_s
+
+
+def measure_offset(
+    node: NodeId,
+    reference: NodeId,
+    slave_clock: LinearClock,
+    reference_clock: LinearClock,
+    link: LatencyModel,
+    start_true_time: float,
+    rng: np.random.Generator,
+    config: OffsetMeasurementConfig = OffsetMeasurementConfig(),
+) -> OffsetMeasurement:
+    """Simulate one remote clock reading over *link* starting at *start_true_time*.
+
+    Returns the minimum-RTT exchange.  Exchanges are carried out back to
+    back; the function also works for ``node == reference`` (it then returns
+    a zero offset with zero error, which the hierarchical scheme relies on
+    for the metamaster's own metahost).
+    """
+    if node == reference:
+        local = reference_clock.local_time(start_true_time)
+        return OffsetMeasurement(
+            node=node,
+            reference=reference,
+            offset_s=0.0,
+            reference_local_s=local,
+            slave_local_s=local,
+            rtt_s=0.0,
+            true_offset_s=0.0,
+            true_time_s=start_true_time,
+        )
+
+    best: OffsetMeasurement | None = None
+    t = start_true_time
+    fwd_direction = f"{reference}->{node}"
+    bwd_direction = f"{node}->{reference}"
+    for _ in range(config.exchanges):
+        d_fwd = link.transfer_time(
+            config.payload_bytes, rng, when=t, direction=fwd_direction
+        )
+        d_bwd = link.transfer_time(
+            config.payload_bytes, rng, when=t + d_fwd, direction=bwd_direction
+        )
+        m1 = reference_clock.read(t, rng)
+        slave_at = t + d_fwd
+        s = slave_clock.read(slave_at, rng)
+        m2 = reference_clock.read(t + d_fwd + d_bwd, rng)
+        rtt = m2 - m1
+        if best is None or rtt < best.rtt_s:
+            mid_local = 0.5 * (m1 + m2)
+            mid_true = t + 0.5 * (d_fwd + d_bwd)
+            best = OffsetMeasurement(
+                node=node,
+                reference=reference,
+                offset_s=s - mid_local,
+                reference_local_s=mid_local,
+                slave_local_s=s,
+                rtt_s=rtt,
+                true_offset_s=slave_clock.offset_to(reference_clock, slave_at),
+                true_time_s=mid_true,
+            )
+        t += d_fwd + d_bwd
+    assert best is not None  # exchanges >= 1
+    return best

@@ -1,0 +1,111 @@
+"""JSON (de)serialization of synchronization data.
+
+Offset measurements are part of an experiment's archive — analysis runs
+post mortem, possibly in a different session, so the measurement records
+collected at run time must round-trip through the archive.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.clocks.measurement import OffsetMeasurement
+from repro.clocks.sync import NodeSyncRecord, SyncData
+from repro.errors import ClockError
+from repro.ids import NodeId
+
+
+def _node_to_list(node: NodeId) -> list:
+    return [node.machine, node.node]
+
+
+def _node_from_list(raw: Any) -> NodeId:
+    if not isinstance(raw, (list, tuple)) or len(raw) != 2:
+        raise ClockError(f"malformed node id {raw!r}")
+    return NodeId(int(raw[0]), int(raw[1]))
+
+
+def measurement_to_dict(m: Optional[OffsetMeasurement]) -> Optional[Dict[str, Any]]:
+    if m is None:
+        return None
+    return {
+        "node": _node_to_list(m.node),
+        "reference": _node_to_list(m.reference),
+        "offset_s": m.offset_s,
+        "reference_local_s": m.reference_local_s,
+        "slave_local_s": m.slave_local_s,
+        "rtt_s": m.rtt_s,
+        "true_offset_s": m.true_offset_s,
+        "true_time_s": m.true_time_s,
+    }
+
+
+def measurement_from_dict(raw: Optional[Dict[str, Any]]) -> Optional[OffsetMeasurement]:
+    if raw is None:
+        return None
+    try:
+        return OffsetMeasurement(
+            node=_node_from_list(raw["node"]),
+            reference=_node_from_list(raw["reference"]),
+            offset_s=float(raw["offset_s"]),
+            reference_local_s=float(raw["reference_local_s"]),
+            slave_local_s=float(raw["slave_local_s"]),
+            rtt_s=float(raw["rtt_s"]),
+            true_offset_s=float(raw["true_offset_s"]),
+            true_time_s=float(raw["true_time_s"]),
+        )
+    except KeyError as exc:
+        raise ClockError(f"measurement dict missing key {exc}") from exc
+
+
+def sync_data_to_dict(data: SyncData) -> Dict[str, Any]:
+    return {
+        "master_node": _node_to_list(data.master_node),
+        "local_masters": {
+            str(machine): _node_to_list(node)
+            for machine, node in data.local_masters.items()
+        },
+        "global_clock_machines": sorted(data.global_clock_machines),
+        "records": [
+            {
+                "node": _node_to_list(rec.node),
+                "machine": rec.machine,
+                "flat_start": measurement_to_dict(rec.flat_start),
+                "flat_end": measurement_to_dict(rec.flat_end),
+                "local_start": measurement_to_dict(rec.local_start),
+                "local_end": measurement_to_dict(rec.local_end),
+                "meta_start": measurement_to_dict(rec.meta_start),
+                "meta_end": measurement_to_dict(rec.meta_end),
+            }
+            for rec in data.records.values()
+        ],
+    }
+
+
+def sync_data_from_dict(raw: Dict[str, Any]) -> SyncData:
+    try:
+        data = SyncData(
+            master_node=_node_from_list(raw["master_node"]),
+            local_masters={
+                int(machine): _node_from_list(node)
+                for machine, node in raw["local_masters"].items()
+            },
+            global_clock_machines=frozenset(
+                int(m) for m in raw.get("global_clock_machines", [])
+            ),
+        )
+        for entry in raw["records"]:
+            rec = NodeSyncRecord(
+                node=_node_from_list(entry["node"]),
+                machine=int(entry["machine"]),
+                flat_start=measurement_from_dict(entry.get("flat_start")),
+                flat_end=measurement_from_dict(entry.get("flat_end")),
+                local_start=measurement_from_dict(entry.get("local_start")),
+                local_end=measurement_from_dict(entry.get("local_end")),
+                meta_start=measurement_from_dict(entry.get("meta_start")),
+                meta_end=measurement_from_dict(entry.get("meta_end")),
+            )
+            data.records[rec.node] = rec
+    except KeyError as exc:
+        raise ClockError(f"sync data dict missing key {exc}") from exc
+    return data

@@ -1,0 +1,389 @@
+"""Time-stamp synchronization schemes.
+
+Post-mortem trace analysis needs all event time stamps expressed in one
+global time base — conventionally the clock of the node hosting rank zero
+("master time").  Three schemes are implemented, matching the three rows of
+the paper's Table 2:
+
+``FlatSingleOffset``
+    One offset measurement per node against the master at program start;
+    no drift compensation.
+
+``FlatInterpolation``
+    Two offset measurements (program start and end) per node against the
+    master; linear interpolation removes constant drift.  This is KOJAK's
+    previous, *flat* method: every slave contacts the master directly, so
+    slaves of a remote metahost inherit the (large) external-link
+    measurement error — and their offsets *relative to each other* can be
+    wrong at the scale of that error, which exceeds internal latencies.
+
+``HierarchicalInterpolation``
+    The paper's contribution.  Each metahost appoints a local master; one
+    metamaster is chosen among the local masters.  Local masters measure
+    against the metamaster (external link, larger error), slaves measure
+    against their local master (internal link, small error), and the two
+    linear corrections compose.  Slaves of one metahost share the same
+    inter-metahost correction, so their *relative* offsets only carry
+    internal-link error.  If a metahost has a hardware global clock the
+    slave step is skipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.clocks.clock import ClockEnsemble
+from repro.clocks.measurement import (
+    OffsetMeasurement,
+    OffsetMeasurementConfig,
+    measure_offset,
+)
+from repro.errors import ClockError
+from repro.ids import Location, NodeId
+from repro.topology.metacomputer import Metacomputer
+
+
+@dataclass(frozen=True)
+class LinearConverter:
+    """Affine map from one clock's local time to another's: ``out = slope*t + intercept``."""
+
+    slope: float = 1.0
+    intercept: float = 0.0
+
+    def convert(self, local: float) -> float:
+        return self.slope * local + self.intercept
+
+    def then(self, outer: "LinearConverter") -> "LinearConverter":
+        """Composition ``outer(self(t))``."""
+        return LinearConverter(
+            slope=outer.slope * self.slope,
+            intercept=outer.slope * self.intercept + outer.intercept,
+        )
+
+    @staticmethod
+    def identity() -> "LinearConverter":
+        return LinearConverter(1.0, 0.0)
+
+    @staticmethod
+    def from_single_offset(measurement: OffsetMeasurement) -> "LinearConverter":
+        """Reference time ≈ local − offset, with unit slope (no drift model)."""
+        return LinearConverter(1.0, -measurement.offset_s)
+
+    @staticmethod
+    def from_interpolation(
+        start: OffsetMeasurement, end: OffsetMeasurement
+    ) -> "LinearConverter":
+        """Linear interpolation between two offset measurements.
+
+        With offsets ``o1`` at slave-local ``s1`` and ``o2`` at ``s2``::
+
+            ref(s) = s - [ o1 + (o2 - o1) * (s - s1) / (s2 - s1) ]
+
+        which is affine in ``s``.  Falls back to the single-offset form when
+        the two anchors coincide.
+        """
+        s1, s2 = start.slave_local_s, end.slave_local_s
+        if s2 == s1:
+            return LinearConverter.from_single_offset(start)
+        gradient = (end.offset_s - start.offset_s) / (s2 - s1)
+        # ref(s) = s - o1 - gradient*(s - s1) = (1 - gradient)*s + (gradient*s1 - o1)
+        return LinearConverter(1.0 - gradient, gradient * s1 - start.offset_s)
+
+
+@dataclass
+class NodeSyncRecord:
+    """All offset measurements collected for one node.
+
+    ``flat_*`` entries are against the global master (used by the flat
+    schemes); ``local_*`` against the node's local master and ``meta_*``
+    (local masters only) against the metamaster (used by the hierarchical
+    scheme).
+    """
+
+    node: NodeId
+    machine: int
+    flat_start: Optional[OffsetMeasurement] = None
+    flat_end: Optional[OffsetMeasurement] = None
+    local_start: Optional[OffsetMeasurement] = None
+    local_end: Optional[OffsetMeasurement] = None
+    meta_start: Optional[OffsetMeasurement] = None
+    meta_end: Optional[OffsetMeasurement] = None
+
+
+@dataclass
+class SyncData:
+    """Everything a synchronization scheme may consume.
+
+    Attributes
+    ----------
+    master_node:
+        Node hosting the process with rank zero; its clock defines master
+        time.  It is also the metamaster of the hierarchical scheme.
+    records:
+        Per-node measurement records.
+    local_masters:
+        Mapping machine index → node acting as that metahost's local master.
+    global_clock_machines:
+        Machines whose nodes share a hardware-synchronized clock; the
+        hierarchical scheme skips the slave step there.
+    """
+
+    master_node: NodeId
+    records: Dict[NodeId, NodeSyncRecord] = field(default_factory=dict)
+    local_masters: Dict[int, NodeId] = field(default_factory=dict)
+    global_clock_machines: frozenset = frozenset()
+
+    def record(self, node: NodeId) -> NodeSyncRecord:
+        try:
+            return self.records[node]
+        except KeyError:
+            raise ClockError(f"no synchronization record for node {node}") from None
+
+    def nodes(self) -> List[NodeId]:
+        return sorted(self.records)
+
+
+class SyncScheme:
+    """Base class: turns :class:`SyncData` into per-node converters."""
+
+    #: Short identifier used by experiment drivers and Table 2 rows.
+    name: str = "abstract"
+
+    def converters(self, data: SyncData) -> Dict[NodeId, LinearConverter]:
+        raise NotImplementedError
+
+    def convert_all(self, data: SyncData) -> "SynchronizedTime":
+        return SynchronizedTime(self.converters(data))
+
+
+@dataclass
+class SynchronizedTime:
+    """Per-node converters bundled with a convenience lookup."""
+
+    converters: Dict[NodeId, LinearConverter]
+
+    def to_master(self, node: NodeId, local: float) -> float:
+        try:
+            return self.converters[node].convert(local)
+        except KeyError:
+            raise ClockError(f"no converter for node {node}") from None
+
+
+class FlatSingleOffset(SyncScheme):
+    """One start-of-run offset per node, no drift compensation (Table 2 row 1)."""
+
+    name = "single-flat-offset"
+
+    def converters(self, data: SyncData) -> Dict[NodeId, LinearConverter]:
+        out: Dict[NodeId, LinearConverter] = {}
+        for node, rec in data.records.items():
+            if node == data.master_node:
+                out[node] = LinearConverter.identity()
+                continue
+            if rec.flat_start is None:
+                raise ClockError(f"node {node} lacks a flat start measurement")
+            out[node] = LinearConverter.from_single_offset(rec.flat_start)
+        return out
+
+
+class FlatInterpolation(SyncScheme):
+    """Two flat offsets + linear interpolation (Table 2 row 2, KOJAK's method)."""
+
+    name = "two-flat-offsets"
+
+    def converters(self, data: SyncData) -> Dict[NodeId, LinearConverter]:
+        out: Dict[NodeId, LinearConverter] = {}
+        for node, rec in data.records.items():
+            if node == data.master_node:
+                out[node] = LinearConverter.identity()
+                continue
+            if rec.flat_start is None or rec.flat_end is None:
+                raise ClockError(f"node {node} lacks flat start/end measurements")
+            out[node] = LinearConverter.from_interpolation(rec.flat_start, rec.flat_end)
+        return out
+
+
+class HierarchicalInterpolation(SyncScheme):
+    """Two hierarchical offsets + linear interpolation (Table 2 row 3, this paper)."""
+
+    name = "two-hierarchical-offsets"
+
+    def converters(self, data: SyncData) -> Dict[NodeId, LinearConverter]:
+        # First build local-master -> metamaster converters.
+        meta_conv: Dict[int, LinearConverter] = {}
+        for machine, local_master in data.local_masters.items():
+            if local_master == data.master_node:
+                meta_conv[machine] = LinearConverter.identity()
+                continue
+            rec = data.record(local_master)
+            if rec.meta_start is None or rec.meta_end is None:
+                raise ClockError(
+                    f"local master {local_master} lacks metamaster measurements"
+                )
+            meta_conv[machine] = LinearConverter.from_interpolation(
+                rec.meta_start, rec.meta_end
+            )
+
+        out: Dict[NodeId, LinearConverter] = {}
+        for node, rec in data.records.items():
+            machine_converter = meta_conv.get(rec.machine)
+            if machine_converter is None:
+                raise ClockError(f"machine {rec.machine} has no local master")
+            if (
+                node == data.local_masters[rec.machine]
+                or rec.machine in data.global_clock_machines
+            ):
+                # Local masters (and every node of a globally-clocked
+                # metahost) convert straight to metamaster time.
+                out[node] = machine_converter
+                continue
+            if rec.local_start is None or rec.local_end is None:
+                raise ClockError(f"node {node} lacks local-master measurements")
+            to_local_master = LinearConverter.from_interpolation(
+                rec.local_start, rec.local_end
+            )
+            out[node] = to_local_master.then(machine_converter)
+        return out
+
+
+#: Registry used by experiment drivers (Table 2 rows, in paper order).
+SCHEMES: Tuple[SyncScheme, ...] = (
+    FlatSingleOffset(),
+    FlatInterpolation(),
+    HierarchicalInterpolation(),
+)
+
+
+def collect_sync_data(
+    metacomputer: Metacomputer,
+    machine_nodes: Mapping[int, List[NodeId]],
+    clocks: ClockEnsemble,
+    master_node: NodeId,
+    run_start_s: float,
+    run_end_s: float,
+    rng: np.random.Generator,
+    config: OffsetMeasurementConfig = OffsetMeasurementConfig(),
+) -> SyncData:
+    """Carry out all offset measurements of a run (start and end rounds).
+
+    Parameters
+    ----------
+    machine_nodes:
+        Machine index → ordered list of nodes in use; the *first* node of
+        each machine becomes its local master.  The machine hosting
+        *master_node* must list it first so the metamaster is rank zero's
+        node, matching the paper's convention.
+    run_start_s / run_end_s:
+        True times of the two measurement rounds ("taken at program start
+        and repeated at program end").
+    """
+    if run_end_s < run_start_s:
+        raise ClockError(
+            f"run end {run_end_s} precedes run start {run_start_s}"
+        )
+    local_masters = {}
+    for machine, nodes in machine_nodes.items():
+        if not nodes:
+            raise ClockError(f"machine {machine} has no nodes in use")
+        local_masters[machine] = nodes[0]
+    master_machine = master_node.machine
+    if local_masters.get(master_machine) != master_node:
+        raise ClockError(
+            "master node must be the first node of its machine "
+            f"(got {local_masters.get(master_machine)}, expected {master_node})"
+        )
+
+    global_clock_machines = frozenset(
+        machine
+        for machine in machine_nodes
+        if metacomputer.metahost(machine).has_global_clock
+    )
+
+    data = SyncData(
+        master_node=master_node,
+        local_masters=local_masters,
+        global_clock_machines=global_clock_machines,
+    )
+
+    def link_model(a: NodeId, b: NodeId):
+        loc_a = Location(a.machine, a.node, 0, 0)
+        loc_b = Location(b.machine, b.node, 0, 0)
+        return metacomputer.latency_model(metacomputer.link_between(loc_a, loc_b))
+
+    master_clock = clocks.clock(master_node)
+
+    for machine, nodes in machine_nodes.items():
+        for node in nodes:
+            data.records[node] = NodeSyncRecord(node=node, machine=machine)
+
+    for round_index, t0 in enumerate((run_start_s, run_end_s)):
+        # Offset measurements are ping-pongs carried out one after another;
+        # a small stagger keeps their simulated instants distinct.
+        stagger = 0.0
+        for machine, nodes in sorted(machine_nodes.items()):
+            local_master = local_masters[machine]
+            lm_clock = clocks.clock(local_master)
+            for node in nodes:
+                rec = data.records[node]
+                node_clock = clocks.clock(node)
+                if node != master_node:
+                    flat = measure_offset(
+                        node,
+                        master_node,
+                        node_clock,
+                        master_clock,
+                        link_model(node, master_node),
+                        t0 + stagger,
+                        rng,
+                        config,
+                    )
+                    stagger += config.exchanges * 2.5e-3
+                    if round_index == 0:
+                        rec.flat_start = flat
+                    else:
+                        rec.flat_end = flat
+                if node != local_master and machine not in global_clock_machines:
+                    local = measure_offset(
+                        node,
+                        local_master,
+                        node_clock,
+                        lm_clock,
+                        link_model(node, local_master),
+                        t0 + stagger,
+                        rng,
+                        config,
+                    )
+                    stagger += config.exchanges * 1e-4
+                    if round_index == 0:
+                        rec.local_start = local
+                    else:
+                        rec.local_end = local
+            if local_master != master_node:
+                meta = measure_offset(
+                    local_master,
+                    master_node,
+                    lm_clock,
+                    master_clock,
+                    link_model(local_master, master_node),
+                    t0 + stagger,
+                    rng,
+                    config,
+                )
+                stagger += config.exchanges * 2.5e-3
+                rec = data.records[local_master]
+                if round_index == 0:
+                    rec.meta_start = meta
+                else:
+                    rec.meta_end = meta
+    return data
+
+
+def true_master_time(
+    clocks: ClockEnsemble, master_node: NodeId, node: NodeId, local: float
+) -> float:
+    """Ground-truth conversion of a local stamp to master time (tests only)."""
+    true_t = clocks.clock(node).true_time(local)
+    return clocks.clock(master_node).local_time(true_t)

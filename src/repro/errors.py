@@ -1,0 +1,84 @@
+"""Exception hierarchy for the :mod:`repro` toolkit.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch toolkit failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all toolkit errors."""
+
+
+class TopologyError(ReproError):
+    """Invalid metacomputer topology (unknown metahost, missing link, ...)."""
+
+
+class RoutingError(TopologyError):
+    """No route exists between two locations."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class DeadlockError(SimulationError):
+    """All simulated processes are blocked and no event is pending."""
+
+
+class MPIUsageError(SimulationError):
+    """A simulated MPI call was used incorrectly (bad rank, bad comm, ...)."""
+
+
+class ClockError(ReproError):
+    """Clock-model or synchronization failure."""
+
+
+class MeasurementError(ClockError):
+    """An offset measurement could not be carried out."""
+
+
+class TraceError(ReproError):
+    """Trace data is malformed or inconsistent."""
+
+
+class EncodingError(TraceError):
+    """A trace byte stream could not be encoded or decoded."""
+
+
+class ArchiveError(TraceError):
+    """Experiment-archive layout or manifest problem."""
+
+
+class FileSystemError(ReproError):
+    """Simulated file-system failure (path not visible, already exists, ...)."""
+
+
+class ArchiveCreationAborted(FileSystemError):
+    """The runtime archive-management protocol aborted the measurement.
+
+    Raised when, after the hierarchical creation protocol, at least one
+    process still cannot see an archive directory (paper, Section 4,
+    *Runtime archive management*: "otherwise the application is aborted").
+    """
+
+
+class AnalysisError(ReproError):
+    """Replay analysis failed (unmatched message, malformed trace, ...)."""
+
+
+class PatternError(AnalysisError):
+    """A pattern definition is inconsistent (duplicate name, bad parent)."""
+
+
+class ReportError(ReproError):
+    """Report construction, rendering or algebra failure."""
+
+
+class ExperimentError(ReproError):
+    """An experiment driver was misconfigured."""
+
+
+class ConfigurationError(ReproError):
+    """Runtime configuration problem (missing metahost env vars, ...)."""

@@ -1,0 +1,37 @@
+"""Experiment drivers regenerating every table and figure of the paper."""
+
+from repro.experiments.configs import (
+    experiment1,
+    experiment2,
+    EXPERIMENT1_BLOCKS,
+    EXPERIMENT2_BLOCKS,
+    table3_text,
+)
+from repro.experiments.table1 import Table1Row, run_table1, table1_text
+from repro.experiments.table2 import Table2Row, run_table2, table2_text
+from repro.experiments.figures import (
+    run_figure1,
+    run_figure3,
+    run_figure4,
+    run_metatrace_experiment,
+    MetaTraceOutcome,
+)
+
+__all__ = [
+    "experiment1",
+    "experiment2",
+    "EXPERIMENT1_BLOCKS",
+    "EXPERIMENT2_BLOCKS",
+    "table3_text",
+    "Table1Row",
+    "run_table1",
+    "table1_text",
+    "Table2Row",
+    "run_table2",
+    "table2_text",
+    "run_figure1",
+    "run_figure3",
+    "run_figure4",
+    "run_metatrace_experiment",
+    "MetaTraceOutcome",
+]

@@ -1,0 +1,148 @@
+"""Runtime archive management (paper Section 4).
+
+Guarantees the existence of an archive directory on each metahost without
+assuming a shared file system, using the hierarchical protocol:
+
+1. Rank zero attempts to create a single archive directory; the outcome is
+   broadcast, and everyone aborts early if the creation itself failed.
+2. Each metahost appoints a local master that checks whether it can *see*
+   the directory (i.e. whether the path resolves to storage that actually
+   holds it).  If not — because the path resides on a different file
+   system — the local master creates another one on its own storage.
+3. Every process checks visibility; the results are combined with an
+   all-reduce.  If any process still cannot see an archive directory the
+   measurement is aborted (:class:`~repro.errors.ArchiveCreationAborted`).
+
+The protocol "offers a high degree of scalability because it avoids a
+larger number of simultaneous attempts to create the same directory" —
+we record each step so tests can assert exactly one creation attempt per
+distinct file system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence
+
+from repro.errors import ArchiveCreationAborted, FileSystemError
+from repro.fs.filesystem import MountNamespace
+
+
+@dataclass(frozen=True)
+class ProtocolStep:
+    """One observable action of the archive-management protocol."""
+
+    actor_rank: int
+    machine: int
+    action: str  # "create", "check", "create-local", "allreduce", "abort"
+    detail: str = ""
+
+
+@dataclass
+class ArchiveManagementOutcome:
+    """Result of :func:`ensure_archives`.
+
+    ``archive_fs_of_machine`` maps each metahost to the name of the file
+    system actually holding its archive directory — distinct metahosts may
+    share one (global file system) or each use their own (partial archives).
+    """
+
+    path: str
+    archive_fs_of_machine: Dict[int, str]
+    steps: List[ProtocolStep] = field(default_factory=list)
+
+    @property
+    def partial_archive_count(self) -> int:
+        """Number of distinct physical archives created."""
+        return len(set(self.archive_fs_of_machine.values()))
+
+    @property
+    def creation_attempts(self) -> int:
+        return sum(1 for s in self.steps if s.action in ("create", "create-local"))
+
+
+def ensure_archives(
+    namespaces: Mapping[int, MountNamespace],
+    path: str,
+    ranks_of_machine: Mapping[int, Sequence[int]],
+    root_rank: int = 0,
+) -> ArchiveManagementOutcome:
+    """Run the hierarchical archive-creation protocol.
+
+    Parameters
+    ----------
+    namespaces:
+        Machine index → mount namespace of that metahost.
+    path:
+        The archive directory path (identical string on every metahost).
+    ranks_of_machine:
+        Machine index → ordered ranks living there; the first rank of each
+        machine acts as local master.  The machine of *root_rank* must list
+        it first.
+    """
+    if not namespaces:
+        raise FileSystemError("no mount namespaces supplied")
+    if set(namespaces) != set(ranks_of_machine):
+        raise FileSystemError(
+            "namespace and rank tables cover different machines: "
+            f"{sorted(namespaces)} vs {sorted(ranks_of_machine)}"
+        )
+    root_machine = None
+    for machine, ranks in ranks_of_machine.items():
+        if root_rank in ranks:
+            root_machine = machine
+            if list(ranks)[0] != root_rank:
+                raise FileSystemError(
+                    f"rank {root_rank} must be the local master of machine {machine}"
+                )
+    if root_machine is None:
+        raise FileSystemError(f"root rank {root_rank} not placed on any machine")
+
+    outcome = ArchiveManagementOutcome(path=path, archive_fs_of_machine={})
+    steps = outcome.steps
+
+    # Step 1: rank zero creates the archive directory and broadcasts.
+    root_ns = namespaces[root_machine]
+    try:
+        root_ns.create_dir(path, exist_ok=False)
+    except FileSystemError as exc:
+        steps.append(ProtocolStep(root_rank, root_machine, "abort", str(exc)))
+        raise ArchiveCreationAborted(
+            f"rank {root_rank} could not create archive {path}: {exc}"
+        ) from exc
+    steps.append(
+        ProtocolStep(root_rank, root_machine, "create", root_ns.resolve(path).name)
+    )
+
+    # Step 2: each local master checks visibility and creates a partial
+    # archive when the root's directory lives on foreign storage.
+    for machine in sorted(ranks_of_machine):
+        local_master = list(ranks_of_machine[machine])[0]
+        ns = namespaces[machine]
+        visible = ns.is_dir(path)
+        steps.append(
+            ProtocolStep(local_master, machine, "check", "visible" if visible else "missing")
+        )
+        if not visible:
+            ns.create_dir(path, exist_ok=False)
+            steps.append(
+                ProtocolStep(local_master, machine, "create-local", ns.resolve(path).name)
+            )
+
+    # Step 3: every process verifies visibility; all-reduce of the outcomes.
+    all_ok = True
+    for machine in sorted(ranks_of_machine):
+        ns = namespaces[machine]
+        for rank in ranks_of_machine[machine]:
+            if not ns.is_dir(path):
+                all_ok = False
+                steps.append(ProtocolStep(rank, machine, "abort", "archive invisible"))
+    steps.append(ProtocolStep(root_rank, root_machine, "allreduce", f"ok={all_ok}"))
+    if not all_ok:
+        raise ArchiveCreationAborted(
+            f"at least one process cannot see an archive directory at {path}"
+        )
+
+    for machine in sorted(ranks_of_machine):
+        outcome.archive_fs_of_machine[machine] = namespaces[machine].resolve(path).name
+    return outcome

@@ -1,0 +1,11 @@
+"""Instrumentation: turns simulated execution into local event traces.
+
+The paper's applications were instrumented "by inserting directives which
+were automatically translated into tracing API calls by a preprocessor";
+here the simulator calls the tracing API directly through the hook
+interface of :class:`~repro.instrument.tracer.Tracer`.
+"""
+
+from repro.instrument.tracer import Tracer
+
+__all__ = ["Tracer"]

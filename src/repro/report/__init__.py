@@ -1,0 +1,44 @@
+"""Result presentation and cross-experiment algebra.
+
+Renders the three panels of the paper's Figure 6 as text trees — metric
+hierarchy, call tree, system (metahost / node / process) tree — and
+implements the cross-experiment algebra (difference / merge / mean) of
+Song et al. that the paper names as planned future work for the parallel
+analyzer (Section 6).
+"""
+
+from repro.report.render import (
+    render_metric_tree,
+    render_call_tree,
+    render_system_tree,
+    render_analysis,
+)
+from repro.report.algebra import (
+    ExperimentData,
+    canonicalize,
+    diff,
+    merge,
+    mean,
+    render_comparison,
+)
+from repro.report.serialize import result_to_dict, experiment_to_dict, experiment_from_dict
+from repro.report.timeline import render_timeline, render_result_timeline, TimelineView
+
+__all__ = [
+    "render_metric_tree",
+    "render_call_tree",
+    "render_system_tree",
+    "render_analysis",
+    "ExperimentData",
+    "canonicalize",
+    "diff",
+    "merge",
+    "mean",
+    "render_comparison",
+    "result_to_dict",
+    "experiment_to_dict",
+    "experiment_from_dict",
+    "render_timeline",
+    "render_result_timeline",
+    "TimelineView",
+]

@@ -1,0 +1,175 @@
+"""ASCII timeline rendering (a minimal VAMPIR-style time-line display).
+
+The related work the paper builds on (VAMPIR, Paraver — Section 3) centers
+on "a zoomable time-line display that allows the fine-grained investigation
+of parallel performance behavior".  This module renders one: each rank is a
+row; time is quantized into character cells; each cell shows the innermost
+region active for the majority of the cell (user regions by initial, MPI
+waits highlighted).  It operates on analyzer timelines, so the stamps are
+already synchronized — rendering a raw (unsynchronized) trace would smear
+the picture, which is in itself a useful demonstration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.instances import ProcessTimeline
+from repro.analysis.patterns.base import classify_region
+from repro.errors import ReportError
+from repro.trace.regions import RegionRegistry
+
+#: Cell glyphs for MPI activity classes.
+GLYPH_P2P = "m"
+GLYPH_COLLECTIVE = "C"
+GLYPH_SYNC = "B"
+GLYPH_IDLE = "."
+
+
+@dataclass
+class TimelineView:
+    """One rendered timeline: rows of cells plus a legend."""
+
+    start: float
+    end: float
+    columns: int
+    rows: Dict[int, str]
+    legend: Dict[str, str]
+
+    def render(self) -> str:
+        span_ms = (self.end - self.start) * 1e3
+        lines = [
+            f"timeline {self.start:.3f}s .. {self.end:.3f}s "
+            f"({span_ms:.1f} ms, {self.columns} cells)"
+        ]
+        for rank in sorted(self.rows):
+            lines.append(f"rank {rank:3d} |{self.rows[rank]}|")
+        if self.legend:
+            lines.append("legend: " + ", ".join(
+                f"{glyph}={name}" for glyph, name in sorted(self.legend.items())
+            ))
+        lines.append(
+            f"        ({GLYPH_P2P}=p2p MPI, {GLYPH_COLLECTIVE}=collective, "
+            f"{GLYPH_SYNC}=barrier, {GLYPH_IDLE}=outside regions)"
+        )
+        return "\n".join(lines)
+
+
+def _interval_cells(
+    spans: List[Tuple[float, float, str]],
+    start: float,
+    cell: float,
+    columns: int,
+) -> str:
+    """Majority glyph per cell from (begin, end, glyph) spans."""
+    weights: List[Dict[str, float]] = [dict() for _ in range(columns)]
+    for begin, end, glyph in spans:
+        if end <= start:
+            continue
+        first = max(0, int((begin - start) / cell))
+        last = min(columns - 1, int((end - start) / cell))
+        for index in range(first, last + 1):
+            cell_begin = start + index * cell
+            cell_end = cell_begin + cell
+            overlap = min(end, cell_end) - max(begin, cell_begin)
+            if overlap > 0:
+                weights[index][glyph] = weights[index].get(glyph, 0.0) + overlap
+    out = []
+    for cell_weights in weights:
+        if not cell_weights:
+            out.append(GLYPH_IDLE)
+        else:
+            out.append(max(cell_weights, key=cell_weights.get))  # type: ignore[arg-type]
+    return "".join(out)
+
+
+def render_timeline(
+    timelines: Dict[int, ProcessTimeline],
+    regions: RegionRegistry,
+    callpaths,
+    columns: int = 72,
+    start: Optional[float] = None,
+    end: Optional[float] = None,
+    ranks: Optional[List[int]] = None,
+) -> TimelineView:
+    """Render the given ranks' activity between *start* and *end*.
+
+    MPI calls render as class glyphs (p2p / collective / barrier); user
+    regions render as their name's first letter, with a legend.  Requires
+    timelines built by the analyzer (synchronized stamps).
+    """
+    if not timelines:
+        raise ReportError("no timelines to render")
+    if columns < 8:
+        raise ReportError(f"need at least 8 columns, got {columns}")
+    pool = sorted(timelines) if ranks is None else list(ranks)
+    for rank in pool:
+        if rank not in timelines:
+            raise ReportError(f"no timeline for rank {rank}")
+    t0 = min(timelines[r].first_time for r in pool) if start is None else start
+    t1 = max(timelines[r].last_time for r in pool) if end is None else end
+    if t1 <= t0:
+        raise ReportError(f"empty time window [{t0}, {t1}]")
+    cell = (t1 - t0) / columns
+
+    legend: Dict[str, str] = {}
+    rows: Dict[int, str] = {}
+    for rank in pool:
+        timeline = timelines[rank]
+        spans: List[Tuple[float, float, str]] = []
+        # MPI ops are explicit instances.
+        for op in timeline.mpi_ops:
+            leaf = classify_region(op.op_name)
+            if leaf == "mpi-point-to-point":
+                glyph = GLYPH_P2P
+            elif leaf == "mpi-collective":
+                glyph = GLYPH_COLLECTIVE
+            elif leaf == "mpi-synchronization":
+                glyph = GLYPH_SYNC
+            else:
+                glyph = GLYPH_P2P
+            spans.append((op.enter, op.exit, glyph))
+        # User regions: approximate by the innermost frame of each call
+        # path with exclusive time, spread over the rank's whole window —
+        # exact intervals would require keeping raw events; instead mark
+        # the deepest user region per op gap via callpath lookups.  For a
+        # faithful picture we reconstruct user spans from op boundaries:
+        user_name = _dominant_user_region(timeline, regions, callpaths)
+        if user_name:
+            glyph = user_name[0].lower()
+            if glyph in (GLYPH_P2P, GLYPH_COLLECTIVE, GLYPH_SYNC, GLYPH_IDLE):
+                glyph = glyph.upper() if glyph.upper() not in ("C", "B") else "u"
+            legend.setdefault(glyph, user_name)
+            # Fill gaps between MPI ops with the dominant user region.
+            cursor = timeline.first_time
+            for op in sorted(timeline.mpi_ops, key=lambda o: o.enter):
+                if op.enter > cursor:
+                    spans.append((cursor, op.enter, glyph))
+                cursor = max(cursor, op.exit)
+            if timeline.last_time > cursor:
+                spans.append((cursor, timeline.last_time, glyph))
+        rows[rank] = _interval_cells(spans, t0, cell, columns)
+    return TimelineView(start=t0, end=t1, columns=columns, rows=rows, legend=legend)
+
+
+def _dominant_user_region(
+    timeline: ProcessTimeline, regions: RegionRegistry, callpaths
+) -> Optional[str]:
+    """Name of the user region with the most exclusive time on this rank."""
+    best_name = None
+    best_value = 0.0
+    for cpid, value in timeline.exclusive_time.items():
+        name = regions.name_of(callpaths.path(cpid).region)
+        if classify_region(name) is None and value > best_value:
+            best_name = name
+            best_value = value
+    return best_name
+
+
+def render_result_timeline(result, **kwargs) -> str:
+    """Convenience: timeline straight from an :class:`AnalysisResult`."""
+    view = render_timeline(
+        result.timelines, result.definitions.regions, result.callpaths, **kwargs
+    )
+    return view.render()

@@ -1,0 +1,209 @@
+"""Cost models for collective operations.
+
+Collectives are simulated centrally: once every rank of the communicator
+has entered the operation, per-rank exit times are computed from the enter
+times plus an algorithmic cost model.  The models are deliberately simple
+(logarithmic latency terms, bandwidth terms on the slowest link spanned by
+the communicator) — the wait-state patterns depend on the *synchronization
+semantics*, which are modeled exactly:
+
+* n-to-n operations (allreduce, allgather, alltoall, barrier): no rank can
+  finish before the last rank has started (→ *Wait at N×N* / *Wait at
+  Barrier*).
+* 1-to-n operations (bcast, scatter): no non-root can finish before the
+  root has started (→ *Late Broadcast*).
+* n-to-1 operations (reduce, gather): the root cannot finish before the
+  last rank has started; non-roots leave after injecting their data
+  (→ *Early Reduce*).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.errors import MPIUsageError
+from repro.ids import Location
+from repro.sim.transfer import SimParams
+from repro.topology.metacomputer import Metacomputer
+
+#: Collective operation names (the MPI region names recorded in traces).
+BARRIER = "MPI_Barrier"
+BCAST = "MPI_Bcast"
+REDUCE = "MPI_Reduce"
+ALLREDUCE = "MPI_Allreduce"
+GATHER = "MPI_Gather"
+ALLGATHER = "MPI_Allgather"
+ALLTOALL = "MPI_Alltoall"
+SCATTER = "MPI_Scatter"
+SCAN = "MPI_Scan"
+
+#: Operations with n-to-n synchronization semantics (Wait at N×N applies).
+N_TO_N_OPS = frozenset({ALLREDUCE, ALLGATHER, ALLTOALL})
+#: Operations with 1-to-n semantics (Late Broadcast applies).
+ONE_TO_N_OPS = frozenset({BCAST, SCATTER})
+#: Operations with n-to-1 semantics (Early Reduce applies).
+N_TO_1_OPS = frozenset({REDUCE, GATHER})
+#: Prefix operations: rank i depends on ranks 0..i (Early Scan applies).
+PREFIX_OPS = frozenset({SCAN})
+
+ALL_COLLECTIVES = frozenset(
+    {BARRIER} | N_TO_N_OPS | ONE_TO_N_OPS | N_TO_1_OPS | PREFIX_OPS
+)
+
+
+@dataclass(frozen=True)
+class CollectiveTiming:
+    """Per-rank exit times of one collective instance (keyed by comm rank)."""
+
+    exit_times: Dict[int, float]
+
+
+def comm_alpha_beta(
+    metacomputer: Metacomputer,
+    locations: Sequence[Location],
+    params: SimParams,
+) -> tuple:
+    """Worst-case per-stage latency (alpha) and inverse bandwidth (beta).
+
+    Collective algorithms are dominated by their slowest hop; we use the
+    most expensive link class spanned by the communicator.
+    """
+    alpha = 0.0
+    inv_bw = 0.0
+    machines = {loc.machine for loc in locations}
+    if len(machines) > 1:
+        machines_sorted = sorted(machines)
+        for i, a in enumerate(machines_sorted):
+            for b in machines_sorted[i + 1 :]:
+                link = metacomputer.external_link(a, b)
+                alpha = max(alpha, link.latency_s)
+                inv_bw = max(inv_bw, 1.0 / link.bandwidth_bps)
+    for machine in machines:
+        link = metacomputer.internal_link(machine)
+        alpha = max(alpha, link.latency_s)
+        inv_bw = max(inv_bw, 1.0 / link.bandwidth_bps)
+    return alpha * params.collective_alpha_factor, inv_bw
+
+
+def _stages(nprocs: int) -> int:
+    return max(1, math.ceil(math.log2(max(2, nprocs))))
+
+
+def binomial_depth(comm_rank: int, root: int, nprocs: int) -> int:
+    """Depth of *comm_rank* in a binomial tree rooted at *root*."""
+    distance = (comm_rank - root) % nprocs
+    return max(1, distance.bit_length())
+
+
+def collective_exit_times(
+    op: str,
+    enter_times: Dict[int, float],
+    root: int,
+    size_bytes: int,
+    metacomputer: Metacomputer,
+    locations: Dict[int, Location],
+    params: SimParams,
+) -> CollectiveTiming:
+    """Compute per-rank exit times for one collective instance.
+
+    Parameters
+    ----------
+    op:
+        One of the module's collective name constants.
+    enter_times:
+        Comm-rank → true time the rank entered the operation.  All ranks of
+        the communicator must be present.
+    root:
+        Root comm rank for rooted operations (ignored otherwise).
+    size_bytes:
+        Per-rank payload size.
+    locations:
+        Comm-rank → location, used to derive the spanned link classes.
+    """
+    if op not in ALL_COLLECTIVES:
+        raise MPIUsageError(f"unknown collective operation {op!r}")
+    ranks: List[int] = sorted(enter_times)
+    if not ranks:
+        raise MPIUsageError("collective with empty communicator")
+    if op in ONE_TO_N_OPS or op in N_TO_1_OPS:
+        if root not in enter_times:
+            raise MPIUsageError(f"root {root} not in communicator ranks {ranks}")
+    nprocs = len(ranks)
+    alpha, inv_bw = comm_alpha_beta(
+        metacomputer, [locations[r] for r in ranks], params
+    )
+    stages = _stages(nprocs)
+    last_enter = max(enter_times.values())
+    stage_cost = alpha + size_bytes * inv_bw
+
+    exits: Dict[int, float] = {}
+    if op == BARRIER:
+        # Dissemination barrier: everyone leaves together, one latency round
+        # per stage after the last arrival.
+        finish = last_enter + stages * alpha
+        exits = {r: finish for r in ranks}
+    elif op in N_TO_N_OPS:
+        # Butterfly/recursive-doubling: nobody finishes before the last
+        # entry; log(p) stages each moving the payload.
+        volume_factor = nprocs if op == ALLTOALL else 1
+        finish = last_enter + stages * stage_cost * volume_factor
+        exits = {r: finish for r in ranks}
+    elif op in ONE_TO_N_OPS:
+        # Binomial tree from the root: a non-root may have to wait for the
+        # root to arrive; the root leaves after injecting into the tree.
+        root_enter = enter_times[root]
+        for r in ranks:
+            if r == root:
+                exits[r] = root_enter + stage_cost
+            else:
+                depth = binomial_depth(r, root, nprocs)
+                exits[r] = max(enter_times[r], root_enter) + depth * stage_cost
+    elif op in N_TO_1_OPS:
+        # Non-roots inject and leave; the root must wait for the slowest
+        # contributor.
+        for r in ranks:
+            if r == root:
+                exits[r] = last_enter + stages * stage_cost
+            else:
+                exits[r] = enter_times[r] + stage_cost
+    elif op in PREFIX_OPS:
+        # Prefix reduction: rank i cannot finish before every lower rank
+        # has started (its result depends on their contributions).
+        for r in ranks:
+            prefix_last = max(enter_times[j] for j in ranks if j <= r)
+            exits[r] = max(enter_times[r], prefix_last) + stages * stage_cost
+    # Exit must never precede entry.
+    for r in ranks:
+        exits[r] = max(exits[r], enter_times[r])
+    return CollectiveTiming(exit_times=exits)
+
+
+def bytes_moved(op: str, size_bytes: int, nprocs: int, comm_rank: int, root: int) -> tuple:
+    """(sent, received) byte counts recorded in a rank's COLLEXIT event.
+
+    Mirrors the bookkeeping of EPILOG collective-exit records; the pattern
+    analysis itself only needs the op semantics, but reports use the
+    volumes.
+    """
+    if op == BARRIER:
+        return (0, 0)
+    if op in N_TO_N_OPS:
+        if op == ALLTOALL:
+            return (size_bytes * (nprocs - 1), size_bytes * (nprocs - 1))
+        return (size_bytes, size_bytes * (nprocs - 1))
+    if op in ONE_TO_N_OPS:
+        if comm_rank == root:
+            return (size_bytes * (nprocs - 1), 0)
+        return (0, size_bytes)
+    if op in N_TO_1_OPS:
+        if comm_rank == root:
+            return (0, size_bytes * (nprocs - 1))
+        return (size_bytes, 0)
+    if op in PREFIX_OPS:
+        # Each rank forwards its prefix once and receives one contribution.
+        sent = size_bytes if comm_rank < nprocs - 1 else 0
+        recvd = size_bytes if comm_rank > 0 else 0
+        return (sent, recvd)
+    raise MPIUsageError(f"unknown collective operation {op!r}")

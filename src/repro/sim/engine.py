@@ -1,0 +1,110 @@
+"""Minimal deterministic discrete-event engine.
+
+A binary heap of ``(time, sequence, callback)`` entries.  The sequence
+number breaks ties in insertion order, which — together with seeding every
+random draw from one :class:`numpy.random.Generator` — makes entire
+simulations bit-reproducible from a single seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class _Entry:
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Cancelable reference to a scheduled callback."""
+
+    __slots__ = ("_entry",)
+
+    def __init__(self, entry: _Entry) -> None:
+        self._entry = entry
+
+    def cancel(self) -> None:
+        self._entry.cancelled = True
+
+    @property
+    def time(self) -> float:
+        return self._entry.time
+
+    @property
+    def cancelled(self) -> bool:
+        return self._entry.cancelled
+
+
+class Engine:
+    """The event loop.  Time is in (true) seconds and never runs backwards."""
+
+    def __init__(self) -> None:
+        self._heap: List[_Entry] = []
+        self._seq = 0
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current true simulation time in seconds."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of callbacks executed so far (engine statistics)."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Run *callback* ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past: delay={delay}")
+        return self.schedule_at(self._now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> EventHandle:
+        """Run *callback* at absolute time *time* (must not precede now)."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past: t={time} < now={self._now}"
+            )
+        entry = _Entry(time=time, seq=self._seq, callback=callback)
+        self._seq += 1
+        heapq.heappush(self._heap, entry)
+        return EventHandle(entry)
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Process events in time order.
+
+        Stops when the heap is empty, when the next event lies beyond
+        *until*, or after *max_events* callbacks (a runaway-loop backstop).
+        """
+        executed = 0
+        while self._heap:
+            if until is not None and self._heap[0].time > until:
+                self._now = until
+                return
+            entry = heapq.heappop(self._heap)
+            if entry.cancelled:
+                continue
+            self._now = entry.time
+            entry.callback()
+            self._processed += 1
+            executed += 1
+            if max_events is not None and executed >= max_events:
+                raise SimulationError(
+                    f"simulation exceeded {max_events} events — likely livelock"
+                )
+
+    def empty(self) -> bool:
+        return all(e.cancelled for e in self._heap)

@@ -1,0 +1,1449 @@
+"""The simulated MPI world.
+
+Applications are generator functions ``def app(ctx): ... yield ...`` that
+yield *request* objects built by their :class:`Context`:
+
+* ``yield ctx.compute(work)`` — busy CPU time (scaled by the CPU's speed
+  factor, so the same work takes twice as long on a half-speed metahost);
+* ``msg = yield ctx.comm.recv(source, tag)`` — blocking receive;
+* ``yield ctx.comm.send(dest, size, tag)`` — blocking standard send (eager
+  below the threshold, rendezvous above);
+* ``h = yield ctx.comm.isend(...)`` / ``yield ctx.comm.wait(h)`` — the
+  non-blocking forms;
+* ``yield ctx.comm.barrier()`` / ``allreduce`` / ``bcast`` / … — collectives.
+
+Naming follows mpi4py's lowercase conventions.  The world owns the event
+engine, the message-matching queues (MPI semantics: per-communicator, FIFO,
+``ANY_SOURCE``/``ANY_TAG`` wildcards, non-overtaking delivery), and the
+instrumentation hooks that turn simulated MPI activity into trace events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import DeadlockError, MPIUsageError, SimulationError
+from repro.ids import ANY_SOURCE, ANY_TAG, Location, node_of
+from repro.sim import collectives as coll
+from repro.sim.engine import Engine
+from repro.sim.process import AppGenerator, SimProcess
+from repro.sim.transfer import ChannelClock, SimParams
+from repro.topology.metacomputer import Metacomputer, Placement, ProcessSlot
+
+# --------------------------------------------------------------------------
+# Requests yielded by application generators
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ComputeReq:
+    """Busy CPU time in *wall* seconds (already speed-scaled)."""
+
+    seconds: float
+
+
+@dataclass(frozen=True)
+class SendReq:
+    comm_id: int
+    dest: int  # comm rank
+    size: int
+    tag: int
+    data: Any = None
+    #: Synchronous mode (MPI_Ssend): always rendezvous, completes only
+    #: after the matching receive started.
+    synchronous: bool = False
+
+
+@dataclass(frozen=True)
+class RecvReq:
+    comm_id: int
+    source: int  # comm rank or ANY_SOURCE
+    tag: int
+
+
+@dataclass(frozen=True)
+class IsendReq:
+    comm_id: int
+    dest: int
+    size: int
+    tag: int
+    data: Any = None
+
+
+@dataclass(frozen=True)
+class IrecvReq:
+    comm_id: int
+    source: int
+    tag: int
+
+
+@dataclass(frozen=True)
+class WaitReq:
+    handle: "RequestHandle"
+
+
+@dataclass(frozen=True)
+class WaitallReq:
+    handles: Tuple["RequestHandle", ...]
+
+
+@dataclass(frozen=True)
+class SendrecvReq:
+    comm_id: int
+    dest: int
+    send_size: int
+    send_tag: int
+    source: int
+    recv_tag: int
+    data: Any = None
+
+
+@dataclass(frozen=True)
+class CollectiveReq:
+    comm_id: int
+    op: str
+    size: int
+    root: int = 0  # comm rank
+    data: Any = None
+
+
+@dataclass(frozen=True)
+class OmpParallelReq:
+    """A fork-join parallel region: per-thread reference work amounts."""
+
+    work_seconds: Tuple[float, ...]
+    region: str
+
+
+@dataclass(frozen=True)
+class SplitReq:
+    """MPI_Comm_split: collective creation of sub-communicators."""
+
+    comm_id: int
+    color: Optional[int]
+    key: int
+
+
+Request = Any  # union of the dataclasses above
+
+
+# --------------------------------------------------------------------------
+# Messages and non-blocking handles
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Message:
+    """A matched point-to-point message as seen by the receiver."""
+
+    source: int  # comm rank within the receiving communicator
+    dest: int  # comm rank
+    tag: int
+    comm_id: int
+    size: int
+    data: Any = None
+    #: True time the sender entered the sending MPI call.
+    send_enter_time: float = 0.0
+    #: True time the SEND trace event was recorded.
+    send_time: float = 0.0
+    #: Global ranks (world), for system-level bookkeeping.
+    source_global: int = 0
+    dest_global: int = 0
+
+
+class RequestHandle:
+    """Handle returned by ``isend``/``irecv``; completed via ``wait``."""
+
+    _next_id = 0
+
+    def __init__(self, kind: str, owner_rank: int) -> None:
+        RequestHandle._next_id += 1
+        self.id = RequestHandle._next_id
+        self.kind = kind  # "send" | "recv"
+        self.owner_rank = owner_rank
+        self.completed = False
+        self.completion_time: Optional[float] = None
+        self.result: Optional[Message] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics
+        state = "done" if self.completed else "pending"
+        return f"RequestHandle(#{self.id} {self.kind} rank={self.owner_rank} {state})"
+
+
+# --------------------------------------------------------------------------
+# Communicators
+# --------------------------------------------------------------------------
+
+
+class CommunicatorData:
+    """Shared (process-independent) communicator state."""
+
+    def __init__(self, comm_id: int, name: str, global_ranks: Sequence[int]) -> None:
+        if len(set(global_ranks)) != len(global_ranks):
+            raise MPIUsageError(f"duplicate ranks in communicator {name!r}")
+        if not global_ranks:
+            raise MPIUsageError(f"communicator {name!r} has no members")
+        self.id = comm_id
+        self.name = name
+        self.global_ranks: Tuple[int, ...] = tuple(global_ranks)
+        self._comm_rank_of: Dict[int, int] = {
+            g: i for i, g in enumerate(self.global_ranks)
+        }
+
+    @property
+    def size(self) -> int:
+        return len(self.global_ranks)
+
+    def comm_rank(self, global_rank: int) -> int:
+        try:
+            return self._comm_rank_of[global_rank]
+        except KeyError:
+            raise MPIUsageError(
+                f"rank {global_rank} is not a member of communicator {self.name!r}"
+            ) from None
+
+    def global_rank(self, comm_rank: int) -> int:
+        if not 0 <= comm_rank < len(self.global_ranks):
+            raise MPIUsageError(
+                f"comm rank {comm_rank} out of range for {self.name!r} "
+                f"(size {self.size})"
+            )
+        return self.global_ranks[comm_rank]
+
+    def contains(self, global_rank: int) -> bool:
+        return global_rank in self._comm_rank_of
+
+
+class Communicator:
+    """A communicator bound to one calling process (mpi4py-style surface)."""
+
+    def __init__(self, data: CommunicatorData, my_global_rank: int) -> None:
+        self.data = data
+        self.my_global_rank = my_global_rank
+        self.rank = data.comm_rank(my_global_rank)
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def name(self) -> str:
+        return self.data.name
+
+    # -- point-to-point request builders ------------------------------------
+
+    def send(self, dest: int, size: int, tag: int = 0, data: Any = None) -> SendReq:
+        self._check_rank(dest)
+        return SendReq(self.data.id, dest, self._check_size(size), tag, data)
+
+    def ssend(self, dest: int, size: int, tag: int = 0, data: Any = None) -> SendReq:
+        """Synchronous send: rendezvous regardless of size (MPI_Ssend)."""
+        self._check_rank(dest)
+        return SendReq(
+            self.data.id, dest, self._check_size(size), tag, data, synchronous=True
+        )
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> RecvReq:
+        if source != ANY_SOURCE:
+            self._check_rank(source)
+        return RecvReq(self.data.id, source, tag)
+
+    def isend(self, dest: int, size: int, tag: int = 0, data: Any = None) -> IsendReq:
+        self._check_rank(dest)
+        return IsendReq(self.data.id, dest, self._check_size(size), tag, data)
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> IrecvReq:
+        if source != ANY_SOURCE:
+            self._check_rank(source)
+        return IrecvReq(self.data.id, source, tag)
+
+    @staticmethod
+    def wait(handle: RequestHandle) -> WaitReq:
+        return WaitReq(handle)
+
+    @staticmethod
+    def waitall(handles: Sequence[RequestHandle]) -> WaitallReq:
+        return WaitallReq(tuple(handles))
+
+    def sendrecv(
+        self,
+        dest: int,
+        send_size: int,
+        send_tag: int = 0,
+        source: int = ANY_SOURCE,
+        recv_tag: int = ANY_TAG,
+        data: Any = None,
+    ) -> SendrecvReq:
+        self._check_rank(dest)
+        if source != ANY_SOURCE:
+            self._check_rank(source)
+        return SendrecvReq(
+            self.data.id, dest, self._check_size(send_size), send_tag, source, recv_tag, data
+        )
+
+    # -- collective request builders -----------------------------------------
+
+    def barrier(self) -> CollectiveReq:
+        return CollectiveReq(self.data.id, coll.BARRIER, 0)
+
+    def bcast(self, size: int, root: int = 0, data: Any = None) -> CollectiveReq:
+        self._check_rank(root)
+        return CollectiveReq(self.data.id, coll.BCAST, self._check_size(size), root, data)
+
+    def reduce(self, size: int, root: int = 0, data: Any = None) -> CollectiveReq:
+        self._check_rank(root)
+        return CollectiveReq(self.data.id, coll.REDUCE, self._check_size(size), root, data)
+
+    def allreduce(self, size: int, data: Any = None) -> CollectiveReq:
+        return CollectiveReq(self.data.id, coll.ALLREDUCE, self._check_size(size), 0, data)
+
+    def gather(self, size: int, root: int = 0, data: Any = None) -> CollectiveReq:
+        self._check_rank(root)
+        return CollectiveReq(self.data.id, coll.GATHER, self._check_size(size), root, data)
+
+    def allgather(self, size: int, data: Any = None) -> CollectiveReq:
+        return CollectiveReq(self.data.id, coll.ALLGATHER, self._check_size(size), 0, data)
+
+    def alltoall(self, size: int, data: Any = None) -> CollectiveReq:
+        return CollectiveReq(self.data.id, coll.ALLTOALL, self._check_size(size), 0, data)
+
+    def scatter(self, size: int, root: int = 0, data: Any = None) -> CollectiveReq:
+        self._check_rank(root)
+        return CollectiveReq(self.data.id, coll.SCATTER, self._check_size(size), root, data)
+
+    def scan(self, size: int, data: Any = None) -> CollectiveReq:
+        """MPI_Scan: inclusive prefix reduction over comm ranks."""
+        return CollectiveReq(self.data.id, coll.SCAN, self._check_size(size), 0, data)
+
+    def split(self, color: Optional[int], key: int = 0) -> SplitReq:
+        """MPI_Comm_split: partition this communicator by *color*.
+
+        Every member must call it; members sharing a color form a new
+        communicator ordered by (key, old rank).  ``color=None``
+        (MPI_UNDEFINED) yields no communicator for that rank — the result
+        delivered to the caller is then ``None``.
+        """
+        return SplitReq(self.data.id, color, key)
+
+    # -- helpers --------------------------------------------------------------
+
+    def _check_rank(self, comm_rank: int) -> None:
+        self.data.global_rank(comm_rank)  # raises on out-of-range
+
+    @staticmethod
+    def _check_size(size: int) -> int:
+        if size < 0:
+            raise MPIUsageError(f"message size must be non-negative, got {size}")
+        return int(size)
+
+
+# --------------------------------------------------------------------------
+# Context handed to application generators
+# --------------------------------------------------------------------------
+
+
+class Context:
+    """Per-rank view of the simulated machine handed to the application."""
+
+    def __init__(
+        self,
+        world: "World",
+        slot: ProcessSlot,
+        env: Dict[str, str],
+        rng: np.random.Generator,
+    ) -> None:
+        self._world = world
+        self.slot = slot
+        self.rank = slot.rank
+        self.size = world.placement.size
+        self.comm = Communicator(world.comm_world, slot.rank)
+        #: Per-metahost environment, carrying the paper's two variables
+        #: (``REPRO_METAHOST_ID`` and ``REPRO_METAHOST_NAME``).
+        self.env = env
+        self.rng = rng
+
+    # -- machine info ---------------------------------------------------------
+
+    @property
+    def metahost_id(self) -> int:
+        return int(self.env["REPRO_METAHOST_ID"])
+
+    @property
+    def metahost_name(self) -> str:
+        return self.env["REPRO_METAHOST_NAME"]
+
+    @property
+    def location(self) -> Location:
+        return self.slot.location
+
+    @property
+    def now(self) -> float:
+        """Current true simulation time (apps may use it for pacing)."""
+        return self._world.engine.now
+
+    # -- requests ---------------------------------------------------------------
+
+    def compute(self, work_seconds: float) -> ComputeReq:
+        """Busy time for *work_seconds* of reference work on this CPU."""
+        if work_seconds < 0:
+            raise MPIUsageError(f"work must be non-negative, got {work_seconds}")
+        return ComputeReq(self.slot.cpu.work_seconds(work_seconds))
+
+    def sleep(self, wall_seconds: float) -> ComputeReq:
+        """Busy time independent of CPU speed (I/O waits, fixed delays)."""
+        if wall_seconds < 0:
+            raise MPIUsageError(f"sleep must be non-negative, got {wall_seconds}")
+        return ComputeReq(wall_seconds)
+
+    def parallel(
+        self, work_seconds: Sequence[float], region: str = "omp_parallel"
+    ) -> OmpParallelReq:
+        """Fork-join multithreaded region (hybrid MPI + threads).
+
+        The team runs one thread per entry of *work_seconds* (reference
+        seconds, each scaled by this CPU's speed); the region lasts as long
+        as its slowest thread.  The trace records the team's busy-time
+        summary, from which the analyzer derives the *Idle Threads*
+        severity (paper Section 1: message passing "may be combined with
+        multithreading used within the metahosts").
+        """
+        if not work_seconds:
+            raise MPIUsageError("parallel region needs at least one thread")
+        if any(w < 0 for w in work_seconds):
+            raise MPIUsageError("thread work must be non-negative")
+        return OmpParallelReq(tuple(float(w) for w in work_seconds), region)
+
+    def get_comm(self, name: str) -> Optional[Communicator]:
+        """Bound view of a named sub-communicator, or None if not a member."""
+        data = self._world.communicator(name)
+        if not data.contains(self.rank):
+            return None
+        return Communicator(data, self.rank)
+
+    # -- instrumentation --------------------------------------------------------
+
+    def enter(self, region: str) -> None:
+        """Record entry into a user region (e.g. ``cgiteration``)."""
+        self._world.record_enter(self.slot, region)
+
+    def exit(self, region: str) -> None:
+        """Record exit from a user region."""
+        self._world.record_exit(self.slot, region)
+
+    def region(self, name: str) -> "_RegionGuard":
+        """``with ctx.region("foo"): yield ...`` convenience guard."""
+        return _RegionGuard(self, name)
+
+
+class _RegionGuard:
+    def __init__(self, ctx: Context, name: str) -> None:
+        self._ctx = ctx
+        self._name = name
+
+    def __enter__(self) -> "_RegionGuard":
+        self._ctx.enter(self._name)
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self._ctx.exit(self._name)
+
+
+# --------------------------------------------------------------------------
+# Internal matching structures
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class _PendingRecv:
+    proc_rank: int
+    source: int  # comm rank or ANY_SOURCE
+    tag: int
+    comm_id: int
+    post_time: float
+    handle: Optional[RequestHandle]  # None for blocking recv
+    resume: Optional[Callable[[Message, float], None]]  # blocking-recv continuation
+
+
+@dataclass
+class _InFlight:
+    """A message that has 'announced' itself at the receiver.
+
+    For eager messages this is the payload arrival; for rendezvous messages
+    it is the ready-to-send announcement, and the payload transfer only
+    starts at match time.
+    """
+
+    message: Message
+    announce_time: float
+    rendezvous: bool
+    sender_resume: Optional[Callable[[float], None]]  # rendezvous blocking send
+    sender_handle: Optional[RequestHandle]  # rendezvous isend
+
+
+@dataclass
+class _CollectiveInstance:
+    op: str
+    root: int  # comm rank
+    size: int
+    enter_times: Dict[int, float] = field(default_factory=dict)
+    data: Dict[int, Any] = field(default_factory=dict)
+    #: Comm ranks whose exit has already been scheduled (rooted operations
+    #: release early finishers before the whole communicator has entered).
+    resumed: set = field(default_factory=set)
+    done: bool = False
+
+
+@dataclass
+class WorldStats:
+    """Aggregate simulation statistics."""
+
+    p2p_messages: int = 0
+    p2p_bytes: int = 0
+    collectives: int = 0
+    rendezvous_messages: int = 0
+    finish_time: float = 0.0
+
+
+# --------------------------------------------------------------------------
+# The world
+# --------------------------------------------------------------------------
+
+
+class World:
+    """Owns the engine, processes, communicators, matching state and hooks.
+
+    Parameters
+    ----------
+    metacomputer / placement:
+        Where the ranks run; drives per-message link selection.
+    params:
+        MPI timing constants.
+    rng:
+        Single generator used for every latency draw (reproducibility).
+    tracer:
+        Optional object implementing the hook methods ``enter``, ``exit``,
+        ``send``, ``recv`` and ``coll_exit`` (see
+        :mod:`repro.instrument.adapter`); ``None`` disables tracing.
+    """
+
+    def __init__(
+        self,
+        metacomputer: Metacomputer,
+        placement: Placement,
+        params: SimParams = SimParams(),
+        rng: Optional[np.random.Generator] = None,
+        tracer: Any = None,
+        max_events: int = 50_000_000,
+    ) -> None:
+        if placement.metacomputer is not metacomputer:
+            raise SimulationError("placement does not belong to this metacomputer")
+        self.metacomputer = metacomputer
+        self.placement = placement
+        self.params = params
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.tracer = tracer
+        self.max_events = max_events
+        self.engine = Engine()
+        self.stats = WorldStats()
+
+        self.comm_world = CommunicatorData(0, "world", range(placement.size))
+        self._comms: Dict[int, CommunicatorData] = {0: self.comm_world}
+        self._comms_by_name: Dict[str, CommunicatorData] = {"world": self.comm_world}
+
+        self._procs: Dict[int, SimProcess] = {}
+        self._envs: Dict[int, Dict[str, str]] = {}
+        # Matching state, keyed by (comm_id, dest_global).
+        self._pending_recvs: Dict[Tuple[int, int], List[_PendingRecv]] = {}
+        self._unexpected: Dict[Tuple[int, int], List[_InFlight]] = {}
+        self._channel_clock = ChannelClock()
+        # Collective sequencing: (comm_id) -> list of instances; each rank
+        # tracks which instance index it joins next.
+        self._coll_instances: Dict[int, List[_CollectiveInstance]] = {}
+        self._coll_next: Dict[Tuple, int] = {}
+        self._split_pending: Dict[Tuple, List[Dict]] = {}
+
+    # -- setup ------------------------------------------------------------------
+
+    def new_communicator(self, name: str, global_ranks: Sequence[int]) -> CommunicatorData:
+        """Create a named sub-communicator (apps fetch it via ctx.get_comm).
+
+        Member order defines the new communicator's rank order: callers
+        that want rank-sorted comms pass sorted sequences, and ``split``
+        relies on (key, old-rank) order being preserved.
+        """
+        if name in self._comms_by_name:
+            raise MPIUsageError(f"communicator {name!r} already exists")
+        for g in global_ranks:
+            if not 0 <= g < self.placement.size:
+                raise MPIUsageError(f"rank {g} outside world (size {self.placement.size})")
+        data = CommunicatorData(len(self._comms), name, list(global_ranks))
+        self._comms[data.id] = data
+        self._comms_by_name[name] = data
+        return data
+
+    def communicator(self, name: str) -> CommunicatorData:
+        try:
+            return self._comms_by_name[name]
+        except KeyError:
+            raise MPIUsageError(f"no communicator named {name!r}") from None
+
+    def all_communicators(self) -> List[CommunicatorData]:
+        """Every communicator of the run, including split-created ones."""
+        return [self._comms[cid] for cid in sorted(self._comms)]
+
+    def comm_by_id(self, comm_id: int) -> CommunicatorData:
+        try:
+            return self._comms[comm_id]
+        except KeyError:
+            raise MPIUsageError(f"no communicator with id {comm_id}") from None
+
+    def launch(
+        self,
+        app: Callable[[Context], AppGenerator],
+        seed: int = 0,
+    ) -> None:
+        """Instantiate one process per placement slot running *app*."""
+        if self._procs:
+            raise SimulationError("world already launched")
+        for slot in self.placement.slots:
+            host = self.metacomputer.metahost(slot.location.machine)
+            env = {
+                "REPRO_METAHOST_ID": str(slot.location.machine),
+                "REPRO_METAHOST_NAME": host.name,
+            }
+            ctx = Context(
+                self,
+                slot,
+                env,
+                np.random.default_rng((seed, slot.rank)),
+            )
+            self._envs[slot.rank] = env
+            proc = SimProcess(slot, app(ctx))
+            self._procs[slot.rank] = proc
+        for proc in self._procs.values():
+            self.engine.schedule(0.0, self._make_starter(proc))
+
+    def _make_starter(self, proc: SimProcess) -> Callable[[], None]:
+        def start() -> None:
+            self._advance(proc, None)
+
+        return start
+
+    # -- execution ----------------------------------------------------------------
+
+    def run(self) -> WorldStats:
+        """Run the simulation to completion; raises on deadlock or app error."""
+        if not self._procs:
+            raise SimulationError("nothing launched")
+        self.engine.run(max_events=self.max_events)
+        blocked = [p for p in self._procs.values() if not p.done]
+        if blocked:
+            detail = ", ".join(
+                f"rank {p.rank} in {p.blocked_on or 'unknown'}" for p in blocked[:8]
+            )
+            raise DeadlockError(
+                f"{len(blocked)} processes never finished: {detail}"
+            )
+        self.stats.finish_time = self.engine.now
+        return self.stats
+
+    # -- process stepping ----------------------------------------------------------
+
+    def _advance(self, proc: SimProcess, value: Any) -> None:
+        """Resume *proc* with *value* and dispatch its next request."""
+        request = proc.step(value)
+        if request is None:
+            proc.finish_time = self.engine.now
+            return
+        self._dispatch(proc, request)
+
+    def _dispatch(self, proc: SimProcess, request: Request) -> None:
+        now = self.engine.now
+        if isinstance(request, ComputeReq):
+            proc.blocked_on = "compute"
+            self.engine.schedule(request.seconds, lambda: self._advance(proc, None))
+        elif isinstance(request, SendReq):
+            self._do_send(proc, request, blocking=True)
+        elif isinstance(request, RecvReq):
+            self._do_recv(proc, request, blocking=True)
+        elif isinstance(request, IsendReq):
+            self._do_isend(proc, request)
+        elif isinstance(request, IrecvReq):
+            self._do_irecv(proc, request)
+        elif isinstance(request, WaitReq):
+            self._do_wait(proc, request.handle)
+        elif isinstance(request, WaitallReq):
+            self._do_waitall(proc, request.handles)
+        elif isinstance(request, SendrecvReq):
+            self._do_sendrecv(proc, request)
+        elif isinstance(request, CollectiveReq):
+            self._do_collective(proc, request)
+        elif isinstance(request, SplitReq):
+            self._do_split(proc, request)
+        elif isinstance(request, OmpParallelReq):
+            self._do_omp_parallel(proc, request)
+        else:
+            raise MPIUsageError(
+                f"rank {proc.rank} yielded an unknown request at t={now}: {request!r}"
+            )
+
+    # -- tracing hooks ----------------------------------------------------------------
+
+    def record_enter(self, slot: ProcessSlot, region: str) -> None:
+        if self.tracer is not None:
+            self.tracer.enter(slot, region, self.engine.now)
+
+    def record_exit(self, slot: ProcessSlot, region: str) -> None:
+        if self.tracer is not None:
+            self.tracer.exit(slot, region, self.engine.now)
+
+    def _trace_send(
+        self, slot: ProcessSlot, t: float, dest_global: int, tag: int, comm_id: int, size: int
+    ) -> None:
+        if self.tracer is not None:
+            self.tracer.send(slot, t, dest_global, tag, comm_id, size)
+
+    def _trace_recv(
+        self, slot: ProcessSlot, t: float, source_global: int, tag: int, comm_id: int, size: int
+    ) -> None:
+        if self.tracer is not None:
+            self.tracer.recv(slot, t, source_global, tag, comm_id, size)
+
+    def _trace_coll_exit(
+        self,
+        slot: ProcessSlot,
+        t: float,
+        region: str,
+        comm_id: int,
+        root_global: int,
+        sent: int,
+        recvd: int,
+    ) -> None:
+        if self.tracer is not None:
+            self.tracer.coll_exit(slot, t, region, comm_id, root_global, sent, recvd)
+
+    # -- point-to-point implementation ------------------------------------------------
+
+    def _link_model(self, src_global: int, dst_global: int):
+        a = self.placement.location(src_global)
+        b = self.placement.location(dst_global)
+        return self.metacomputer.latency_model(self.metacomputer.link_between(a, b))
+
+    def _direction(self, src_global: int, dst_global: int) -> str:
+        """Directional path key for the congestion model (per node pair)."""
+        a = node_of(self.placement.location(src_global))
+        b = node_of(self.placement.location(dst_global))
+        return f"{a}->{b}"
+
+    def _transfer_time(self, link, size: int, src_global: int, dst_global: int) -> float:
+        return link.transfer_time(
+            size, self.rng, when=self.engine.now,
+            direction=self._direction(src_global, dst_global),
+        )
+
+    def _one_way_latency(self, link, src_global: int, dst_global: int) -> float:
+        return link.sample_latency(
+            self.rng, when=self.engine.now,
+            direction=self._direction(src_global, dst_global),
+        )
+
+    def _do_send(self, proc: SimProcess, req: SendReq, blocking: bool) -> None:
+        comm = self.comm_by_id(req.comm_id)
+        src_global = proc.rank
+        dst_global = comm.global_rank(req.dest)
+        now = self.engine.now
+        region = "MPI_Ssend" if req.synchronous else "MPI_Send"
+        self.record_enter(proc.slot, region)
+        send_event_t = now
+        message = Message(
+            source=comm.comm_rank(src_global),
+            dest=req.dest,
+            tag=req.tag,
+            comm_id=req.comm_id,
+            size=req.size,
+            data=req.data,
+            send_enter_time=now,
+            send_time=send_event_t,
+            source_global=src_global,
+            dest_global=dst_global,
+        )
+        self.stats.p2p_messages += 1
+        self.stats.p2p_bytes += req.size
+        link = self._link_model(src_global, dst_global)
+        channel = (req.comm_id, src_global, dst_global)
+        proc.blocked_on = region
+
+        if self.params.is_eager(req.size) and not req.synchronous:
+            departure = now + self.params.send_overhead_s
+            arrival = self._channel_clock.clamp(
+                channel,
+                departure + self._transfer_time(link, req.size, src_global, dst_global),
+            )
+            self._trace_send(proc.slot, send_event_t, dst_global, req.tag, req.comm_id, req.size)
+            inflight = _InFlight(message, arrival, rendezvous=False, sender_resume=None, sender_handle=None)
+            self.engine.schedule_at(arrival, lambda: self._announce(inflight))
+            done = now + self.params.eager_send_cost_s(req.size)
+
+            def finish_eager() -> None:
+                self.record_exit(proc.slot, region)
+                self._advance(proc, None)
+
+            self.engine.schedule_at(done, finish_eager)
+        else:
+            self.stats.rendezvous_messages += 1
+            self._trace_send(proc.slot, send_event_t, dst_global, req.tag, req.comm_id, req.size)
+            rts_arrival = self._channel_clock.clamp(
+                channel,
+                now
+                + self.params.send_overhead_s
+                + self._one_way_latency(link, src_global, dst_global),
+            )
+
+            def sender_resume(completion: float) -> None:
+                def finish() -> None:
+                    self.record_exit(proc.slot, region)
+                    self._advance(proc, None)
+
+                self.engine.schedule_at(completion, finish)
+
+            inflight = _InFlight(
+                message, rts_arrival, rendezvous=True, sender_resume=sender_resume, sender_handle=None
+            )
+            self.engine.schedule_at(rts_arrival, lambda: self._announce(inflight))
+
+    def _do_isend(self, proc: SimProcess, req: IsendReq) -> None:
+        comm = self.comm_by_id(req.comm_id)
+        src_global = proc.rank
+        dst_global = comm.global_rank(req.dest)
+        now = self.engine.now
+        region = "MPI_Isend"
+        self.record_enter(proc.slot, region)
+        handle = RequestHandle("send", proc.rank)
+        send_event_t = now
+        message = Message(
+            source=comm.comm_rank(src_global),
+            dest=req.dest,
+            tag=req.tag,
+            comm_id=req.comm_id,
+            size=req.size,
+            data=req.data,
+            send_enter_time=now,
+            send_time=send_event_t,
+            source_global=src_global,
+            dest_global=dst_global,
+        )
+        self.stats.p2p_messages += 1
+        self.stats.p2p_bytes += req.size
+        link = self._link_model(src_global, dst_global)
+        channel = (req.comm_id, src_global, dst_global)
+        self._trace_send(proc.slot, send_event_t, dst_global, req.tag, req.comm_id, req.size)
+
+        if self.params.is_eager(req.size):
+            departure = now + self.params.nonblocking_overhead_s
+            arrival = self._channel_clock.clamp(
+                channel,
+                departure + self._transfer_time(link, req.size, src_global, dst_global),
+            )
+            inflight = _InFlight(message, arrival, rendezvous=False, sender_resume=None, sender_handle=None)
+            self.engine.schedule_at(arrival, lambda: self._announce(inflight))
+            # The eager isend itself completes immediately after the copy.
+            self._complete_handle(handle, now + self.params.eager_send_cost_s(req.size), None)
+        else:
+            self.stats.rendezvous_messages += 1
+            rts_arrival = self._channel_clock.clamp(
+                channel,
+                now
+                + self.params.nonblocking_overhead_s
+                + self._one_way_latency(link, src_global, dst_global),
+            )
+            inflight = _InFlight(
+                message, rts_arrival, rendezvous=True, sender_resume=None, sender_handle=handle
+            )
+            self.engine.schedule_at(rts_arrival, lambda: self._announce(inflight))
+
+        def finish_call() -> None:
+            self.record_exit(proc.slot, region)
+            self._advance(proc, handle)
+
+        self.engine.schedule(self.params.nonblocking_overhead_s, finish_call)
+
+    def _do_recv(self, proc: SimProcess, req: RecvReq, blocking: bool) -> None:
+        comm = self.comm_by_id(req.comm_id)
+        now = self.engine.now
+        region = "MPI_Recv"
+        self.record_enter(proc.slot, region)
+        proc.blocked_on = region
+
+        def resume(message: Message, completion: float) -> None:
+            def finish() -> None:
+                self._trace_recv(
+                    proc.slot,
+                    self.engine.now,
+                    message.source_global,
+                    message.tag,
+                    message.comm_id,
+                    message.size,
+                )
+                self.record_exit(proc.slot, region)
+                self._advance(proc, message)
+
+            self.engine.schedule_at(completion, finish)
+
+        pending = _PendingRecv(
+            proc_rank=proc.rank,
+            source=req.source,
+            tag=req.tag,
+            comm_id=req.comm_id,
+            post_time=now,
+            handle=None,
+            resume=resume,
+        )
+        self._post_recv(pending)
+
+    def _do_irecv(self, proc: SimProcess, req: IrecvReq) -> None:
+        now = self.engine.now
+        region = "MPI_Irecv"
+        self.record_enter(proc.slot, region)
+        handle = RequestHandle("recv", proc.rank)
+        pending = _PendingRecv(
+            proc_rank=proc.rank,
+            source=req.source,
+            tag=req.tag,
+            comm_id=req.comm_id,
+            post_time=now,
+            handle=handle,
+            resume=None,
+        )
+        self._post_recv(pending)
+
+        def finish_call() -> None:
+            self.record_exit(proc.slot, region)
+            self._advance(proc, handle)
+
+        self.engine.schedule(self.params.nonblocking_overhead_s, finish_call)
+
+    def _do_wait(self, proc: SimProcess, handle: RequestHandle) -> None:
+        region = "MPI_Wait"
+        self.record_enter(proc.slot, region)
+        proc.blocked_on = region
+
+        def on_complete() -> None:
+            message = handle.result
+            if handle.kind == "recv" and message is not None:
+                self._trace_recv(
+                    proc.slot,
+                    self.engine.now,
+                    message.source_global,
+                    message.tag,
+                    message.comm_id,
+                    message.size,
+                )
+            self.record_exit(proc.slot, region)
+            self._advance(proc, message)
+
+        self._when_handle_done(handle, on_complete)
+
+    def _do_waitall(self, proc: SimProcess, handles: Tuple[RequestHandle, ...]) -> None:
+        region = "MPI_Waitall"
+        self.record_enter(proc.slot, region)
+        proc.blocked_on = region
+        remaining = {h.id: h for h in handles}
+
+        if not handles:
+            def finish_empty() -> None:
+                self.record_exit(proc.slot, region)
+                self._advance(proc, [])
+
+            self.engine.schedule(0.0, finish_empty)
+            return
+
+        results: List[Optional[Message]] = [None] * len(handles)
+        pending_count = [len(remaining)]
+
+        def make_callback(index: int, handle: RequestHandle) -> Callable[[], None]:
+            def cb() -> None:
+                message = handle.result
+                results[index] = message
+                if handle.kind == "recv" and message is not None:
+                    self._trace_recv(
+                        proc.slot,
+                        self.engine.now,
+                        message.source_global,
+                        message.tag,
+                        message.comm_id,
+                        message.size,
+                    )
+                pending_count[0] -= 1
+                if pending_count[0] == 0:
+                    self.record_exit(proc.slot, region)
+                    self._advance(proc, results)
+
+            return cb
+
+        for index, handle in enumerate(handles):
+            self._when_handle_done(handle, make_callback(index, handle))
+
+    def _do_sendrecv(self, proc: SimProcess, req: SendrecvReq) -> None:
+        """Simultaneous send + receive (deadlock-free halo exchanges)."""
+        region = "MPI_Sendrecv"
+        comm = self.comm_by_id(req.comm_id)
+        src_global = proc.rank
+        dst_global = comm.global_rank(req.dest)
+        now = self.engine.now
+        self.record_enter(proc.slot, region)
+        proc.blocked_on = region
+
+        # Send half (always behaves like an isend).
+        send_event_t = now
+        message = Message(
+            source=comm.comm_rank(src_global),
+            dest=req.dest,
+            tag=req.send_tag,
+            comm_id=req.comm_id,
+            size=req.send_size,
+            data=req.data,
+            send_enter_time=now,
+            send_time=send_event_t,
+            source_global=src_global,
+            dest_global=dst_global,
+        )
+        self.stats.p2p_messages += 1
+        self.stats.p2p_bytes += req.send_size
+        link = self._link_model(src_global, dst_global)
+        channel = (req.comm_id, src_global, dst_global)
+        self._trace_send(
+            proc.slot, send_event_t, dst_global, req.send_tag, req.comm_id, req.send_size
+        )
+        send_handle = RequestHandle("send", proc.rank)
+        if self.params.is_eager(req.send_size):
+            departure = now + self.params.send_overhead_s
+            arrival = self._channel_clock.clamp(
+                channel,
+                departure
+                + self._transfer_time(link, req.send_size, src_global, dst_global),
+            )
+            inflight = _InFlight(message, arrival, rendezvous=False, sender_resume=None, sender_handle=None)
+            self.engine.schedule_at(arrival, lambda: self._announce(inflight))
+            self._complete_handle(
+                send_handle, now + self.params.eager_send_cost_s(req.send_size), None
+            )
+        else:
+            self.stats.rendezvous_messages += 1
+            rts_arrival = self._channel_clock.clamp(
+                channel,
+                now
+                + self.params.send_overhead_s
+                + self._one_way_latency(link, src_global, dst_global),
+            )
+            inflight = _InFlight(
+                message, rts_arrival, rendezvous=True, sender_resume=None, sender_handle=send_handle
+            )
+            self.engine.schedule_at(rts_arrival, lambda: self._announce(inflight))
+
+        # Receive half.
+        recv_handle = RequestHandle("recv", proc.rank)
+        pending = _PendingRecv(
+            proc_rank=proc.rank,
+            source=req.source,
+            tag=req.recv_tag,
+            comm_id=req.comm_id,
+            post_time=now,
+            handle=recv_handle,
+            resume=None,
+        )
+        self._post_recv(pending)
+
+        done = [False, False]
+
+        def check_done(which: int) -> Callable[[], None]:
+            def cb() -> None:
+                done[which] = True
+                if all(done):
+                    received = recv_handle.result
+                    assert received is not None
+                    self._trace_recv(
+                        proc.slot,
+                        self.engine.now,
+                        received.source_global,
+                        received.tag,
+                        received.comm_id,
+                        received.size,
+                    )
+                    self.record_exit(proc.slot, region)
+                    self._advance(proc, received)
+
+            return cb
+
+        self._when_handle_done(send_handle, check_done(0))
+        self._when_handle_done(recv_handle, check_done(1))
+
+    # -- matching ------------------------------------------------------------------
+
+    def _post_recv(self, pending: _PendingRecv) -> None:
+        key = (pending.comm_id, pending.proc_rank)
+        queue = self._unexpected.setdefault(key, [])
+        comm = self.comm_by_id(pending.comm_id)
+        for i, inflight in enumerate(queue):
+            if self._matches(pending, inflight.message, comm):
+                queue.pop(i)
+                self._match(pending, inflight, match_time=self.engine.now)
+                return
+        self._pending_recvs.setdefault(key, []).append(pending)
+
+    def _announce(self, inflight: _InFlight) -> None:
+        """A message (or its rendezvous announcement) reaches the receiver."""
+        msg = inflight.message
+        key = (msg.comm_id, msg.dest_global)
+        comm = self.comm_by_id(msg.comm_id)
+        pendings = self._pending_recvs.get(key, [])
+        for i, pending in enumerate(pendings):
+            if self._matches(pending, msg, comm):
+                pendings.pop(i)
+                self._match(pending, inflight, match_time=self.engine.now)
+                return
+        self._unexpected.setdefault(key, []).append(inflight)
+
+    @staticmethod
+    def _matches(pending: _PendingRecv, msg: Message, comm: CommunicatorData) -> bool:
+        if pending.comm_id != msg.comm_id:
+            return False
+        if pending.source != ANY_SOURCE and pending.source != msg.source:
+            return False
+        if pending.tag != ANY_TAG and pending.tag != msg.tag:
+            return False
+        return True
+
+    def _match(self, pending: _PendingRecv, inflight: _InFlight, match_time: float) -> None:
+        """Complete a matched pair, honouring the protocol timing."""
+        msg = inflight.message
+        if inflight.rendezvous:
+            link = self._link_model(msg.source_global, msg.dest_global)
+            cts = match_time + self._one_way_latency(
+                link, msg.dest_global, msg.source_global
+            )
+            transfer_done = cts + self._transfer_time(
+                link, msg.size, msg.source_global, msg.dest_global
+            )
+            recv_completion = transfer_done + self.params.recv_overhead_s
+            if inflight.sender_resume is not None:
+                inflight.sender_resume(transfer_done)
+            if inflight.sender_handle is not None:
+                self._complete_handle(inflight.sender_handle, transfer_done, None)
+        else:
+            arrival = inflight.announce_time
+            recv_completion = max(arrival, pending.post_time) + self.params.recv_overhead_s
+            recv_completion = max(recv_completion, match_time)
+        if pending.handle is not None:
+            self._complete_handle(pending.handle, recv_completion, msg)
+        if pending.resume is not None:
+            pending.resume(msg, recv_completion)
+
+    # -- handle plumbing ---------------------------------------------------------------
+
+    def _complete_handle(
+        self, handle: RequestHandle, completion_time: float, result: Optional[Message]
+    ) -> None:
+        if handle.completed:
+            raise SimulationError(f"handle {handle!r} completed twice")
+
+        def mark() -> None:
+            handle.completed = True
+            handle.completion_time = self.engine.now
+            handle.result = result
+            waiter = getattr(handle, "_waiter", None)
+            if waiter is not None:
+                handle._waiter = None  # type: ignore[attr-defined]
+                waiter()
+
+        self.engine.schedule_at(max(completion_time, self.engine.now), mark)
+
+    def _when_handle_done(self, handle: RequestHandle, callback: Callable[[], None]) -> None:
+        if handle.completed:
+            self.engine.schedule(0.0, callback)
+            return
+        existing = getattr(handle, "_waiter", None)
+        if existing is not None:
+            raise MPIUsageError(f"handle {handle!r} waited on twice")
+        handle._waiter = callback  # type: ignore[attr-defined]
+
+    # -- collectives ---------------------------------------------------------------------
+
+    def _do_collective(self, proc: SimProcess, req: CollectiveReq) -> None:
+        comm = self.comm_by_id(req.comm_id)
+        if not comm.contains(proc.rank):
+            raise MPIUsageError(
+                f"rank {proc.rank} called {req.op} on communicator "
+                f"{comm.name!r} it does not belong to"
+            )
+        my_comm_rank = comm.comm_rank(proc.rank)
+        now = self.engine.now
+        self.record_enter(proc.slot, req.op)
+        proc.blocked_on = req.op
+
+        instances = self._coll_instances.setdefault(req.comm_id, [])
+        index_key = (req.comm_id, proc.rank)
+        index = self._coll_next.get(index_key, 0)
+        self._coll_next[index_key] = index + 1
+        while len(instances) <= index:
+            instances.append(_CollectiveInstance(op=req.op, root=req.root, size=req.size))
+        instance = instances[index]
+        if instance.enter_times and instance.op != req.op:
+            raise MPIUsageError(
+                f"collective mismatch on {comm.name!r}: rank {proc.rank} called "
+                f"{req.op} while others called {instance.op}"
+            )
+        if not instance.enter_times:
+            instance.op = req.op
+            instance.root = req.root
+            instance.size = req.size
+        elif req.op != coll.BARRIER and instance.root != req.root:
+            raise MPIUsageError(
+                f"root mismatch in {req.op} on {comm.name!r}: "
+                f"{req.root} vs {instance.root}"
+            )
+        instance.size = max(instance.size, req.size)
+        instance.enter_times[my_comm_rank] = now
+        instance.data[my_comm_rank] = req.data
+
+        # Rooted operations release some participants early: an n-to-1
+        # contributor leaves right after injecting its data, a 1-to-n
+        # participant leaves as soon as the root's subtree reaches it.
+        # Without this, an early contributor would be blocked until the
+        # *last* rank arrived — wrong semantics (and exits in the past).
+        alpha, inv_bw = self._comm_cost(comm)
+        if instance.op in coll.N_TO_1_OPS and my_comm_rank != instance.root:
+            exit_time = now + alpha + req.size * inv_bw
+            self._schedule_coll_exit(comm, instance, my_comm_rank, exit_time)
+        elif instance.op in coll.ONE_TO_N_OPS:
+            if my_comm_rank == instance.root:
+                self._schedule_coll_exit(
+                    comm, instance, my_comm_rank, now + alpha + req.size * inv_bw
+                )
+                # Release every non-root already waiting for the root.
+                for waiting_rank in sorted(instance.enter_times):
+                    if waiting_rank not in instance.resumed:
+                        self._schedule_one_to_n_exit(
+                            comm, instance, waiting_rank, alpha, inv_bw
+                        )
+            elif instance.root in instance.enter_times:
+                self._schedule_one_to_n_exit(
+                    comm, instance, my_comm_rank, alpha, inv_bw
+                )
+        elif instance.op in coll.PREFIX_OPS:
+            # A scan rank may leave once every lower comm rank has entered;
+            # release the whole frontier of complete prefixes.
+            self._release_scan_frontier(comm, instance, alpha, inv_bw)
+
+        if len(instance.enter_times) == comm.size:
+            self._complete_collective(comm, instance)
+
+    def _release_scan_frontier(
+        self,
+        comm: CommunicatorData,
+        instance: _CollectiveInstance,
+        alpha: float,
+        inv_bw: float,
+    ) -> None:
+        import math as _math
+
+        stages = max(1, _math.ceil(_math.log2(max(2, comm.size))))
+        stage_cost = alpha + instance.size * inv_bw
+        prefix_max = float("-inf")
+        for comm_rank in range(comm.size):
+            enter = instance.enter_times.get(comm_rank)
+            if enter is None:
+                break  # frontier ends at the first missing rank
+            prefix_max = max(prefix_max, enter)
+            if comm_rank not in instance.resumed:
+                self._schedule_coll_exit(
+                    comm,
+                    instance,
+                    comm_rank,
+                    max(enter, prefix_max) + stages * stage_cost,
+                )
+
+    def _comm_cost(self, comm: CommunicatorData) -> Tuple[float, float]:
+        """(alpha, 1/bandwidth) of the communicator's slowest spanned link."""
+        locations = [self.placement.location(g) for g in comm.global_ranks]
+        return coll.comm_alpha_beta(self.metacomputer, locations, self.params)
+
+    def _schedule_one_to_n_exit(
+        self,
+        comm: CommunicatorData,
+        instance: _CollectiveInstance,
+        comm_rank: int,
+        alpha: float,
+        inv_bw: float,
+    ) -> None:
+        root_enter = instance.enter_times[instance.root]
+        depth = coll.binomial_depth(comm_rank, instance.root, comm.size)
+        stage_cost = alpha + instance.size * inv_bw
+        exit_time = (
+            max(instance.enter_times[comm_rank], root_enter) + depth * stage_cost
+        )
+        self._schedule_coll_exit(comm, instance, comm_rank, exit_time)
+
+    def _schedule_coll_exit(
+        self,
+        comm: CommunicatorData,
+        instance: _CollectiveInstance,
+        comm_rank: int,
+        exit_time: float,
+    ) -> None:
+        if comm_rank in instance.resumed:
+            raise SimulationError(
+                f"comm rank {comm_rank} resumed twice in {instance.op}"
+            )
+        instance.resumed.add(comm_rank)
+        global_rank = comm.global_rank(comm_rank)
+        proc = self._procs[global_rank]
+        result = self._collective_result(instance, comm_rank)
+        sent, recvd = coll.bytes_moved(
+            instance.op, instance.size, comm.size, comm_rank, instance.root
+        )
+        root_global = comm.global_rank(instance.root)
+        op, cid = instance.op, comm.id
+
+        def finish() -> None:
+            self._trace_coll_exit(proc.slot, self.engine.now, op, cid, root_global, sent, recvd)
+            self.record_exit(proc.slot, op)
+            self._advance(proc, result)
+
+        self.engine.schedule_at(max(exit_time, self.engine.now), finish)
+
+    def _complete_collective(self, comm: CommunicatorData, instance: _CollectiveInstance) -> None:
+        self.stats.collectives += 1
+        locations = {
+            comm.comm_rank(g): self.placement.location(g) for g in comm.global_ranks
+        }
+        timing = coll.collective_exit_times(
+            instance.op,
+            instance.enter_times,
+            instance.root,
+            instance.size,
+            self.metacomputer,
+            locations,
+            self.params,
+        )
+        for comm_rank, exit_time in timing.exit_times.items():
+            if comm_rank in instance.resumed:
+                continue  # released early by the rooted-op fast path
+            self._schedule_coll_exit(comm, instance, comm_rank, exit_time)
+        instance.done = True
+
+    # -- fork-join threading ------------------------------------------------------
+
+    def _do_omp_parallel(self, proc: SimProcess, req: OmpParallelReq) -> None:
+        """Run a fork-join region: wall time = slowest thread's work."""
+        speed = proc.slot.cpu.speed_factor
+        busy = [w / speed for w in req.work_seconds]
+        busy_max = max(busy)
+        busy_sum = sum(busy)
+        nthreads = len(busy)
+        self.record_enter(proc.slot, req.region)
+        proc.blocked_on = req.region
+
+        def finish() -> None:
+            if self.tracer is not None:
+                self.tracer.omp_region(
+                    proc.slot, self.engine.now, req.region, nthreads, busy_sum, busy_max
+                )
+            self.record_exit(proc.slot, req.region)
+            self._advance(proc, None)
+
+        self.engine.schedule(busy_max, finish)
+
+    # -- communicator splitting -------------------------------------------------
+
+    def _do_split(self, proc: SimProcess, req: SplitReq) -> None:
+        """MPI_Comm_split: synchronizes like an allgather of (color, key)."""
+        comm = self.comm_by_id(req.comm_id)
+        if not comm.contains(proc.rank):
+            raise MPIUsageError(
+                f"rank {proc.rank} called split on communicator "
+                f"{comm.name!r} it does not belong to"
+            )
+        region = "MPI_Comm_split"
+        now = self.engine.now
+        self.record_enter(proc.slot, region)
+        proc.blocked_on = region
+
+        key = (req.comm_id, "split")
+        pending = self._split_pending.setdefault(key, [])
+        index_key = (req.comm_id, proc.rank, "split")
+        index = self._coll_next.get(index_key, 0)
+        self._coll_next[index_key] = index + 1
+        while len(pending) <= index:
+            pending.append({})
+        instance = pending[index]
+        instance[proc.rank] = (req.color, req.key, now)
+
+        if len(instance) == comm.size:
+            self._complete_split(comm, instance, index)
+
+    def _complete_split(self, comm: CommunicatorData, instance: Dict, index: int) -> None:
+        self.stats.collectives += 1
+        # Exchange of (color, key) behaves like a small allgather.
+        alpha, inv_bw = self._comm_cost(comm)
+        import math as _math
+
+        stages = max(1, _math.ceil(_math.log2(max(2, comm.size))))
+        finish = max(t for (_c, _k, t) in instance.values()) + stages * (
+            alpha + 8 * inv_bw
+        )
+        # Group by color; order members by (key, old comm rank).
+        by_color: Dict[int, List[Tuple[int, int, int]]] = {}
+        for global_rank, (color, key, _t) in instance.items():
+            if color is None:
+                continue
+            by_color.setdefault(color, []).append(
+                (key, comm.comm_rank(global_rank), global_rank)
+            )
+        new_comms: Dict[int, CommunicatorData] = {}
+        for color in sorted(by_color):
+            members = [g for (_k, _old, g) in sorted(by_color[color])]
+            name = f"{comm.name}.split{index}.c{color}"
+            counter = 0
+            base = name
+            while name in self._comms_by_name:
+                counter += 1
+                name = f"{base}#{counter}"
+            new_comms[color] = self.new_communicator(name, members)
+
+        for global_rank, (color, _key, _t) in instance.items():
+            proc = self._procs[global_rank]
+            data = new_comms.get(color) if color is not None else None
+            result = (
+                Communicator(data, global_rank) if data is not None else None
+            )
+
+            def make_finish(p: SimProcess, res: Any) -> Callable[[], None]:
+                def finish() -> None:
+                    self._trace_coll_exit(
+                        p.slot, self.engine.now, "MPI_Comm_split", comm.id,
+                        comm.global_rank(0), 8, 8 * comm.size,
+                    )
+                    self.record_exit(p.slot, "MPI_Comm_split")
+                    self._advance(p, res)
+
+                return finish
+
+            self.engine.schedule_at(max(finish, self.engine.now), make_finish(proc, result))
+
+    @staticmethod
+    def _collective_result(instance: _CollectiveInstance, comm_rank: int) -> Any:
+        op = instance.op
+        if op == coll.BARRIER:
+            return None
+        if op in coll.ONE_TO_N_OPS:
+            return instance.data.get(instance.root)
+        if op in coll.N_TO_1_OPS:
+            return dict(instance.data) if comm_rank == instance.root else None
+        if op in coll.PREFIX_OPS:
+            # Inclusive prefix: contributions of comm ranks 0..self.
+            return {r: d for r, d in instance.data.items() if r <= comm_rank}
+        # n-to-n: everyone sees all contributions.
+        return dict(instance.data)

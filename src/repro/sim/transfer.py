@@ -1,0 +1,82 @@
+"""Point-to-point message timing: eager and rendezvous protocols.
+
+Short messages use the *eager* protocol — the sender deposits the message
+and returns after a copy overhead; the payload travels asynchronously and
+arrives ``latency + size/bandwidth`` later.  Long messages use *rendezvous*
+— the transfer only starts once the receiver has posted a matching receive,
+so the sender blocks until then (this is what makes the *Late Receiver*
+pattern observable).
+
+Per-(sender, receiver) FIFO delivery is enforced by clamping each arrival to
+be no earlier than the previous arrival on that channel, matching MPI's
+non-overtaking rule even though individual latency samples are random.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class SimParams:
+    """Tunable constants of the MPI timing model.
+
+    Parameters
+    ----------
+    eager_threshold_bytes:
+        Messages up to this size use the eager protocol (MPICH-like 64 KiB
+        default).
+    send_overhead_s / recv_overhead_s:
+        CPU-side cost of issuing a send / completing a receive.
+    copy_bandwidth_bps:
+        Memory-copy bandwidth for eager buffering (sender-side cost).
+    collective_alpha_factor:
+        Multiplier on the per-stage latency term of collective cost models.
+    nonblocking_overhead_s:
+        CPU cost of posting an isend/irecv and of a (no-wait) test.
+    measurement_exchanges:
+        Ping-pong count used by clock-offset measurements at run start/end.
+    """
+
+    eager_threshold_bytes: int = 65536
+    send_overhead_s: float = 1.0e-6
+    recv_overhead_s: float = 1.0e-6
+    copy_bandwidth_bps: float = 2.0e9
+    collective_alpha_factor: float = 1.0
+    nonblocking_overhead_s: float = 0.5e-6
+    measurement_exchanges: int = 8
+
+    def __post_init__(self) -> None:
+        if self.eager_threshold_bytes < 0:
+            raise SimulationError("eager threshold must be non-negative")
+        if min(self.send_overhead_s, self.recv_overhead_s, self.nonblocking_overhead_s) < 0:
+            raise SimulationError("overheads must be non-negative")
+        if self.copy_bandwidth_bps <= 0:
+            raise SimulationError("copy bandwidth must be positive")
+        if self.measurement_exchanges < 1:
+            raise SimulationError("need at least one measurement exchange")
+
+    def is_eager(self, size_bytes: int) -> bool:
+        return size_bytes <= self.eager_threshold_bytes
+
+    def eager_send_cost_s(self, size_bytes: int) -> float:
+        """Sender-side busy time of an eager send (overhead + buffer copy)."""
+        return self.send_overhead_s + size_bytes / self.copy_bandwidth_bps
+
+
+class ChannelClock:
+    """Per-(src, dst, comm) FIFO arrival clamp (MPI non-overtaking rule)."""
+
+    __slots__ = ("_last",)
+
+    def __init__(self) -> None:
+        self._last: dict = {}
+
+    def clamp(self, channel: tuple, arrival: float) -> float:
+        """Return the FIFO-consistent arrival time and remember it."""
+        last = self._last.get(channel, float("-inf"))
+        arrival = max(arrival, last)
+        self._last[channel] = arrival
+        return arrival

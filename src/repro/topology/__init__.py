@@ -1,0 +1,34 @@
+"""Metacomputer topology substrate.
+
+Models the hardware the paper ran on: metahosts (independent clusters) made
+of SMP nodes with per-CPU speed factors, internal interconnects, and external
+(wide-area) links joining metahosts into a single metacomputer (paper
+Figure 2).  Presets encode the VIOLA testbed of Figure 5 / Table 1 and the
+homogeneous IBM AIX POWER host of Experiment 2.
+"""
+
+from repro.topology.machine import CpuSpec, NodeSpec, Metahost
+from repro.topology.network import LinkSpec, LatencyModel, LinkClass
+from repro.topology.metacomputer import Metacomputer, Placement, ProcessSlot
+from repro.topology.presets import (
+    viola_testbed,
+    ibm_aix_power,
+    single_cluster,
+    uniform_metacomputer,
+)
+
+__all__ = [
+    "CpuSpec",
+    "NodeSpec",
+    "Metahost",
+    "LinkSpec",
+    "LatencyModel",
+    "LinkClass",
+    "Metacomputer",
+    "Placement",
+    "ProcessSlot",
+    "viola_testbed",
+    "ibm_aix_power",
+    "single_cluster",
+    "uniform_metacomputer",
+]

@@ -1,0 +1,145 @@
+"""Machine model: CPUs, SMP nodes, and metahosts.
+
+A *metahost* is one constituent parallel system of a metacomputer — a
+cluster or parallel computer owned by a single organization (paper
+Section 4).  Metahosts differ in node count, CPUs per node, CPU type and
+speed, and internal network characteristics; that heterogeneity is exactly
+what complicates load balancing and what the grid patterns expose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.errors import TopologyError
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """Description of one CPU type.
+
+    Parameters
+    ----------
+    model:
+        Human-readable CPU model, e.g. ``"Intel Xeon"``.
+    clock_ghz:
+        Nominal clock frequency in GHz.
+    speed_factor:
+        Relative application-visible speed.  ``1.0`` is the reference speed;
+        a process on a CPU with ``speed_factor == 2.0`` finishes the same
+        amount of work in half the time.  The paper observed that functions
+        without MPI calls ran about two times faster on the FH-BRS cluster
+        than on CAESAR, which we encode through this factor.
+    """
+
+    model: str
+    clock_ghz: float
+    speed_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.clock_ghz <= 0:
+            raise TopologyError(f"clock_ghz must be positive, got {self.clock_ghz}")
+        if self.speed_factor <= 0:
+            raise TopologyError(
+                f"speed_factor must be positive, got {self.speed_factor}"
+            )
+
+    def work_seconds(self, work: float) -> float:
+        """Wall-clock seconds this CPU needs for *work* reference-seconds."""
+        return work / self.speed_factor
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One SMP node: a CPU type replicated ``cpus`` times.
+
+    Nodes are the clock granularity of the system: all CPUs of a node share
+    one hardware clock, so offset measurements are carried out per node.
+    """
+
+    cpus: int
+    cpu: CpuSpec
+
+    def __post_init__(self) -> None:
+        if self.cpus <= 0:
+            raise TopologyError(f"node must have at least one CPU, got {self.cpus}")
+
+
+@dataclass(frozen=True)
+class Metahost:
+    """One constituent machine of the metacomputer.
+
+    Parameters
+    ----------
+    name:
+        Human-readable metahost name (the paper's second environment
+        variable), e.g. ``"FZJ"``.
+    nodes:
+        The SMP nodes making up the metahost.
+    internal_latency_s / internal_latency_jitter_s:
+        Mean one-way latency and jitter scale of the internal interconnect.
+    internal_bandwidth_bps:
+        Internal network bandwidth in bytes per second.
+    interconnect:
+        Name of the interconnect technology (documentation only).
+    has_global_clock:
+        When True the metahost provides hardware clock synchronization
+        between its nodes; the hierarchical scheme then skips the
+        slave-to-local-master measurements (paper Section 4).
+    """
+
+    name: str
+    nodes: List[NodeSpec] = field(default_factory=list)
+    internal_latency_s: float = 20e-6
+    internal_latency_jitter_s: float = 1e-6
+    internal_bandwidth_bps: float = 125e6
+    interconnect: str = "ethernet"
+    has_global_clock: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise TopologyError("metahost needs a non-empty name")
+        if not self.nodes:
+            raise TopologyError(f"metahost {self.name!r} needs at least one node")
+        if self.internal_latency_s < 0 or self.internal_latency_jitter_s < 0:
+            raise TopologyError("latencies must be non-negative")
+        if self.internal_bandwidth_bps <= 0:
+            raise TopologyError("bandwidth must be positive")
+
+    @property
+    def node_count(self) -> int:
+        """Number of SMP nodes."""
+        return len(self.nodes)
+
+    @property
+    def cpu_count(self) -> int:
+        """Total number of CPUs across all nodes."""
+        return sum(node.cpus for node in self.nodes)
+
+    def node(self, index: int) -> NodeSpec:
+        """Return the node at *index*, raising :class:`TopologyError` if absent."""
+        if not 0 <= index < len(self.nodes):
+            raise TopologyError(
+                f"metahost {self.name!r} has no node {index} "
+                f"(valid: 0..{len(self.nodes) - 1})"
+            )
+        return self.nodes[index]
+
+
+def homogeneous_metahost(
+    name: str,
+    node_count: int,
+    cpus_per_node: int,
+    cpu: CpuSpec,
+    **network_kwargs: object,
+) -> Metahost:
+    """Build a metahost whose nodes all share one :class:`CpuSpec`.
+
+    Convenience used by the presets; ``network_kwargs`` forward to
+    :class:`Metahost`.
+    """
+    if node_count <= 0:
+        raise TopologyError(f"node_count must be positive, got {node_count}")
+    nodes = [NodeSpec(cpus=cpus_per_node, cpu=cpu) for _ in range(node_count)]
+    return Metahost(name=name, nodes=nodes, **network_kwargs)  # type: ignore[arg-type]

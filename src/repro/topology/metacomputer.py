@@ -1,0 +1,307 @@
+"""The metacomputer: metahosts joined by external links, plus process placement.
+
+Mirrors the paper's Figure 2: several independent, potentially heterogeneous
+parallel systems (metahosts) connected by external network links into a
+single unit.  Routing is two-level — a message between two processes uses
+the loopback path (same node), the internal network of their common
+metahost, or the external link between their metahosts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import RoutingError, TopologyError
+from repro.ids import Location, NodeId
+from repro.topology.machine import CpuSpec, Metahost
+from repro.topology.network import LatencyModel, LinkClass, LinkSpec, loopback_link
+
+
+@dataclass(frozen=True)
+class ProcessSlot:
+    """Where one MPI rank runs: its location plus the CPU executing it."""
+
+    rank: int
+    location: Location
+    cpu: CpuSpec
+
+    @property
+    def machine(self) -> int:
+        return self.location.machine
+
+    @property
+    def node(self) -> NodeId:
+        return NodeId(self.location.machine, self.location.node)
+
+
+class Metacomputer:
+    """A set of metahosts plus the external links joining them.
+
+    Parameters
+    ----------
+    metahosts:
+        The constituent machines, indexed 0..len-1; index order defines the
+        numeric metahost identifier (the paper's first environment variable).
+    external_links:
+        Mapping from unordered machine-index pairs to :class:`LinkSpec`.
+        Missing pairs either fall back to *default_external* or raise
+        :class:`RoutingError` on first use.
+    default_external:
+        Optional fallback link used for metahost pairs without an explicit
+        entry.
+    """
+
+    def __init__(
+        self,
+        metahosts: Sequence[Metahost],
+        external_links: Optional[Dict[Tuple[int, int], LinkSpec]] = None,
+        default_external: Optional[LinkSpec] = None,
+        loopback: Optional[LinkSpec] = None,
+    ) -> None:
+        if not metahosts:
+            raise TopologyError("a metacomputer needs at least one metahost")
+        names = [m.name for m in metahosts]
+        if len(set(names)) != len(names):
+            raise TopologyError(f"duplicate metahost names: {names}")
+        self.metahosts: List[Metahost] = list(metahosts)
+        self._external: Dict[Tuple[int, int], LinkSpec] = {}
+        for (a, b), spec in (external_links or {}).items():
+            self._check_machine(a)
+            self._check_machine(b)
+            if a == b:
+                raise TopologyError(
+                    f"external link must join two distinct metahosts, got ({a},{b})"
+                )
+            self._external[self._key(a, b)] = spec
+        self.default_external = default_external
+        self.loopback = loopback or loopback_link()
+        self._internal_links: List[LinkSpec] = [
+            LinkSpec(
+                latency_s=m.internal_latency_s,
+                jitter_s=m.internal_latency_jitter_s,
+                bandwidth_bps=m.internal_bandwidth_bps,
+                link_class=LinkClass.INTERNAL,
+                name=f"{m.name} (internal)",
+            )
+            for m in self.metahosts
+        ]
+        self._models: Dict[int, LatencyModel] = {}
+
+    # -- structure ---------------------------------------------------------
+
+    @property
+    def machine_count(self) -> int:
+        return len(self.metahosts)
+
+    @property
+    def is_metacomputing(self) -> bool:
+        """True when there is more than one machine (paper Section 3)."""
+        return len(self.metahosts) > 1
+
+    def metahost(self, machine: int) -> Metahost:
+        self._check_machine(machine)
+        return self.metahosts[machine]
+
+    def metahost_index(self, name: str) -> int:
+        """Return the numeric identifier of the metahost called *name*."""
+        for i, m in enumerate(self.metahosts):
+            if m.name == name:
+                return i
+        raise TopologyError(f"no metahost named {name!r}")
+
+    def machine_names(self) -> List[str]:
+        return [m.name for m in self.metahosts]
+
+    @property
+    def total_cpus(self) -> int:
+        return sum(m.cpu_count for m in self.metahosts)
+
+    def nodes(self) -> List[NodeId]:
+        """All node identifiers in (machine, node) order."""
+        return [
+            NodeId(mi, ni)
+            for mi, m in enumerate(self.metahosts)
+            for ni in range(m.node_count)
+        ]
+
+    # -- routing -----------------------------------------------------------
+
+    def link_between(self, a: Location, b: Location) -> LinkSpec:
+        """The link a message between locations *a* and *b* traverses."""
+        self._check_machine(a.machine)
+        self._check_machine(b.machine)
+        if a.same_node(b):
+            return self.loopback
+        if a.same_machine(b):
+            return self._internal_links[a.machine]
+        return self.external_link(a.machine, b.machine)
+
+    def external_link(self, machine_a: int, machine_b: int) -> LinkSpec:
+        """The external link between two metahosts."""
+        self._check_machine(machine_a)
+        self._check_machine(machine_b)
+        if machine_a == machine_b:
+            raise RoutingError(
+                f"machines {machine_a} and {machine_b} are the same metahost"
+            )
+        spec = self._external.get(self._key(machine_a, machine_b))
+        if spec is None:
+            spec = self.default_external
+        if spec is None:
+            names = (
+                self.metahosts[machine_a].name,
+                self.metahosts[machine_b].name,
+            )
+            raise RoutingError(f"no external link between {names[0]} and {names[1]}")
+        return spec
+
+    def internal_link(self, machine: int) -> LinkSpec:
+        """The internal-interconnect link of one metahost."""
+        self._check_machine(machine)
+        return self._internal_links[machine]
+
+    def latency_model(self, spec: LinkSpec) -> LatencyModel:
+        """Memoized :class:`LatencyModel` for a link spec."""
+        key = id(spec)
+        model = self._models.get(key)
+        if model is None:
+            model = LatencyModel(spec)
+            self._models[key] = model
+        return model
+
+    def link_class(self, a: Location, b: Location) -> LinkClass:
+        return self.link_between(a, b).link_class
+
+    # -- helpers -----------------------------------------------------------
+
+    @staticmethod
+    def _key(a: int, b: int) -> Tuple[int, int]:
+        return (a, b) if a < b else (b, a)
+
+    def _check_machine(self, machine: int) -> None:
+        if not 0 <= machine < len(self.metahosts):
+            raise TopologyError(
+                f"no metahost with index {machine} "
+                f"(valid: 0..{len(self.metahosts) - 1})"
+            )
+
+
+@dataclass
+class Placement:
+    """Assignment of MPI ranks to CPUs of the metacomputer.
+
+    Built via :meth:`block` (fill metahosts in order) or
+    :meth:`from_counts` (explicit ``(machine, nodes, procs_per_node)``
+    blocks, mirroring the paper's Table 3 configurations).
+    """
+
+    metacomputer: Metacomputer
+    slots: List[ProcessSlot] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return len(self.slots)
+
+    def slot(self, rank: int) -> ProcessSlot:
+        if not 0 <= rank < len(self.slots):
+            raise TopologyError(f"no rank {rank} (world size {len(self.slots)})")
+        return self.slots[rank]
+
+    def location(self, rank: int) -> Location:
+        return self.slot(rank).location
+
+    def machine_of(self, rank: int) -> int:
+        return self.slot(rank).location.machine
+
+    def ranks_on_machine(self, machine: int) -> List[int]:
+        return [s.rank for s in self.slots if s.location.machine == machine]
+
+    def ranks_by_node(self) -> Dict[NodeId, List[int]]:
+        by_node: Dict[NodeId, List[int]] = {}
+        for s in self.slots:
+            by_node.setdefault(s.node, []).append(s.rank)
+        return by_node
+
+    def machines_used(self) -> List[int]:
+        return sorted({s.location.machine for s in self.slots})
+
+    def spans_metahosts(self, ranks: Optional[Sequence[int]] = None) -> bool:
+        """True when the given ranks (default: all) live on >1 metahost."""
+        pool = self.slots if ranks is None else [self.slot(r) for r in ranks]
+        return len({s.location.machine for s in pool}) > 1
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def block(cls, metacomputer: Metacomputer, nprocs: int) -> "Placement":
+        """Fill metahosts in index order, one rank per CPU."""
+        if nprocs <= 0:
+            raise TopologyError(f"need at least one process, got {nprocs}")
+        if nprocs > metacomputer.total_cpus:
+            raise TopologyError(
+                f"{nprocs} processes do not fit on {metacomputer.total_cpus} CPUs"
+            )
+        slots: List[ProcessSlot] = []
+        rank = 0
+        for mi, host in enumerate(metacomputer.metahosts):
+            for ni, node in enumerate(host.nodes):
+                for ci in range(node.cpus):
+                    if rank >= nprocs:
+                        break
+                    slots.append(
+                        ProcessSlot(
+                            rank=rank,
+                            location=Location(mi, ni, rank, 0),
+                            cpu=node.cpu,
+                        )
+                    )
+                    rank += 1
+        return cls(metacomputer=metacomputer, slots=slots)
+
+    @classmethod
+    def from_counts(
+        cls,
+        metacomputer: Metacomputer,
+        blocks: Sequence[Tuple[str, int, int]],
+    ) -> "Placement":
+        """Place ranks according to ``(metahost_name, nodes, procs_per_node)``.
+
+        Blocks are consumed in order; ranks are assigned consecutively.
+        This is the shape of the paper's Table 3 (e.g. Partrace on
+        ``("FZJ-XD1", 8, 2)``).  Nodes are taken from the start of each
+        metahost; a metahost may appear in several blocks as long as the
+        total node usage fits.
+        """
+        slots: List[ProcessSlot] = []
+        rank = 0
+        used_nodes: Dict[int, int] = {}
+        for name, node_count, ppn in blocks:
+            mi = metacomputer.metahost_index(name)
+            host = metacomputer.metahosts[mi]
+            first = used_nodes.get(mi, 0)
+            if first + node_count > host.node_count:
+                raise TopologyError(
+                    f"block ({name}, {node_count} nodes) exceeds the "
+                    f"{host.node_count} nodes of {name}"
+                )
+            for ni in range(first, first + node_count):
+                node = host.nodes[ni]
+                if ppn > node.cpus:
+                    raise TopologyError(
+                        f"{ppn} processes/node exceed the {node.cpus} CPUs of "
+                        f"node {ni} on {name}"
+                    )
+                for _ in range(ppn):
+                    slots.append(
+                        ProcessSlot(
+                            rank=rank,
+                            location=Location(mi, ni, rank, 0),
+                            cpu=node.cpu,
+                        )
+                    )
+                    rank += 1
+            used_nodes[mi] = first + node_count
+        if not slots:
+            raise TopologyError("placement produced no process slots")
+        return cls(metacomputer=metacomputer, slots=slots)

@@ -1,0 +1,181 @@
+"""Network links and the stochastic latency model.
+
+The metacomputer exposes a *hierarchy of varying latencies and bandwidths*
+(paper Section 1): fast internal interconnects inside each metahost, and
+external links between metahosts whose latency may be an order of magnitude
+(in VIOLA: two orders, Table 1) larger.
+
+Per-message latency is modeled as::
+
+    latency = base + Exponential(jitter)
+
+i.e. a deterministic propagation/protocol floor plus a heavy-ish, strictly
+positive jitter term capturing OS and switch interference.  The exponential
+tail matters: the accuracy of remote-clock-reading offset measurements is
+governed by the *asymmetry* of forward and backward jitter, so a realistic
+tail reproduces the paper's observation that offset measurements over the
+external network are far less precise than over internal networks.
+"""
+
+from __future__ import annotations
+
+import enum
+import zlib
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import TopologyError
+
+
+class LinkClass(enum.Enum):
+    """Classification of a network hop.
+
+    ``LOOPBACK``  — intra-node communication (shared memory).
+    ``INTERNAL``  — between nodes of one metahost.
+    ``EXTERNAL``  — between metahosts (LAN or WAN).
+    """
+
+    LOOPBACK = "loopback"
+    INTERNAL = "internal"
+    EXTERNAL = "external"
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Static description of a (directed-symmetric) network link.
+
+    Parameters
+    ----------
+    latency_s:
+        Mean one-way message latency in seconds (the paper's Table 1 means).
+    jitter_s:
+        Scale of the exponential jitter term.  The standard deviation of the
+        resulting latency equals ``jitter_s``; Table 1's standard deviations
+        are used for the VIOLA presets.
+    bandwidth_bps:
+        Sustained bandwidth in bytes per second.
+    link_class:
+        Hop classification, see :class:`LinkClass`.
+    name:
+        Optional human-readable name (e.g. ``"FZJ<->FH-BRS"``).
+    congestion_prob / congestion_scale_s / congestion_block_s:
+        Slowly-varying *directional* congestion episodes: within each
+        ``congestion_block_s`` window, a given (endpoint-pair, direction)
+        path carries an extra queueing delay that is exponential with scale
+        ``congestion_scale_s`` with probability ``congestion_prob`` (zero
+        otherwise).  This models interference at shared path segments and
+        per-node NIC endpoints — the paper notes external networks "may
+        suffer ... from interference with unrelated traffic".  Because the
+        bias is (a) strictly positive and (b) constant across the few
+        milliseconds of an offset-measurement window, it delays messages
+        without ever reordering them, yet it survives minimum-RTT filtering
+        and makes clock-offset measurements across such links systematically
+        less accurate — the effect the hierarchical synchronization scheme
+        exists to contain.
+    """
+
+    latency_s: float
+    jitter_s: float
+    bandwidth_bps: float
+    link_class: LinkClass = LinkClass.INTERNAL
+    name: str = ""
+    congestion_prob: float = 0.0
+    congestion_scale_s: float = 0.0
+    congestion_block_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0:
+            raise TopologyError(f"latency must be non-negative, got {self.latency_s}")
+        if self.jitter_s < 0:
+            raise TopologyError(f"jitter must be non-negative, got {self.jitter_s}")
+        if self.bandwidth_bps <= 0:
+            raise TopologyError(
+                f"bandwidth must be positive, got {self.bandwidth_bps}"
+            )
+        if not 0.0 <= self.congestion_prob <= 1.0:
+            raise TopologyError(
+                f"congestion probability must be in [0, 1]: {self.congestion_prob}"
+            )
+        if self.congestion_scale_s < 0 or self.congestion_block_s <= 0:
+            raise TopologyError("congestion scale/block must be non-negative/positive")
+
+    @property
+    def base_latency_s(self) -> float:
+        """Deterministic latency floor (mean minus the jitter mean)."""
+        return max(0.0, self.latency_s - self.jitter_s)
+
+
+class LatencyModel:
+    """Samples per-message transfer times for a :class:`LinkSpec`.
+
+    The model is ``base + Exp(jitter) [+ congestion(when, direction)]
+    + size / bandwidth``.  Sampling is driven by a caller-provided
+    :class:`numpy.random.Generator` so that whole simulations are
+    reproducible from one seed; the congestion component is a deterministic
+    function of (link, direction, time block), so two probes in the same
+    window see the same bias.
+    """
+
+    def __init__(self, spec: LinkSpec) -> None:
+        self.spec = spec
+
+    def congestion_bias(self, when: Optional[float], direction: Optional[str]) -> float:
+        """Directional queueing bias active at time *when* (0 if unmodeled)."""
+        spec = self.spec
+        if spec.congestion_prob <= 0.0 or spec.congestion_scale_s <= 0.0:
+            return 0.0
+        if when is None or direction is None:
+            return 0.0
+        block = int(when // spec.congestion_block_s)
+        seed = zlib.crc32(f"{spec.name}|{direction}|{block}".encode("utf-8"))
+        draw = np.random.default_rng(seed)
+        if draw.random() >= spec.congestion_prob:
+            return 0.0
+        return float(draw.exponential(spec.congestion_scale_s))
+
+    def sample_latency(
+        self,
+        rng: np.random.Generator,
+        when: Optional[float] = None,
+        direction: Optional[str] = None,
+    ) -> float:
+        """Draw one one-way latency sample in seconds."""
+        spec = self.spec
+        latency = spec.latency_s
+        if spec.jitter_s > 0.0:
+            latency = spec.base_latency_s + rng.exponential(spec.jitter_s)
+        return latency + self.congestion_bias(when, direction)
+
+    def transfer_time(
+        self,
+        size_bytes: int,
+        rng: np.random.Generator,
+        when: Optional[float] = None,
+        direction: Optional[str] = None,
+    ) -> float:
+        """Draw the total time to move *size_bytes* over the link."""
+        if size_bytes < 0:
+            raise TopologyError(f"message size must be non-negative: {size_bytes}")
+        return (
+            self.sample_latency(rng, when, direction)
+            + size_bytes / self.spec.bandwidth_bps
+        )
+
+    def mean_transfer_time(self, size_bytes: int) -> float:
+        """Expected transfer time (no sampling); useful for cost models."""
+        if size_bytes < 0:
+            raise TopologyError(f"message size must be non-negative: {size_bytes}")
+        return self.spec.latency_s + size_bytes / self.spec.bandwidth_bps
+
+
+def loopback_link(bandwidth_bps: float = 4e9, latency_s: float = 0.5e-6) -> LinkSpec:
+    """Link spec for intra-node (shared-memory) transfers."""
+    return LinkSpec(
+        latency_s=latency_s,
+        jitter_s=latency_s * 0.05,
+        bandwidth_bps=bandwidth_bps,
+        link_class=LinkClass.LOOPBACK,
+        name="loopback",
+    )

@@ -1,0 +1,48 @@
+"""Trace data substrate: event records, region registry, encoding, archives.
+
+Local trace files are per-process streams of fixed-layout binary event
+records (EPILOG-like), referencing a per-archive definitions document that
+holds the region table and the system tree (machine / node / process
+locations, paper Section 3 *Event location*).
+"""
+
+from repro.trace.events import (
+    EventKind,
+    Event,
+    EnterEvent,
+    ExitEvent,
+    SendEvent,
+    RecvEvent,
+    CollExitEvent,
+)
+from repro.trace.regions import RegionRegistry
+from repro.trace.buffer import TraceBuffer
+from repro.trace.encoding import encode_events, decode_events
+from repro.trace.archive import (
+    Definitions,
+    ArchiveWriter,
+    ArchiveReader,
+    trace_filename,
+    DEFINITIONS_FILE,
+    SYNC_FILE,
+)
+
+__all__ = [
+    "EventKind",
+    "Event",
+    "EnterEvent",
+    "ExitEvent",
+    "SendEvent",
+    "RecvEvent",
+    "CollExitEvent",
+    "RegionRegistry",
+    "TraceBuffer",
+    "encode_events",
+    "decode_events",
+    "Definitions",
+    "ArchiveWriter",
+    "ArchiveReader",
+    "trace_filename",
+    "DEFINITIONS_FILE",
+    "SYNC_FILE",
+]

@@ -1,0 +1,187 @@
+"""Experiment archives.
+
+All files of one experiment live in a single archive directory (paper
+Section 3, *Trace file organization*).  On a metacomputer the archive may
+be *partial* — replicated per metahost on whatever storage that metahost
+can reach (Section 4, *Runtime archive management*); each partial archive
+holds the definitions document, the synchronization measurements, and the
+local trace files of the ranks running on that metahost.
+
+Layout inside an archive directory::
+
+    <path>/definitions.json     region table, system tree, communicators
+    <path>/sync.json            offset-measurement records
+    <path>/trace.<rank>.dat     binary event stream of one rank
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.clocks.serialize import sync_data_from_dict, sync_data_to_dict
+from repro.clocks.sync import SyncData
+from repro.errors import ArchiveError
+from repro.fs.filesystem import MountNamespace
+from repro.ids import Location
+from repro.trace.encoding import decode_events, encode_events
+from repro.trace.events import Event
+from repro.trace.regions import RegionRegistry
+
+DEFINITIONS_FILE = "definitions.json"
+SYNC_FILE = "sync.json"
+
+
+def trace_filename(rank: int) -> str:
+    return f"trace.{rank}.dat"
+
+
+@dataclass
+class Definitions:
+    """Archive-wide metadata: system tree, regions, communicators."""
+
+    machine_names: List[str]
+    locations: Dict[int, Location]
+    regions: RegionRegistry
+    communicators: Dict[int, Tuple[str, Tuple[int, ...]]] = field(default_factory=dict)
+
+    @property
+    def world_size(self) -> int:
+        return len(self.locations)
+
+    def machine_of(self, rank: int) -> int:
+        try:
+            return self.locations[rank].machine
+        except KeyError:
+            raise ArchiveError(f"no location recorded for rank {rank}") from None
+
+    def ranks_of_machine(self, machine: int) -> List[int]:
+        return sorted(
+            rank for rank, loc in self.locations.items() if loc.machine == machine
+        )
+
+    def to_json(self) -> str:
+        payload: Dict[str, Any] = {
+            "version": 1,
+            "machine_names": self.machine_names,
+            "locations": {
+                str(rank): list(loc.as_tuple()) for rank, loc in self.locations.items()
+            },
+            "regions": self.regions.to_list(),
+            "communicators": {
+                str(cid): {"name": name, "ranks": list(ranks)}
+                for cid, (name, ranks) in self.communicators.items()
+            },
+        }
+        return json.dumps(payload, indent=1, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Definitions":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ArchiveError(f"malformed definitions document: {exc}") from exc
+        try:
+            locations = {
+                int(rank): Location(*map(int, loc))
+                for rank, loc in payload["locations"].items()
+            }
+            communicators = {
+                int(cid): (entry["name"], tuple(int(r) for r in entry["ranks"]))
+                for cid, entry in payload.get("communicators", {}).items()
+            }
+            return cls(
+                machine_names=list(payload["machine_names"]),
+                locations=locations,
+                regions=RegionRegistry.from_list(payload["regions"]),
+                communicators=communicators,
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ArchiveError(f"malformed definitions document: {exc}") from exc
+
+
+class ArchiveWriter:
+    """Writes one metahost's partial archive through its mount namespace."""
+
+    def __init__(self, namespace: MountNamespace, path: str) -> None:
+        self.namespace = namespace
+        self.path = path.rstrip("/")
+        if not namespace.is_dir(self.path):
+            raise ArchiveError(
+                f"archive directory {self.path} does not exist; run the "
+                "archive-management protocol first"
+            )
+
+    def _file(self, name: str) -> str:
+        return f"{self.path}/{name}"
+
+    def write_definitions(self, definitions: Definitions) -> None:
+        self.namespace.write_file(
+            self._file(DEFINITIONS_FILE),
+            definitions.to_json().encode("utf-8"),
+            overwrite=True,
+        )
+
+    def write_sync_data(self, sync_data: SyncData) -> None:
+        self.namespace.write_file(
+            self._file(SYNC_FILE),
+            json.dumps(sync_data_to_dict(sync_data), sort_keys=True).encode("utf-8"),
+            overwrite=True,
+        )
+
+    def write_trace(self, rank: int, events: Sequence[Event]) -> int:
+        """Write one rank's local trace; returns the encoded byte count."""
+        blob = encode_events(rank, events)
+        self.namespace.write_file(self._file(trace_filename(rank)), blob, overwrite=True)
+        return len(blob)
+
+
+class ArchiveReader:
+    """Reads a (partial) archive through one metahost's namespace.
+
+    The defining constraint of the paper's parallel analysis holds here:
+    a reader can only deliver trace files that are physically present on
+    the file system its namespace resolves the archive path to.
+    """
+
+    def __init__(self, namespace: MountNamespace, path: str) -> None:
+        self.namespace = namespace
+        self.path = path.rstrip("/")
+        if not namespace.is_dir(self.path):
+            raise ArchiveError(f"no archive directory at {self.path}")
+        self._definitions: Optional[Definitions] = None
+
+    def _file(self, name: str) -> str:
+        return f"{self.path}/{name}"
+
+    def definitions(self) -> Definitions:
+        if self._definitions is None:
+            blob = self.namespace.read_file(self._file(DEFINITIONS_FILE))
+            self._definitions = Definitions.from_json(blob.decode("utf-8"))
+        return self._definitions
+
+    def sync_data(self) -> SyncData:
+        blob = self.namespace.read_file(self._file(SYNC_FILE))
+        return sync_data_from_dict(json.loads(blob.decode("utf-8")))
+
+    def has_trace(self, rank: int) -> bool:
+        return self.namespace.is_file(self._file(trace_filename(rank)))
+
+    def read_trace(self, rank: int) -> List[Event]:
+        blob = self.namespace.read_file(self._file(trace_filename(rank)))
+        file_rank, events = decode_events(blob)
+        if file_rank != rank:
+            raise ArchiveError(
+                f"trace file {trace_filename(rank)} claims rank {file_rank}"
+            )
+        return events
+
+    def available_ranks(self) -> List[int]:
+        ranks = []
+        for name in self.namespace.list_dir(self.path):
+            if name.startswith("trace.") and name.endswith(".dat"):
+                middle = name[len("trace."):-len(".dat")]
+                if middle.isdigit():
+                    ranks.append(int(middle))
+        return sorted(ranks)

@@ -1,0 +1,95 @@
+"""Per-process trace buffers.
+
+The tracing backend appends events as they happen; the buffer enforces the
+per-process invariants trace consumers rely on: non-decreasing local time
+stamps and balanced ENTER/EXIT nesting (checked on finalize).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.errors import TraceError
+from repro.trace.events import (
+    CollExitEvent,
+    OmpRegionEvent,
+    EnterEvent,
+    Event,
+    ExitEvent,
+    RecvEvent,
+    SendEvent,
+)
+
+
+class TraceBuffer:
+    """Append-only event log of one process."""
+
+    def __init__(self, rank: int) -> None:
+        self.rank = rank
+        self._events: List[Event] = []
+        self._last_time = float("-inf")
+        self._depth = 0
+        self._finalized = False
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    @property
+    def events(self) -> List[Event]:
+        return self._events
+
+    def _append(self, event: Event) -> None:
+        if self._finalized:
+            raise TraceError(f"trace buffer of rank {self.rank} already finalized")
+        if event.time < self._last_time:
+            raise TraceError(
+                f"rank {self.rank}: non-monotonic local time stamp "
+                f"{event.time} after {self._last_time}"
+            )
+        self._last_time = event.time
+        self._events.append(event)
+
+    def enter(self, time: float, region: int) -> None:
+        self._depth += 1
+        self._append(EnterEvent(time, region))
+
+    def exit(self, time: float, region: int) -> None:
+        if self._depth <= 0:
+            raise TraceError(f"rank {self.rank}: EXIT without matching ENTER")
+        self._depth -= 1
+        self._append(ExitEvent(time, region))
+
+    def send(self, time: float, dest: int, tag: int, comm: int, size: int) -> None:
+        self._append(SendEvent(time, dest, tag, comm, size))
+
+    def recv(self, time: float, source: int, tag: int, comm: int, size: int) -> None:
+        self._append(RecvEvent(time, source, tag, comm, size))
+
+    def omp_region(
+        self, time: float, region: int, nthreads: int, busy_sum: float, busy_max: float
+    ) -> None:
+        if nthreads < 1:
+            raise TraceError(f"rank {self.rank}: team size must be positive")
+        if busy_sum < 0 or busy_max < 0:
+            raise TraceError(f"rank {self.rank}: negative thread busy time")
+        self._append(OmpRegionEvent(time, region, nthreads, busy_sum, busy_max))
+
+    def coll_exit(
+        self, time: float, region: int, comm: int, root: int, sent: int, recvd: int
+    ) -> None:
+        self._append(CollExitEvent(time, region, comm, root, sent, recvd))
+
+    def finalize(self) -> None:
+        """Close the buffer, verifying ENTER/EXIT balance."""
+        if self._depth != 0:
+            raise TraceError(
+                f"rank {self.rank}: {self._depth} unclosed regions at trace end"
+            )
+        self._finalized = True
+
+    @property
+    def finalized(self) -> bool:
+        return self._finalized

@@ -1,0 +1,142 @@
+"""Binary encoding of local trace files.
+
+Fixed-layout little-endian records, one per event, each introduced by a
+one-byte kind tag (see :class:`~repro.trace.events.EventKind`):
+
+====  ==========================================  =======
+kind  payload                                     bytes
+====  ==========================================  =======
+1     ENTER     f64 time, u32 region              13
+2     EXIT      f64 time, u32 region              13
+3     SEND      f64 time, i32 dest, i32 tag,      29
+                u32 comm, u64 size
+4     RECV      f64 time, i32 src,  i32 tag,      29
+                u32 comm, u64 size
+5     COLLEXIT  f64 time, u32 region, u32 comm,   37
+                i32 root, u64 sent, u64 recvd
+6     OMPREGION f64 time, u32 region, u32 team,   33
+                f64 busy_sum, f64 busy_max
+====  ==========================================  =======
+
+A short magic header (``RPRT`` + format version + rank) makes stray files
+detectable.  Decoding is strict: unknown kinds and truncated records raise
+:class:`~repro.errors.EncodingError`.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable, List, Tuple
+
+from repro.errors import EncodingError
+from repro.trace.events import (
+    CollExitEvent,
+    OmpRegionEvent,
+    EnterEvent,
+    Event,
+    EventKind,
+    ExitEvent,
+    RecvEvent,
+    SendEvent,
+)
+
+MAGIC = b"RPRT"
+FORMAT_VERSION = 1
+
+_HEADER = struct.Struct("<4sHI")  # magic, version, rank
+_ENTER = struct.Struct("<dI")
+_EXIT = _ENTER
+_SEND = struct.Struct("<diiIQ")
+_RECV = _SEND
+_COLLEXIT = struct.Struct("<dIIiQQ")
+_OMPREGION = struct.Struct("<dIIdd")
+
+
+def encode_events(rank: int, events: Iterable[Event]) -> bytes:
+    """Serialize *events* of one process to a trace-file byte string."""
+    chunks: List[bytes] = [_HEADER.pack(MAGIC, FORMAT_VERSION, rank)]
+    for event in events:
+        kind = event.kind
+        if kind == EventKind.ENTER:
+            chunks.append(bytes([kind]) + _ENTER.pack(event.time, event.region))
+        elif kind == EventKind.EXIT:
+            chunks.append(bytes([kind]) + _EXIT.pack(event.time, event.region))
+        elif kind == EventKind.SEND:
+            chunks.append(
+                bytes([kind])
+                + _SEND.pack(event.time, event.dest, event.tag, event.comm, event.size)
+            )
+        elif kind == EventKind.RECV:
+            chunks.append(
+                bytes([kind])
+                + _RECV.pack(event.time, event.source, event.tag, event.comm, event.size)
+            )
+        elif kind == EventKind.COLLEXIT:
+            chunks.append(
+                bytes([kind])
+                + _COLLEXIT.pack(
+                    event.time, event.region, event.comm, event.root, event.sent, event.recvd
+                )
+            )
+        elif kind == EventKind.OMPREGION:
+            chunks.append(
+                bytes([kind])
+                + _OMPREGION.pack(
+                    event.time, event.region, event.nthreads,
+                    event.busy_sum, event.busy_max,
+                )
+            )
+        else:  # pragma: no cover - events enum is closed
+            raise EncodingError(f"cannot encode event kind {kind!r}")
+    return b"".join(chunks)
+
+
+def decode_events(data: bytes) -> Tuple[int, List[Event]]:
+    """Parse a trace file; returns ``(rank, events)``."""
+    if len(data) < _HEADER.size:
+        raise EncodingError("trace file shorter than its header")
+    magic, version, rank = _HEADER.unpack_from(data, 0)
+    if magic != MAGIC:
+        raise EncodingError(f"bad magic {magic!r} (expected {MAGIC!r})")
+    if version != FORMAT_VERSION:
+        raise EncodingError(f"unsupported trace format version {version}")
+    events: List[Event] = []
+    offset = _HEADER.size
+    size = len(data)
+    while offset < size:
+        kind = data[offset]
+        offset += 1
+        try:
+            if kind == EventKind.ENTER:
+                time, region = _ENTER.unpack_from(data, offset)
+                offset += _ENTER.size
+                events.append(EnterEvent(time, region))
+            elif kind == EventKind.EXIT:
+                time, region = _EXIT.unpack_from(data, offset)
+                offset += _EXIT.size
+                events.append(ExitEvent(time, region))
+            elif kind == EventKind.SEND:
+                time, dest, tag, comm, msg_size = _SEND.unpack_from(data, offset)
+                offset += _SEND.size
+                events.append(SendEvent(time, dest, tag, comm, msg_size))
+            elif kind == EventKind.RECV:
+                time, source, tag, comm, msg_size = _RECV.unpack_from(data, offset)
+                offset += _RECV.size
+                events.append(RecvEvent(time, source, tag, comm, msg_size))
+            elif kind == EventKind.COLLEXIT:
+                time, region, comm, root, sent, recvd = _COLLEXIT.unpack_from(data, offset)
+                offset += _COLLEXIT.size
+                events.append(CollExitEvent(time, region, comm, root, sent, recvd))
+            elif kind == EventKind.OMPREGION:
+                time, region, nthreads, busy_sum, busy_max = _OMPREGION.unpack_from(
+                    data, offset
+                )
+                offset += _OMPREGION.size
+                events.append(
+                    OmpRegionEvent(time, region, nthreads, busy_sum, busy_max)
+                )
+            else:
+                raise EncodingError(f"unknown record kind {kind} at offset {offset - 1}")
+        except struct.error as exc:
+            raise EncodingError(f"truncated record at offset {offset - 1}") from exc
+    return rank, events

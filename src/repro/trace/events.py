@@ -1,0 +1,109 @@
+"""Event record types.
+
+Five record kinds cover MPI-1 tracing (paper Section 3; the toolset's
+single-machine pattern catalogue is built entirely on them):
+
+``ENTER`` / ``EXIT``
+    Region boundaries — both user functions (``cgiteration``) and MPI calls
+    (``MPI_Recv``).
+``SEND`` / ``RECV``
+    Point-to-point transfer records.  ``SEND`` is written on the sender
+    inside the sending call, ``RECV`` on the receiver inside the completing
+    call; they reference the *global* peer rank, the tag and communicator.
+``COLLEXIT``
+    Collective-operation completion, carrying the communicator, the root
+    and the byte volumes moved — enough for the collective wait-state
+    patterns after the replay gathers all enter times.
+
+Times are node-local clock stamps in seconds; synchronization to master
+time happens post mortem.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Union
+
+
+class EventKind(enum.IntEnum):
+    ENTER = 1
+    EXIT = 2
+    SEND = 3
+    RECV = 4
+    COLLEXIT = 5
+    OMPREGION = 6
+
+
+@dataclass(frozen=True)
+class EnterEvent:
+    time: float
+    region: int
+
+    kind = EventKind.ENTER
+
+
+@dataclass(frozen=True)
+class ExitEvent:
+    time: float
+    region: int
+
+    kind = EventKind.EXIT
+
+
+@dataclass(frozen=True)
+class SendEvent:
+    time: float
+    dest: int  # global rank of the receiver
+    tag: int
+    comm: int
+    size: int
+
+    kind = EventKind.SEND
+
+
+@dataclass(frozen=True)
+class RecvEvent:
+    time: float
+    source: int  # global rank of the sender
+    tag: int
+    comm: int
+    size: int
+
+    kind = EventKind.RECV
+
+
+@dataclass(frozen=True)
+class CollExitEvent:
+    time: float
+    region: int
+    comm: int
+    root: int  # global rank of the root (rank 0 of the comm for barriers)
+    sent: int
+    recvd: int
+
+    kind = EventKind.COLLEXIT
+
+
+@dataclass(frozen=True)
+class OmpRegionEvent:
+    """Summary record of one fork-join parallel region (hybrid codes).
+
+    Written just before the region's EXIT: the team size and the total and
+    maximum per-thread busy time.  Region wall time equals ``busy_max`` (the
+    slowest thread), so per-region thread idleness is
+    ``nthreads · busy_max − busy_sum``.
+    """
+
+    time: float
+    region: int
+    nthreads: int
+    busy_sum: float
+    busy_max: float
+
+    kind = EventKind.OMPREGION
+
+
+Event = Union[
+    EnterEvent, ExitEvent, SendEvent, RecvEvent, CollExitEvent, OmpRegionEvent
+]

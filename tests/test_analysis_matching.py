@@ -1,0 +1,202 @@
+"""Tests for replay message matching and collective grouping."""
+
+import pytest
+
+from repro.analysis.callpath import CallPathRegistry
+from repro.analysis.instances import build_timeline
+from repro.analysis.matching import MessageMatcher
+from repro.clocks.sync import LinearConverter
+from repro.errors import AnalysisError
+from repro.ids import Location
+from repro.trace.events import (
+    CollExitEvent,
+    EnterEvent,
+    ExitEvent,
+    RecvEvent,
+    SendEvent,
+)
+from repro.trace.regions import RegionRegistry
+
+
+@pytest.fixture
+def regions():
+    reg = RegionRegistry()
+    for name in ("main", "MPI_Send", "MPI_Recv", "MPI_Allreduce"):
+        reg.register(name)
+    return reg
+
+
+def _timelines(per_rank_events, regions, machines=None):
+    callpaths = CallPathRegistry()
+    timelines = {}
+    for rank, events in per_rank_events.items():
+        machine = 0 if machines is None else machines[rank]
+        timelines[rank] = build_timeline(
+            rank,
+            Location(machine, 0, rank),
+            events,
+            LinearConverter.identity(),
+            callpaths,
+            regions,
+        )
+    return timelines
+
+
+def _send_events(regions, t0, dest, tag=0, size=64):
+    send = regions.id_of("MPI_Send")
+    return [
+        EnterEvent(t0, send),
+        SendEvent(t0 + 0.01, dest, tag, 0, size),
+        ExitEvent(t0 + 0.02, send),
+    ]
+
+
+def _recv_events(regions, t0, source, tag=0, size=64, t_done=None):
+    recv = regions.id_of("MPI_Recv")
+    t_done = t_done if t_done is not None else t0 + 0.1
+    return [
+        EnterEvent(t0, recv),
+        RecvEvent(t_done, source, tag, 0, size),
+        ExitEvent(t_done, recv),
+    ]
+
+
+class TestP2PMatching:
+    def test_simple_pair(self, regions):
+        timelines = _timelines(
+            {
+                0: _send_events(regions, 0.0, dest=1),
+                1: _recv_events(regions, 0.0, source=0),
+            },
+            regions,
+        )
+        matcher = MessageMatcher(timelines)
+        pairs = list(matcher.matched_pairs())
+        assert len(pairs) == 1
+        pair = pairs[0]
+        assert pair.sender_rank == 0 and pair.receiver_rank == 1
+        assert matcher.stats.matched == 1
+        assert matcher.stats.unmatched_sends == 0
+
+    def test_fifo_order_per_channel(self, regions):
+        sends = (
+            _send_events(regions, 0.0, dest=1)
+            + _send_events(regions, 1.0, dest=1)
+        )
+        recvs = (
+            _recv_events(regions, 0.0, source=0, t_done=1.5)
+            + _recv_events(regions, 1.6, source=0, t_done=2.0)
+        )
+        timelines = _timelines({0: sends, 1: recvs}, regions)
+        pairs = list(MessageMatcher(timelines).matched_pairs())
+        assert pairs[0].send.time < pairs[1].send.time
+        assert pairs[0].recv.time < pairs[1].recv.time
+
+    def test_tags_separate_channels(self, regions):
+        sends = (
+            _send_events(regions, 0.0, dest=1, tag=1)
+            + _send_events(regions, 1.0, dest=1, tag=2)
+        )
+        # Receiver consumes tag 2 first.
+        recvs = (
+            _recv_events(regions, 0.0, source=0, tag=2, t_done=1.5)
+            + _recv_events(regions, 1.6, source=0, tag=1, t_done=2.0)
+        )
+        timelines = _timelines({0: sends, 1: recvs}, regions)
+        pairs = list(MessageMatcher(timelines).matched_pairs())
+        assert pairs[0].recv.tag == 2 and pairs[0].send.tag == 2
+        assert pairs[1].recv.tag == 1
+
+    def test_unmatched_recv_raises(self, regions):
+        timelines = _timelines(
+            {0: [], 1: _recv_events(regions, 0.0, source=0)}, regions
+        )
+        with pytest.raises(AnalysisError, match="no matching SEND"):
+            list(MessageMatcher(timelines).matched_pairs())
+
+    def test_unmatched_sends_counted(self, regions):
+        timelines = _timelines({0: _send_events(regions, 0.0, dest=1), 1: []}, regions)
+        matcher = MessageMatcher(timelines)
+        list(matcher.matched_pairs())
+        assert matcher.stats.unmatched_sends == 1
+
+    def test_grid_predicate(self, regions):
+        timelines = _timelines(
+            {
+                0: _send_events(regions, 0.0, dest=1),
+                1: _recv_events(regions, 0.0, source=0),
+            },
+            regions,
+            machines={0: 0, 1: 1},
+        )
+        pair = next(MessageMatcher(timelines).matched_pairs())
+        assert pair.crosses_metahosts
+
+    def test_metadata_bytes_counted(self, regions):
+        timelines = _timelines(
+            {
+                0: _send_events(regions, 0.0, dest=1),
+                1: _recv_events(regions, 0.0, source=0),
+            },
+            regions,
+        )
+        matcher = MessageMatcher(timelines)
+        list(matcher.matched_pairs())
+        assert matcher.stats.metadata_bytes > 0
+
+
+class TestCollectiveGrouping:
+    def _coll_events(self, regions, t0, t1, comm=0, root=0):
+        region = regions.id_of("MPI_Allreduce")
+        return [
+            EnterEvent(t0, region),
+            CollExitEvent(t1, region, comm, root, 8, 8),
+            ExitEvent(t1, region),
+        ]
+
+    def test_instances_grouped_by_order(self, regions):
+        events = {
+            0: self._coll_events(regions, 0.0, 1.0)
+            + self._coll_events(regions, 2.0, 3.0),
+            1: self._coll_events(regions, 0.5, 1.0)
+            + self._coll_events(regions, 2.5, 3.0),
+        }
+        timelines = _timelines(events, regions)
+        instances = MessageMatcher(timelines).collective_instances()
+        assert len(instances) == 2
+        assert instances[0].size == 2
+        assert instances[0].index == 0 and instances[1].index == 1
+        assert instances[0].last_enter == pytest.approx(0.5)
+
+    def test_spans_metahosts(self, regions):
+        events = {
+            0: self._coll_events(regions, 0.0, 1.0),
+            1: self._coll_events(regions, 0.0, 1.0),
+        }
+        same = MessageMatcher(_timelines(events, regions)).collective_instances()
+        assert not same[0].spans_metahosts
+        spanning = MessageMatcher(
+            _timelines(events, regions, machines={0: 0, 1: 1})
+        ).collective_instances()
+        assert spanning[0].spans_metahosts
+
+    def test_region_mismatch_rejected(self, regions):
+        send = regions.id_of("MPI_Send")
+        bad = [
+            EnterEvent(0.0, send),
+            CollExitEvent(1.0, send, 0, 0, 0, 0),
+            ExitEvent(1.0, send),
+        ]
+        events = {0: self._coll_events(regions, 0.0, 1.0), 1: bad}
+        with pytest.raises(AnalysisError, match="mismatch"):
+            MessageMatcher(_timelines(events, regions)).collective_instances()
+
+    def test_different_comms_independent(self, regions):
+        events = {
+            0: self._coll_events(regions, 0.0, 1.0, comm=0)
+            + self._coll_events(regions, 2.0, 3.0, comm=1),
+            1: self._coll_events(regions, 0.0, 1.0, comm=0)
+            + self._coll_events(regions, 2.0, 3.0, comm=1),
+        }
+        instances = MessageMatcher(_timelines(events, regions)).collective_instances()
+        assert {(i.comm, i.index) for i in instances} == {(0, 0), (1, 0)}

@@ -1,0 +1,78 @@
+"""Tests for the severity cube."""
+
+import pytest
+
+from repro.analysis.severity import SeverityCube
+from repro.errors import AnalysisError
+
+
+@pytest.fixture
+def cube():
+    c = SeverityCube()
+    c.add("late-sender", 1, 0, 0.5)
+    c.add("late-sender", 1, 1, 0.25)
+    c.add("late-sender", 2, 0, 1.0)
+    c.add("time", 1, 0, 10.0)
+    return c
+
+
+class TestAccumulation:
+    def test_totals(self, cube):
+        assert cube.total("late-sender") == pytest.approx(1.75)
+        assert cube.total("time") == pytest.approx(10.0)
+        assert cube.total("missing") == 0.0
+
+    def test_accumulates_same_cell(self):
+        cube = SeverityCube()
+        cube.add("m", 0, 0, 1.0)
+        cube.add("m", 0, 0, 2.0)
+        assert cube.value("m", 0, 0) == pytest.approx(3.0)
+
+    def test_zero_values_ignored(self):
+        cube = SeverityCube()
+        cube.add("m", 0, 0, 0.0)
+        assert cube.metrics() == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(AnalysisError):
+            SeverityCube().add("m", 0, 0, -1.0)
+
+    def test_by_callpath(self, cube):
+        assert cube.by_callpath("late-sender") == {
+            1: pytest.approx(0.75),
+            2: pytest.approx(1.0),
+        }
+
+    def test_by_rank(self, cube):
+        assert cube.by_rank("late-sender") == {
+            0: pytest.approx(1.5),
+            1: pytest.approx(0.25),
+        }
+
+    def test_at_cell_row(self, cube):
+        assert cube.at("late-sender", 1) == {0: 0.5, 1: 0.25}
+        assert cube.at("late-sender", 99) == {}
+
+    def test_top_callpaths(self, cube):
+        top = cube.top_callpaths("late-sender", n=1)
+        assert top == [(2, pytest.approx(1.0))]
+
+    def test_cells_iteration(self, cube):
+        cells = sorted(cube.cells("late-sender"))
+        assert cells == [(1, 0, 0.5), (1, 1, 0.25), (2, 0, 1.0)]
+
+
+class TestAlgebraSupport:
+    def test_copy_is_deep(self, cube):
+        clone = cube.copy()
+        clone.add("late-sender", 1, 0, 1.0)
+        assert cube.value("late-sender", 1, 0) == pytest.approx(0.5)
+
+    def test_scale(self, cube):
+        scaled = cube.scale(2.0)
+        assert scaled.total("late-sender") == pytest.approx(3.5)
+        assert cube.total("late-sender") == pytest.approx(1.75)
+
+    def test_scale_rejects_negative(self, cube):
+        with pytest.raises(AnalysisError):
+            cube.scale(-1.0)

@@ -1,0 +1,110 @@
+"""Tests for the MetaTrace workload configuration and structure."""
+
+import pytest
+
+from repro.apps.metatrace import MetaTraceConfig, make_metatrace_app
+from repro.apps.metatrace.config import (
+    COUPLED_COMM,
+    PARTRACE_COMM,
+    TRACE_COMM,
+)
+from repro.errors import ConfigurationError
+from repro.sim.runtime import MetaMPIRuntime
+from repro.topology.metacomputer import Placement
+from repro.topology.presets import single_cluster
+
+
+def _config(**kwargs):
+    defaults = dict(
+        trace_ranks=tuple(range(4, 8)),
+        partrace_ranks=tuple(range(4)),
+        dims=(4, 1, 1),
+        coupling_intervals=2,
+        cg_iterations=3,
+        cg_work_s=0.005,
+        finelassdt_work_s=0.005,
+        partrace_work_s=0.01,
+        velocity_field_bytes=4 * 1024 * 1024,
+    )
+    defaults.update(kwargs)
+    return MetaTraceConfig(**defaults)
+
+
+class TestConfig:
+    def test_equal_counts_required(self):
+        with pytest.raises(ConfigurationError):
+            _config(partrace_ranks=(0, 1))
+
+    def test_disjoint_ranks_required(self):
+        with pytest.raises(ConfigurationError):
+            _config(partrace_ranks=(4, 5, 6, 7))
+
+    def test_grid_must_cover_trace_ranks(self):
+        with pytest.raises(ConfigurationError):
+            _config(dims=(2, 1, 1))
+
+    def test_partner_mapping_is_index_aligned(self):
+        config = _config()
+        assert config.partner_of_trace(0) == 0
+        assert config.partner_of_trace(3) == 3
+        assert config.partner_of_partrace(2) == 6
+
+    def test_velocity_chunk_split(self):
+        config = _config()
+        assert config.velocity_chunk_bytes == 1024 * 1024
+
+    def test_subcomms_cover_everything(self):
+        config = _config()
+        subs = config.subcomms()
+        assert set(subs) == {TRACE_COMM, PARTRACE_COMM, COUPLED_COMM}
+        assert sorted(subs[COUPLED_COMM]) == list(range(8))
+
+    def test_jitter_bounds(self):
+        with pytest.raises(ConfigurationError):
+            _config(work_jitter=1.0)
+
+
+class TestExecution:
+    @pytest.fixture(scope="class")
+    def run(self):
+        mc = single_cluster(node_count=4, cpus_per_node=2)
+        placement = Placement.block(mc, 8)
+        config = _config()
+        runtime = MetaMPIRuntime(
+            mc, placement, seed=2, subcomms=config.subcomms()
+        )
+        return runtime.run(make_metatrace_app(config)), config
+
+    def test_completes(self, run):
+        result, _config_ = run
+        assert result.stats.finish_time > 0
+
+    def test_velocity_transfers_counted(self, run):
+        result, config = run
+        # Per interval: 4 velocity chunks + 4 steering messages, plus halos.
+        minimum = config.coupling_intervals * len(config.trace_ranks) * 2
+        assert result.stats.p2p_messages >= minimum
+
+    def test_velocity_chunks_use_rendezvous(self, run):
+        result, _ = run
+        assert result.stats.rendezvous_messages >= 8  # 4 pairs × 2 intervals
+
+    def test_expected_regions_traced(self, run):
+        result, _ = run
+        names = result.definitions.regions.names()
+        for expected in (
+            "printtolink",
+            "finelassdt",
+            "cgiteration",
+            "getsteering",
+            "ReadVelFieldFromTrace",
+            "trackparticles",
+            "sendsteering",
+        ):
+            assert expected in names
+
+    def test_collectives_per_interval(self, run):
+        result, config = run
+        # 1 coupled barrier + cg_iterations × 2 allreduces per interval.
+        expected = config.coupling_intervals * (1 + config.cg_iterations * 2)
+        assert result.stats.collectives == expected

@@ -1,0 +1,94 @@
+"""Tests for linear clock models and ensembles."""
+
+import numpy as np
+import pytest
+
+from repro.clocks.clock import ClockEnsemble, LinearClock, perfect_clock
+from repro.errors import ClockError
+from repro.ids import NodeId
+
+
+class TestLinearClock:
+    def test_offset_at_time_zero(self):
+        clock = LinearClock(offset_s=0.5, drift=0.0)
+        assert clock.local_time(0.0) == pytest.approx(0.5)
+
+    def test_drift_accumulates(self):
+        clock = LinearClock(offset_s=0.0, drift=1e-6)
+        assert clock.local_time(100.0) == pytest.approx(100.0 + 1e-4)
+
+    def test_negative_drift(self):
+        clock = LinearClock(offset_s=0.0, drift=-1e-6)
+        assert clock.local_time(100.0) < 100.0
+
+    def test_true_time_inverts_local_time(self):
+        clock = LinearClock(offset_s=3e-3, drift=5e-6)
+        for t in (0.0, 1.0, 123.456):
+            assert clock.true_time(clock.local_time(t)) == pytest.approx(t)
+
+    def test_offset_to_changes_linearly(self):
+        a = LinearClock(offset_s=1e-3, drift=2e-6)
+        b = LinearClock(offset_s=-1e-3, drift=-2e-6)
+        o0 = a.offset_to(b, 0.0)
+        o1 = a.offset_to(b, 100.0)
+        assert o0 == pytest.approx(2e-3)
+        assert o1 - o0 == pytest.approx(4e-4)
+
+    def test_read_without_rng_is_deterministic(self):
+        clock = LinearClock(noise_s=1.0)
+        assert clock.read(5.0) == clock.read(5.0)
+
+    def test_read_with_noise(self, rng):
+        clock = LinearClock(noise_s=1e-6)
+        values = {clock.read(5.0, rng) for _ in range(10)}
+        assert len(values) > 1
+
+    def test_rejects_stopped_clock(self):
+        with pytest.raises(ClockError):
+            LinearClock(drift=-1.0)
+
+    def test_rejects_negative_noise(self):
+        with pytest.raises(ClockError):
+            LinearClock(noise_s=-1e-9)
+
+    def test_perfect_clock_is_identity(self):
+        clock = perfect_clock()
+        assert clock.local_time(42.0) == 42.0
+
+
+class TestClockEnsemble:
+    def _nodes(self, n=4):
+        return [NodeId(0, i) for i in range(n)]
+
+    def test_requires_clocks(self):
+        with pytest.raises(ClockError):
+            ClockEnsemble({})
+
+    def test_random_ensemble_within_bounds(self, rng):
+        ensemble = ClockEnsemble.random(
+            self._nodes(), rng, offset_scale_s=1e-3, drift_scale=1e-6
+        )
+        for node in self._nodes():
+            clock = ensemble.clock(node)
+            assert abs(clock.offset_s) <= 1e-3
+            assert abs(clock.drift) <= 1e-6
+
+    def test_random_ensemble_is_diverse(self, rng):
+        ensemble = ClockEnsemble.random(self._nodes(), rng)
+        offsets = {ensemble.clock(n).offset_s for n in self._nodes()}
+        assert len(offsets) == 4
+
+    def test_unknown_node_raises(self, rng):
+        ensemble = ClockEnsemble.random(self._nodes(), rng)
+        with pytest.raises(ClockError):
+            ensemble.clock(NodeId(9, 9))
+
+    def test_synchronized_ensemble(self):
+        ensemble = ClockEnsemble.synchronized(self._nodes())
+        assert ensemble.local_time(NodeId(0, 2), 7.0) == 7.0
+
+    def test_contains_and_len(self, rng):
+        ensemble = ClockEnsemble.random(self._nodes(3), rng)
+        assert NodeId(0, 1) in ensemble
+        assert NodeId(5, 5) not in ensemble
+        assert len(ensemble) == 3

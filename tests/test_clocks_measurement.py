@@ -1,0 +1,127 @@
+"""Tests for the remote-clock-reading offset measurement."""
+
+import numpy as np
+import pytest
+
+from repro.clocks.clock import LinearClock, perfect_clock
+from repro.clocks.measurement import (
+    OffsetMeasurementConfig,
+    measure_offset,
+)
+from repro.errors import MeasurementError
+from repro.ids import NodeId
+from repro.topology.network import LatencyModel, LinkSpec
+
+A = NodeId(0, 0)
+B = NodeId(1, 0)
+
+
+def _link(jitter_s=1e-6, latency_s=1e-4, **kwargs):
+    return LatencyModel(
+        LinkSpec(latency_s=latency_s, jitter_s=jitter_s, bandwidth_bps=1e9, **kwargs)
+    )
+
+
+class TestConfig:
+    def test_rejects_zero_exchanges(self):
+        with pytest.raises(MeasurementError):
+            OffsetMeasurementConfig(exchanges=0)
+
+    def test_rejects_negative_payload(self):
+        with pytest.raises(MeasurementError):
+            OffsetMeasurementConfig(payload_bytes=-1)
+
+
+class TestMeasureOffset:
+    def test_self_measurement_is_exact(self, rng):
+        m = measure_offset(A, A, perfect_clock(), perfect_clock(), _link(), 0.0, rng)
+        assert m.offset_s == 0.0
+        assert m.rtt_s == 0.0
+        assert m.error_s == 0.0
+
+    def test_recovers_static_offset(self, rng):
+        slave = LinearClock(offset_s=5e-3)
+        master = perfect_clock()
+        m = measure_offset(B, A, slave, master, _link(), 0.0, rng)
+        assert m.offset_s == pytest.approx(5e-3, abs=5e-6)
+        assert abs(m.error_s) < 5e-6
+
+    def test_error_bounded_by_rtt(self, rng):
+        slave = LinearClock(offset_s=-2e-3, drift=1e-6)
+        m = measure_offset(B, A, slave, perfect_clock(), _link(), 10.0, rng)
+        assert abs(m.error_s) <= m.rtt_s / 2 + 1e-9
+
+    def test_more_exchanges_reduce_error(self, rng):
+        slave = LinearClock(offset_s=1e-3)
+        link = _link(jitter_s=2e-5)
+        few = [
+            abs(
+                measure_offset(
+                    B, A, slave, perfect_clock(), link, float(k), rng,
+                    OffsetMeasurementConfig(exchanges=1),
+                ).error_s
+            )
+            for k in range(200)
+        ]
+        many = [
+            abs(
+                measure_offset(
+                    B, A, slave, perfect_clock(), link, 1000.0 + k, rng,
+                    OffsetMeasurementConfig(exchanges=16),
+                ).error_s
+            )
+            for k in range(200)
+        ]
+        assert np.mean(many) < np.mean(few)
+
+    def test_higher_jitter_means_larger_error(self, rng):
+        slave = LinearClock(offset_s=1e-3)
+        quiet = [
+            abs(
+                measure_offset(
+                    B, A, slave, perfect_clock(), _link(jitter_s=3e-7), float(k), rng
+                ).error_s
+            )
+            for k in range(200)
+        ]
+        noisy = [
+            abs(
+                measure_offset(
+                    B, A, slave, perfect_clock(), _link(jitter_s=3e-5), float(k), rng
+                ).error_s
+            )
+            for k in range(200)
+        ]
+        assert np.mean(noisy) > np.mean(quiet)
+
+    def test_congestion_bias_survives_min_rtt_selection(self, rng):
+        """Within one congested window the error is systematically large."""
+        link = _link(
+            jitter_s=1e-6,
+            congestion_prob=1.0,
+            congestion_scale_s=5e-5,
+        )
+        # Direction strings differ, so forward/backward biases differ and
+        # their half-difference cannot be filtered out by min-RTT.
+        slave = LinearClock(offset_s=0.0)
+        errors = [
+            abs(
+                measure_offset(
+                    B, A, slave, perfect_clock(), link, 4.0 * k, rng
+                ).error_s
+            )
+            for k in range(100)
+        ]
+        assert np.mean(errors) > 5e-6  # far above the 1 µs jitter floor
+
+    def test_true_offset_recorded(self, rng):
+        slave = LinearClock(offset_s=2e-3, drift=3e-6)
+        m = measure_offset(B, A, slave, perfect_clock(), _link(), 50.0, rng)
+        expected = slave.offset_to(perfect_clock(), 50.0)
+        assert m.true_offset_s == pytest.approx(expected, abs=1e-6)
+
+    def test_reference_anchor_consistency(self, rng):
+        """offset ≈ slave_local − reference_local at the same instant."""
+        slave = LinearClock(offset_s=7e-3)
+        m = measure_offset(B, A, slave, perfect_clock(), _link(), 0.0, rng)
+        assert m.offset_s == pytest.approx(m.slave_local_s - m.reference_local_s)

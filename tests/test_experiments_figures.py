@@ -1,0 +1,153 @@
+"""Tests regenerating the paper's figures and checking their shapes.
+
+Figure 6 (Experiment 1, three metahosts): Grid Late Sender ≈ 9.3 % of
+execution time, concentrated in ``cgiteration()`` on FH-BRS; Grid Wait at
+Barrier ≈ 23.1 %, concentrated in ``ReadVelFieldFromTrace()`` on the XD1.
+
+Figure 7 (Experiment 2, one metahost): grid severities vanish, the barrier
+waiting time drops sharply, and the steering Late Sender grows — "now Trace
+mostly waits for Partrace".
+"""
+
+import pytest
+
+from repro.analysis.patterns import (
+    GRID_LATE_SENDER,
+    GRID_WAIT_AT_BARRIER,
+    GRID_WAIT_AT_NXN,
+    LATE_SENDER,
+    WAIT_AT_BARRIER,
+)
+from repro.experiments.figures import (
+    run_figure1,
+    run_figure3,
+    run_figure4,
+)
+from repro.errors import ExperimentError
+
+
+class TestFigure1:
+    def test_offset_changes_linearly(self):
+        rows = run_figure1(duration_s=100.0, samples=11)
+        offsets = [row[3] for row in rows]
+        deltas = [b - a for a, b in zip(offsets, offsets[1:])]
+        assert max(deltas) - min(deltas) < 1e-12  # constant slope
+        assert offsets[0] != offsets[-1]  # drifting apart
+
+    def test_initial_offset_visible(self):
+        rows = run_figure1()
+        t0, a0, b0, offset0 = rows[0]
+        assert t0 == 0.0
+        assert offset0 == pytest.approx(a0 - b0)
+        assert abs(offset0) > 1e-3
+
+
+class TestFigure3:
+    def test_hierarchical_beats_flat_intra_metahost(self, table2_outcome):
+        outcome = run_figure3(table2_outcome["run"])
+        flat = outcome.max_abs_us("two-flat-offsets")
+        hier = outcome.max_abs_us("two-hierarchical-offsets")
+        assert hier < flat
+        # Hierarchical pair errors stay below the smallest internal latency
+        # (21.5 µs) — that is why it produces zero violations.
+        assert hier < 21.5
+
+    def test_flat_errors_exceed_internal_latency(self, table2_outcome):
+        outcome = run_figure3(table2_outcome["run"])
+        assert outcome.max_abs_us("two-flat-offsets") > 21.5
+
+
+class TestFigure4:
+    @pytest.fixture(scope="class")
+    def analyses(self):
+        return run_figure4(seed=3)
+
+    def test_late_sender_semantics(self, analyses):
+        result = analyses["late_sender"]
+        assert result.metric_total(LATE_SENDER) > 0.1
+        # Rank 1 is the slow one; its ring successor (rank 2) waits most.
+        by_rank = result.cube.by_rank(LATE_SENDER)
+        assert by_rank.get(2, 0.0) == max(by_rank.values())
+
+    def test_wait_at_nxn_semantics(self, analyses):
+        from repro.analysis.patterns import WAIT_AT_NXN
+
+        result = analyses["wait_at_nxn"]
+        assert result.metric_total(WAIT_AT_NXN) > 0.3
+        by_rank = result.cube.by_rank(WAIT_AT_NXN)
+        assert by_rank.get(1, 0.0) == 0.0  # the slow rank never waits
+
+    def test_grid_variants_present(self, analyses):
+        # The micro-machine spans two metahosts, so grid patterns fire.
+        assert analyses["wait_at_nxn"].metric_total(GRID_WAIT_AT_NXN) > 0.0
+
+
+class TestFigure6Experiment1:
+    def test_grid_late_sender_band(self, metatrace_exp1):
+        assert 5.0 <= metatrace_exp1.grid_late_sender_pct <= 15.0
+
+    def test_grid_wait_at_barrier_band(self, metatrace_exp1):
+        assert 15.0 <= metatrace_exp1.grid_wait_at_barrier_pct <= 32.0
+
+    def test_late_sender_concentrated_in_cgiteration(self, metatrace_exp1):
+        total = metatrace_exp1.result.metric_total(LATE_SENDER)
+        in_cg = metatrace_exp1.late_sender_in("cgiteration")
+        assert in_cg / total > 0.9
+
+    def test_late_sender_mostly_on_fhbrs(self, metatrace_exp1):
+        by_machine = metatrace_exp1.result.machine_breakdown(LATE_SENDER)
+        assert by_machine["FH-BRS"] > 0.8 * sum(by_machine.values())
+
+    def test_barrier_wait_in_read_vel_field_on_xd1(self, metatrace_exp1):
+        total = metatrace_exp1.result.metric_total(WAIT_AT_BARRIER)
+        in_read = metatrace_exp1.wait_at_barrier_in("ReadVelFieldFromTrace")
+        assert in_read / total > 0.9
+        by_machine = metatrace_exp1.result.machine_breakdown(WAIT_AT_BARRIER)
+        assert by_machine["FZJ-XD1"] > 0.9 * sum(by_machine.values())
+
+    def test_grid_subsets_of_parents(self, metatrace_exp1):
+        result = metatrace_exp1.result
+        assert result.metric_total(GRID_LATE_SENDER) <= result.metric_total(
+            LATE_SENDER
+        ) * (1 + 1e-9)
+        assert result.metric_total(GRID_WAIT_AT_BARRIER) <= result.metric_total(
+            WAIT_AT_BARRIER
+        ) * (1 + 1e-9)
+
+    def test_no_clock_violations_with_hierarchical_sync(self, metatrace_exp1):
+        assert metatrace_exp1.result.violations.violations == 0
+
+
+class TestFigure7Experiment2:
+    def test_grid_patterns_vanish(self, metatrace_exp2):
+        assert metatrace_exp2.grid_late_sender_pct == 0.0
+        assert metatrace_exp2.grid_wait_at_barrier_pct == 0.0
+        assert metatrace_exp2.grid_wait_at_nxn_pct == 0.0
+
+    def test_barrier_wait_decreases_sharply(self, metatrace_exp1, metatrace_exp2):
+        assert (
+            metatrace_exp2.wait_at_barrier_pct
+            < metatrace_exp1.wait_at_barrier_pct / 3
+        )
+
+    def test_cgiteration_wait_decreases(self, metatrace_exp1, metatrace_exp2):
+        assert metatrace_exp2.late_sender_in("cgiteration") < (
+            metatrace_exp1.late_sender_in("cgiteration") / 5
+        )
+
+    def test_steering_late_sender_increases(self, metatrace_exp1, metatrace_exp2):
+        """Trace now mostly waits for Partrace (in getsteering)."""
+        assert metatrace_exp2.late_sender_in("getsteering") > 10 * max(
+            metatrace_exp1.late_sender_in("getsteering"), 1e-9
+        )
+        # And it dominates Experiment 2's Late Sender severity.
+        total = metatrace_exp2.result.metric_total(LATE_SENDER)
+        assert metatrace_exp2.late_sender_in("getsteering") / total > 0.5
+
+
+class TestDriverErrors:
+    def test_unknown_experiment_rejected(self):
+        from repro.experiments.figures import run_metatrace_experiment
+
+        with pytest.raises(ExperimentError):
+            run_metatrace_experiment(3)

@@ -1,0 +1,45 @@
+"""Seed robustness of the headline reproductions.
+
+The paper's shapes must not be artifacts of one lucky seed: the Figure 6
+bands and the Table 2 ordering have to hold across random seeds (different
+clock draws, latency jitter, congestion episodes, and work noise).
+"""
+
+import pytest
+
+from repro.analysis.patterns import GRID_LATE_SENDER, GRID_WAIT_AT_BARRIER
+from repro.experiments.figures import run_metatrace_experiment
+from repro.experiments.table2 import run_table2
+
+pytestmark = pytest.mark.slow
+
+
+class TestSeedRobustness:
+    @pytest.mark.parametrize("seed", [3, 77])
+    def test_figure6_bands_hold_across_seeds(self, seed):
+        outcome = run_metatrace_experiment(1, seed=seed, coupling_intervals=3)
+        assert 5.0 <= outcome.grid_late_sender_pct <= 15.0
+        assert 15.0 <= outcome.grid_wait_at_barrier_pct <= 32.0
+
+    @pytest.mark.parametrize("seed", [1, 99])
+    def test_figure7_shape_holds_across_seeds(self, seed):
+        outcome = run_metatrace_experiment(2, seed=seed, coupling_intervals=3)
+        assert outcome.result.metric_total(GRID_LATE_SENDER) == 0.0
+        assert outcome.result.metric_total(GRID_WAIT_AT_BARRIER) == 0.0
+        assert outcome.wait_at_barrier_pct < 5.0
+        assert outcome.late_sender_in("getsteering") > 0.5
+
+    @pytest.mark.parametrize("seed", [2, 31])
+    def test_table2_ordering_holds_across_seeds(self, seed):
+        from repro.apps.clockbench import ClockBenchConfig
+
+        config = ClockBenchConfig(
+            rounds=160, exchanges_per_round=2, inter_round_gap_s=0.15
+        )
+        rows, _run, _analyses = run_table2(seed=seed, config=config)
+        by_scheme = {row.scheme: row.violations for row in rows}
+        assert by_scheme["two-hierarchical-offsets"] == 0
+        assert by_scheme["two-flat-offsets"] > 0
+        assert (
+            by_scheme["single-flat-offset"] > by_scheme["two-flat-offsets"]
+        )

@@ -1,0 +1,132 @@
+"""Tests regenerating Tables 1–3 and checking their paper shapes."""
+
+import pytest
+
+from repro.experiments.configs import (
+    EXPERIMENT1_BLOCKS,
+    EXPERIMENT2_BLOCKS,
+    experiment1,
+    experiment2,
+    table3_text,
+)
+from repro.experiments.table1 import check_table1_shape, run_table1, table1_text
+from repro.experiments.table2 import check_table2_shape, table2_text
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_table1(seed=0, repetitions=200)
+
+    def test_three_rows(self, rows):
+        assert len(rows) == 3
+
+    def test_shape_checks_pass(self, rows):
+        checks = check_table1_shape(rows)
+        assert all(checks.values()), checks
+
+    def test_external_mean_near_paper(self, rows):
+        external = next(r for r in rows if "external" in r.label)
+        assert external.mean_s == pytest.approx(9.88e-4, rel=0.3)
+
+    def test_internal_means_near_paper(self, rows):
+        fzj = next(r for r in rows if r.label.startswith("FZJ ("))
+        fhbrs = next(r for r in rows if r.label.startswith("FH-BRS"))
+        assert fzj.mean_s == pytest.approx(2.15e-5, rel=0.3)
+        assert fhbrs.mean_s == pytest.approx(4.44e-5, rel=0.3)
+
+    def test_text_rendering(self, rows):
+        text = table1_text(rows)
+        assert "FZJ - FH-BRS" in text
+        assert "mean [us]" in text
+
+    def test_deterministic(self):
+        a = run_table1(seed=5, repetitions=50)
+        b = run_table1(seed=5, repetitions=50)
+        assert a[0].mean_s == b[0].mean_s
+
+
+class TestTable2:
+    def test_shape_checks_pass(self, table2_outcome):
+        checks = check_table2_shape(table2_outcome["rows"])
+        assert all(checks.values()), checks
+
+    def test_rows_in_paper_order(self, table2_outcome):
+        assert [r.scheme for r in table2_outcome["rows"]] == [
+            "single-flat-offset",
+            "two-flat-offsets",
+            "two-hierarchical-offsets",
+        ]
+
+    def test_hierarchical_eliminates_violations(self, table2_outcome):
+        hierarchical = table2_outcome["rows"][2]
+        assert hierarchical.violations == 0
+
+    def test_violation_ratio_roughly_paper(self, table2_outcome):
+        """Paper: 7560 vs 2179, a ratio of ≈3.5; ours should be 1.5–10."""
+        single, flat, _ = table2_outcome["rows"]
+        assert flat.violations > 0
+        ratio = single.violations / flat.violations
+        assert 1.2 < ratio < 12.0
+
+    def test_flat_violations_avoid_master_metahost(self, table2_outcome):
+        """Two-flat errors come from external measurements, so violations
+        concentrate on internal messages of non-master metahosts."""
+        analyses = table2_outcome["analyses"]
+        result = analyses["two-flat-offsets"]
+        run = table2_outcome["run"]
+        master_machine = run.placement.machine_of(0)
+        for stamp in result.violations.stamps:
+            if stamp.violates:
+                assert stamp.sender_node.machine == stamp.receiver_node.machine
+                assert stamp.sender_node.machine != master_machine
+
+    def test_all_schemes_saw_same_messages(self, table2_outcome):
+        counts = {r.messages for r in table2_outcome["rows"]}
+        assert len(counts) == 1
+
+    def test_text_rendering(self, table2_outcome):
+        text = table2_text(table2_outcome["rows"])
+        assert "single-flat-offset" in text
+        assert "paper" in text
+
+
+class TestTable3Configs:
+    def test_experiment1_placement_matches_table3(self):
+        mc, placement, config = experiment1()
+        assert placement.size == 32
+        # Partrace on the XD1 (machine index of FZJ-XD1), 16 ranks.
+        xd1 = mc.metahost_index("FZJ-XD1")
+        assert placement.ranks_on_machine(xd1) == list(range(16))
+        fhbrs = mc.metahost_index("FH-BRS")
+        assert placement.ranks_on_machine(fhbrs) == list(range(16, 24))
+        caesar = mc.metahost_index("CAESAR")
+        assert placement.ranks_on_machine(caesar) == list(range(24, 32))
+
+    def test_experiment1_nodes_per_block(self):
+        _, placement, _ = experiment1()
+        # 8 XD1 nodes × 2, 2 FH-BRS nodes × 4, 4 CAESAR nodes × 2.
+        from collections import Counter
+
+        per_node = Counter(slot.node for slot in placement.slots)
+        machine_nodes = Counter(node.machine for node in per_node)
+        assert machine_nodes[placement.slot(0).location.machine] == 8
+
+    def test_experiment2_single_metahost(self):
+        mc, placement, _ = experiment2()
+        assert not mc.is_metacomputing
+        assert placement.size == 32
+        assert len({slot.location.machine for slot in placement.slots}) == 1
+
+    def test_both_experiments_split_models_equally(self):
+        for builder in (experiment1, experiment2):
+            _, _, config = builder()
+            assert len(config.trace_ranks) == len(config.partrace_ranks) == 16
+
+    def test_blocks_constants(self):
+        assert EXPERIMENT1_BLOCKS[0] == ("FZJ-XD1", 8, 2)
+        assert EXPERIMENT2_BLOCKS == (("IBM-AIX-POWER", 1, 16),) * 2
+
+    def test_table3_text(self):
+        text = table3_text()
+        assert "Experiment 1" in text and "Experiment 2" in text

@@ -1,0 +1,48 @@
+"""Tests for locations and node identifiers."""
+
+from repro.ids import Location, NodeId, node_of
+
+
+class TestLocation:
+    def test_tuple_round_trip(self):
+        loc = Location(1, 2, 3, 0)
+        assert loc.as_tuple() == (1, 2, 3, 0)
+        assert tuple(loc) == (1, 2, 3, 0)
+
+    def test_default_thread_is_zero(self):
+        assert Location(0, 0, 5).thread == 0
+
+    def test_ordering_is_hierarchical(self):
+        a = Location(0, 9, 9, 9)
+        b = Location(1, 0, 0, 0)
+        assert a < b
+
+    def test_same_machine_predicate(self):
+        a = Location(0, 0, 0)
+        b = Location(0, 5, 7)
+        c = Location(1, 0, 0)
+        assert a.same_machine(b)
+        assert not a.same_machine(c)
+
+    def test_same_node_requires_same_machine(self):
+        a = Location(0, 1, 0)
+        b = Location(1, 1, 1)
+        assert not a.same_node(b)
+        assert a.same_node(Location(0, 1, 9))
+
+    def test_hashable_and_equal(self):
+        assert Location(1, 2, 3) == Location(1, 2, 3)
+        assert len({Location(1, 2, 3), Location(1, 2, 3)}) == 1
+
+
+class TestNodeId:
+    def test_node_of_location(self):
+        assert node_of(Location(2, 4, 17)) == NodeId(2, 4)
+
+    def test_ordering(self):
+        assert NodeId(0, 5) < NodeId(1, 0)
+        assert NodeId(1, 0) < NodeId(1, 1)
+
+    def test_str_forms(self):
+        assert str(NodeId(1, 2)) == "m1.n2"
+        assert str(Location(1, 2, 3, 0)) == "m1.n2.p3.t0"

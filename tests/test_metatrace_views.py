@@ -1,0 +1,110 @@
+"""Tool views on the paper's MetaTrace workload (Experiment 1).
+
+These assert that the supporting views — trace statistics, the timeline,
+serialization, and the rendered report — tell the *same story* as the
+pattern analysis on the real multi-physics workload, not just on synthetic
+micro-tests.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.patterns import GRID_WAIT_AT_BARRIER, LATE_SENDER
+from repro.analysis.stats import render_statistics, statistics_of
+from repro.report.render import render_analysis
+from repro.report.serialize import experiment_from_dict, result_to_dict
+from repro.report.timeline import render_timeline
+
+pytestmark = pytest.mark.slow
+
+
+class TestMetaTraceStatistics:
+    @pytest.fixture(scope="class")
+    def stats(self, metatrace_exp1):
+        return statistics_of(metatrace_exp1.result)
+
+    def test_velocity_field_dominates_volume(self, stats, metatrace_exp1):
+        """The 200 MB coupling transfer dwarfs halo and steering traffic."""
+        config_chunk = 200 * 1024 * 1024 // 16
+        intervals = 6
+        expected_velocity = 16 * intervals * config_chunk
+        # Velocity chunks travel across metahosts (XD1 ↔ Trace sites).
+        assert stats.comm.external_bytes >= expected_velocity
+        assert stats.comm.external_bytes > 10 * stats.comm.internal_bytes
+
+    def test_heaviest_pairs_are_coupling_pairs(self, stats):
+        """Top traffic pairs are Trace→Partrace velocity transfers."""
+        for (src, dst), _volume in stats.comm.heaviest_pairs(5):
+            assert src >= 16  # Trace ranks
+            assert dst < 16  # Partrace ranks
+
+    def test_cgiteration_is_hottest_compute_region(self, stats):
+        profile = stats.region_profile(top=30)
+        by_name = {r.name: r for r in profile}
+        assert "cgiteration" in by_name
+        # 16 trace ranks × 6 intervals × 25 iterations.
+        assert by_name["cgiteration"].visits == 16 * 6 * 25
+
+    def test_partrace_ranks_mostly_mpi_waiting(self, stats, metatrace_exp1):
+        """Partrace (ranks 0-15) waits at the barrier — high MPI fraction."""
+        partrace = [stats.mpi_fraction_of_rank[r] for r in range(16)]
+        trace = [stats.mpi_fraction_of_rank[r] for r in range(16, 32)]
+        assert sum(partrace) / 16 > sum(trace) / 16
+
+    def test_rendering(self, stats):
+        text = render_statistics(stats)
+        assert "cgiteration" in text or "trackparticles" in text
+
+
+class TestMetaTraceTimeline:
+    def test_timeline_shows_partrace_waiting(self, metatrace_exp1):
+        result = metatrace_exp1.result
+        view = render_timeline(
+            result.timelines,
+            result.definitions.regions,
+            result.callpaths,
+            columns=60,
+            ranks=[0, 20],  # one Partrace rank (XD1), one Trace rank
+        )
+        # The Partrace rank spends a large share of cells in barriers.
+        partrace_row = view.rows[0]
+        assert partrace_row.count("B") > 10
+
+    def test_full_timeline_renders(self, metatrace_exp1):
+        result = metatrace_exp1.result
+        view = render_timeline(
+            result.timelines,
+            result.definitions.regions,
+            result.callpaths,
+            columns=40,
+        )
+        assert len(view.rows) == 32
+
+
+class TestMetaTraceSerialization:
+    def test_result_document_round_trip(self, metatrace_exp1):
+        doc = result_to_dict(metatrace_exp1.result, "exp1")
+        text = json.dumps(doc)  # must be JSON-serializable
+        restored = experiment_from_dict(json.loads(text))
+        assert restored.metric_total(LATE_SENDER) == pytest.approx(
+            metatrace_exp1.result.metric_total(LATE_SENDER)
+        )
+        assert restored.pct(GRID_WAIT_AT_BARRIER) == pytest.approx(
+            metatrace_exp1.result.pct(GRID_WAIT_AT_BARRIER), abs=0.01
+        )
+
+    def test_document_records_scheme_and_violations(self, metatrace_exp1):
+        doc = result_to_dict(metatrace_exp1.result, "exp1")
+        assert doc["scheme"] == "two-hierarchical-offsets"
+        assert doc["violations"]["violations"] == 0
+
+
+class TestMetaTraceReport:
+    def test_full_report_names_the_story(self, metatrace_exp1):
+        text = render_analysis(
+            metatrace_exp1.result, metric=GRID_WAIT_AT_BARRIER, min_pct=0.5
+        )
+        assert "Grid Wait at Barrier" in text
+        assert "ReadVelFieldFromTrace" in text
+        assert "FZJ-XD1" in text

@@ -1,0 +1,111 @@
+"""Property-based tests for the trace codec and severity cube."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.severity import SeverityCube
+from repro.trace.encoding import decode_events, encode_events
+from repro.trace.events import (
+    CollExitEvent,
+    EnterEvent,
+    ExitEvent,
+    RecvEvent,
+    SendEvent,
+)
+
+times = st.floats(min_value=0.0, max_value=1e9, allow_nan=False)
+region_ids = st.integers(min_value=0, max_value=2**32 - 1)
+ranks = st.integers(min_value=-1, max_value=2**31 - 1)
+tags = st.integers(min_value=-1, max_value=2**31 - 1)
+comms = st.integers(min_value=0, max_value=2**32 - 1)
+sizes = st.integers(min_value=0, max_value=2**63 - 1)
+
+events = st.one_of(
+    st.builds(EnterEvent, time=times, region=region_ids),
+    st.builds(ExitEvent, time=times, region=region_ids),
+    st.builds(SendEvent, time=times, dest=ranks, tag=tags, comm=comms, size=sizes),
+    st.builds(RecvEvent, time=times, source=ranks, tag=tags, comm=comms, size=sizes),
+    st.builds(
+        CollExitEvent,
+        time=times,
+        region=region_ids,
+        comm=comms,
+        root=ranks,
+        sent=sizes,
+        recvd=sizes,
+    ),
+)
+
+
+class TestCodecProperties:
+    @given(rank=st.integers(min_value=0, max_value=2**32 - 1), evs=st.lists(events, max_size=60))
+    @settings(max_examples=120)
+    def test_round_trip_identity(self, rank, evs):
+        decoded_rank, decoded = decode_events(encode_events(rank, evs))
+        assert decoded_rank == rank
+        assert decoded == evs
+
+    @given(evs=st.lists(events, max_size=40))
+    def test_encoding_length_is_deterministic(self, evs):
+        assert encode_events(0, evs) == encode_events(0, evs)
+
+    @given(a=st.lists(events, max_size=20), b=st.lists(events, max_size=20))
+    def test_concatenation_of_payloads(self, a, b):
+        """Record streams compose: decoding a+b yields the two event lists."""
+        header_len = len(encode_events(0, []))
+        blob_a = encode_events(0, a)
+        blob_b = encode_events(0, b)
+        combined = blob_a + blob_b[header_len:]
+        _, decoded = decode_events(combined)
+        assert decoded == a + b
+
+
+cells = st.tuples(
+    st.sampled_from(["m1", "m2", "m3"]),
+    st.integers(min_value=0, max_value=5),
+    st.integers(min_value=0, max_value=5),
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+)
+
+
+class TestCubeProperties:
+    @given(st.lists(cells, max_size=80))
+    def test_total_equals_sum_of_inserts(self, inserts):
+        cube = SeverityCube()
+        expected = {}
+        for metric, cpid, rank, value in inserts:
+            cube.add(metric, cpid, rank, value)
+            expected[metric] = expected.get(metric, 0.0) + value
+        for metric, total in expected.items():
+            assert abs(cube.total(metric) - total) < 1e-6
+
+    @given(st.lists(cells, max_size=80))
+    def test_marginals_consistent(self, inserts):
+        cube = SeverityCube()
+        for metric, cpid, rank, value in inserts:
+            cube.add(metric, cpid, rank, value)
+        for metric in cube.metrics():
+            total = cube.total(metric)
+            assert abs(sum(cube.by_callpath(metric).values()) - total) < 1e-6
+            assert abs(sum(cube.by_rank(metric).values()) - total) < 1e-6
+
+    @given(st.lists(cells, max_size=40), st.floats(min_value=0.0, max_value=10.0))
+    def test_scale_linearity(self, inserts, factor):
+        cube = SeverityCube()
+        for metric, cpid, rank, value in inserts:
+            cube.add(metric, cpid, rank, value)
+        scaled = cube.scale(factor)
+        for metric in cube.metrics():
+            assert abs(scaled.total(metric) - cube.total(metric) * factor) < 1e-5
+
+    @given(st.lists(cells, max_size=40))
+    def test_copy_independence(self, inserts):
+        cube = SeverityCube()
+        for metric, cpid, rank, value in inserts:
+            cube.add(metric, cpid, rank, value)
+        snapshot = {m: cube.total(m) for m in cube.metrics()}
+        clone = cube.copy()
+        clone.add("extra", 0, 0, 1.0)
+        for metric, total in snapshot.items():
+            assert cube.total(metric) == total
+        assert cube.total("extra") == 0.0

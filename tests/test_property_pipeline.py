@@ -1,0 +1,107 @@
+"""Property-based tests: random communication schedules, full pipeline.
+
+Generates random — but deadlock-free by construction — communication
+schedules, runs them through simulate → trace → archive → analyze, and
+checks global invariants: every message matches, severities are bounded,
+and the analysis is insensitive to archive layout.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.patterns import LATE_SENDER, P2P, TIME
+from repro.analysis.replay import analyze_run
+from repro.clocks.clock import ClockEnsemble
+from repro.sim.runtime import MetaMPIRuntime
+from repro.topology.metacomputer import Placement
+from repro.topology.presets import uniform_metacomputer
+
+SETTINGS = settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+NPROCS = 4
+
+# One round: a list of (sender, receiver, size) with senders/receivers
+# disjoint — lower rank sends, so every round is trivially deadlock-free.
+rounds = st.lists(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=NPROCS - 1),
+            st.integers(min_value=0, max_value=NPROCS - 1),
+            st.integers(min_value=0, max_value=100_000),
+        ),
+        max_size=4,
+    ),
+    min_size=1,
+    max_size=5,
+)
+
+
+def _schedule_app(schedule):
+    """Each round: chosen senders send, receivers receive, then barrier."""
+
+    def app(ctx):
+        with ctx.region("main"):
+            for round_index, exchanges in enumerate(schedule):
+                clean = [
+                    (src, dst, size)
+                    for (src, dst, size) in exchanges
+                    if src != dst
+                ]
+                with ctx.region("round"):
+                    for order, (src, dst, size) in enumerate(clean):
+                        tag = round_index * 100 + order
+                        if ctx.rank == src:
+                            yield ctx.comm.send(dst, size, tag=tag)
+                    for order, (src, dst, size) in enumerate(clean):
+                        tag = round_index * 100 + order
+                        if ctx.rank == dst:
+                            yield ctx.comm.recv(src, tag=tag)
+                yield ctx.comm.barrier()
+
+    return app
+
+
+def _message_count(schedule):
+    return sum(
+        1 for exchanges in schedule for (src, dst, _s) in exchanges if src != dst
+    )
+
+
+class TestRandomSchedules:
+    @given(schedule=rounds, seed=st.integers(min_value=0, max_value=2**16))
+    @SETTINGS
+    def test_every_message_matched(self, schedule, seed):
+        mc = uniform_metacomputer(metahost_count=2, node_count=2, cpus_per_node=1)
+        placement = Placement.block(mc, NPROCS)
+        run = MetaMPIRuntime(mc, placement, seed=seed).run(_schedule_app(schedule))
+        assert run.stats.p2p_messages == _message_count(schedule)
+        result = analyze_run(run)
+        # The analyzer sees exactly the simulated messages.
+        assert result.violations.total == _message_count(schedule)
+
+    @given(schedule=rounds, seed=st.integers(min_value=0, max_value=2**16))
+    @SETTINGS
+    def test_wait_states_bounded_by_op_time(self, schedule, seed):
+        mc = uniform_metacomputer(metahost_count=2, node_count=2, cpus_per_node=1)
+        placement = Placement.block(mc, NPROCS)
+        run = MetaMPIRuntime(mc, placement, seed=seed).run(_schedule_app(schedule))
+        result = analyze_run(run)
+        eps = 1e-9
+        assert result.metric_total(LATE_SENDER) <= result.metric_total(P2P) + eps
+        assert result.metric_total(P2P) <= result.metric_total(TIME) + eps
+
+    @given(schedule=rounds)
+    @SETTINGS
+    def test_true_causality_under_perfect_clocks(self, schedule):
+        mc = uniform_metacomputer(metahost_count=2, node_count=2, cpus_per_node=1)
+        placement = Placement.block(mc, NPROCS)
+        clocks = ClockEnsemble.synchronized(placement.ranks_by_node())
+        run = MetaMPIRuntime(mc, placement, seed=1, clocks=clocks).run(
+            _schedule_app(schedule)
+        )
+        result = analyze_run(run)
+        assert result.violations.violations == 0

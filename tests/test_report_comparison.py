@@ -1,0 +1,53 @@
+"""Tests for the comparison renderer (algebra presentation)."""
+
+import pytest
+
+from repro.report.algebra import ExperimentData, render_comparison
+
+
+def _experiment(name, late_sender, barrier, total):
+    data = ExperimentData(name=name, total_time=total)
+    data.cells[("late-sender", ("main", "MPI_Recv"), 0)] = late_sender
+    data.cells[("wait-at-barrier", ("main", "MPI_Barrier"), 1)] = barrier
+    return data
+
+
+class TestRenderComparison:
+    def test_table_rows(self):
+        a = _experiment("hetero", 2.0, 5.0, 20.0)
+        b = _experiment("homog", 0.5, 0.5, 10.0)
+        text = render_comparison(a, b)
+        assert "hetero" in text and "homog" in text
+        assert "late-sender" in text
+        assert "wait-at-barrier" in text
+        assert "+1.500" in text  # late-sender delta
+        assert "+10.000" in text  # total-time delta
+
+    def test_movers_ranked_by_magnitude(self):
+        a = _experiment("a", 2.0, 0.1, 5.0)
+        b = _experiment("b", 0.0, 0.2, 5.0)
+        text = render_comparison(a, b, top_paths=1)
+        movers_section = text.split("largest movers")[1]
+        assert "late-sender" in movers_section
+        assert "wait-at-barrier" not in movers_section
+
+    def test_metric_filter(self):
+        a = _experiment("a", 2.0, 5.0, 20.0)
+        b = _experiment("b", 0.5, 0.5, 10.0)
+        text = render_comparison(a, b, metrics=["late-sender"])
+        header, movers = text.split("largest movers")
+        assert "wait-at-barrier" not in header
+
+    def test_all_zero_metrics_skipped(self):
+        a = ExperimentData(name="a", total_time=1.0)
+        a.cells[("late-sender", ("m",), 0)] = 0.0
+        b = ExperimentData(name="b", total_time=1.0)
+        b.cells[("late-sender", ("m",), 0)] = 0.0
+        text = render_comparison(a, b)
+        assert "late-sender" not in text.split("largest movers")[0].split("total time")[1]
+
+    def test_negative_deltas_signed(self):
+        a = _experiment("a", 0.1, 0.1, 5.0)
+        b = _experiment("b", 2.0, 0.1, 5.0)
+        text = render_comparison(a, b)
+        assert "-1.900" in text

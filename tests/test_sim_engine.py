@@ -1,0 +1,110 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+
+
+class TestScheduling:
+    def test_runs_in_time_order(self):
+        engine = Engine()
+        order = []
+        engine.schedule(3.0, lambda: order.append("c"))
+        engine.schedule(1.0, lambda: order.append("a"))
+        engine.schedule(2.0, lambda: order.append("b"))
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion(self):
+        engine = Engine()
+        order = []
+        engine.schedule(1.0, lambda: order.append(1))
+        engine.schedule(1.0, lambda: order.append(2))
+        engine.schedule(1.0, lambda: order.append(3))
+        engine.run()
+        assert order == [1, 2, 3]
+
+    def test_now_advances(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(0.5, lambda: seen.append(engine.now))
+        engine.schedule(1.5, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [0.5, 1.5]
+
+    def test_nested_scheduling(self):
+        engine = Engine()
+        seen = []
+
+        def outer():
+            engine.schedule(1.0, lambda: seen.append(engine.now))
+
+        engine.schedule(1.0, outer)
+        engine.run()
+        assert seen == [2.0]
+
+    def test_rejects_past_scheduling(self):
+        engine = Engine()
+        engine.schedule(1.0, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.schedule_at(0.5, lambda: None)
+        with pytest.raises(SimulationError):
+            engine.schedule(-1.0, lambda: None)
+
+    def test_zero_delay_allowed(self):
+        engine = Engine()
+        hits = []
+        engine.schedule(0.0, lambda: hits.append(1))
+        engine.run()
+        assert hits == [1]
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        engine = Engine()
+        hits = []
+        handle = engine.schedule(1.0, lambda: hits.append("cancelled"))
+        engine.schedule(2.0, lambda: hits.append("kept"))
+        handle.cancel()
+        engine.run()
+        assert hits == ["kept"]
+        assert handle.cancelled
+
+    def test_empty_considers_cancellation(self):
+        engine = Engine()
+        handle = engine.schedule(1.0, lambda: None)
+        assert not engine.empty()
+        handle.cancel()
+        assert engine.empty()
+
+
+class TestRunLimits:
+    def test_until_stops_before_future_events(self):
+        engine = Engine()
+        hits = []
+        engine.schedule(1.0, lambda: hits.append(1))
+        engine.schedule(5.0, lambda: hits.append(2))
+        engine.run(until=2.0)
+        assert hits == [1]
+        assert engine.now == 2.0
+        engine.run()
+        assert hits == [1, 2]
+
+    def test_max_events_guards_livelock(self):
+        engine = Engine()
+
+        def reschedule():
+            engine.schedule(0.0, reschedule)
+
+        engine.schedule(0.0, reschedule)
+        with pytest.raises(SimulationError):
+            engine.run(max_events=100)
+
+    def test_processed_events_counter(self):
+        engine = Engine()
+        for i in range(5):
+            engine.schedule(float(i), lambda: None)
+        engine.run()
+        assert engine.processed_events == 5

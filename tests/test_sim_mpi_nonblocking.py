@@ -1,0 +1,147 @@
+"""Tests for non-blocking point-to-point operations."""
+
+import pytest
+
+from repro.errors import MPIUsageError
+from repro.sim.transfer import SimParams
+from repro.topology.presets import single_cluster
+from tests.test_sim_mpi_p2p import run_world
+
+
+@pytest.fixture
+def mc():
+    return single_cluster(node_count=4, cpus_per_node=2)
+
+
+class TestIsendIrecv:
+    def test_isend_wait_round_trip(self, mc):
+        got = {}
+
+        def app(ctx):
+            if ctx.rank == 0:
+                handle = yield ctx.comm.isend(1, 256, tag=4, data="hello")
+                yield ctx.comm.wait(handle)
+            else:
+                handle = yield ctx.comm.irecv(0, 4)
+                msg = yield ctx.comm.wait(handle)
+                got["msg"] = msg
+
+        run_world(mc, 2, app)
+        assert got["msg"].data == "hello"
+
+    def test_isend_overlaps_compute(self, mc):
+        times = {}
+
+        def app(ctx):
+            if ctx.rank == 0:
+                handle = yield ctx.comm.isend(1, 256, tag=0)
+                yield ctx.compute(0.2)
+                yield ctx.comm.wait(handle)
+                times["send_done"] = ctx.now
+            else:
+                yield ctx.comm.recv(0, 0)
+                times["recv_done"] = ctx.now
+
+        run_world(mc, 2, app)
+        # The eager isend completed during the overlap window, and the
+        # receiver got the message long before the sender's wait returned.
+        assert times["recv_done"] < times["send_done"]
+
+    def test_irecv_posted_before_send(self, mc):
+        got = {}
+
+        def app(ctx):
+            if ctx.rank == 0:
+                handle = yield ctx.comm.irecv(1, 2)
+                msg = yield ctx.comm.wait(handle)
+                got["msg"] = msg
+            else:
+                yield ctx.compute(0.1)
+                yield ctx.comm.send(0, 64, tag=2, data="late")
+
+        run_world(mc, 2, app)
+        assert got["msg"].data == "late"
+
+    def test_wait_on_already_complete_handle(self, mc):
+        times = {}
+
+        def app(ctx):
+            if ctx.rank == 0:
+                yield ctx.comm.send(1, 64, tag=0, data="x")
+            else:
+                handle = yield ctx.comm.irecv(0, 0)
+                yield ctx.compute(0.5)  # message certainly arrived by now
+                msg = yield ctx.comm.wait(handle)
+                times["wait_done"] = ctx.now
+                assert msg.data == "x"
+
+        run_world(mc, 2, app)
+        assert times["wait_done"] == pytest.approx(0.5, abs=0.01)
+
+    def test_rendezvous_isend_completes_at_transfer(self, mc):
+        params = SimParams(eager_threshold_bytes=512)
+        times = {}
+
+        def app(ctx):
+            if ctx.rank == 0:
+                handle = yield ctx.comm.isend(1, 10**6, tag=0)
+                yield ctx.comm.wait(handle)
+                times["send_done"] = ctx.now
+            else:
+                yield ctx.compute(0.3)
+                yield ctx.comm.recv(0, 0)
+
+        run_world(mc, 2, app, params=params)
+        assert times["send_done"] > 0.3
+
+
+class TestWaitall:
+    def test_waitall_gathers_all_messages(self, mc):
+        got = []
+
+        def app(ctx):
+            if ctx.rank == 0:
+                handles = []
+                for src in (1, 2, 3):
+                    handles.append((yield ctx.comm.irecv(src, tag=src)))
+                results = yield ctx.comm.waitall(handles)
+                got.extend(m.data for m in results)
+            else:
+                yield ctx.compute(0.01 * ctx.rank)
+                yield ctx.comm.send(0, 64, tag=ctx.rank, data=ctx.rank)
+
+        run_world(mc, 4, app)
+        assert got == [1, 2, 3]
+
+    def test_waitall_empty_list(self, mc):
+        done = []
+
+        def app(ctx):
+            results = yield ctx.comm.waitall([])
+            done.append(results)
+
+        run_world(mc, 1, app)
+        assert done == [[]]
+
+    def test_waitall_mixes_sends_and_recvs(self, mc):
+        def app(ctx):
+            other = 1 - ctx.rank
+            h1 = yield ctx.comm.isend(other, 128, tag=0)
+            h2 = yield ctx.comm.irecv(other, tag=0)
+            yield ctx.comm.waitall([h1, h2])
+
+        run_world(mc, 2, app)
+
+    def test_double_wait_rejected(self, mc):
+        def app(ctx):
+            if ctx.rank == 0:
+                handle = yield ctx.comm.irecv(1, 0)
+                # Wait on the same pending handle twice in parallel is a
+                # usage error.
+                yield ctx.comm.waitall([handle, handle])
+            else:
+                yield ctx.compute(0.1)
+                yield ctx.comm.send(0, 64, tag=0)
+
+        with pytest.raises(MPIUsageError):
+            run_world(mc, 2, app)

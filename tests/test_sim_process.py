@@ -1,0 +1,70 @@
+"""Tests for generator-based simulated processes."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.ids import Location
+from repro.sim.process import ProcessState, SimProcess
+from repro.topology.machine import CpuSpec
+from repro.topology.metacomputer import ProcessSlot
+
+
+def _slot(rank=0):
+    return ProcessSlot(rank=rank, location=Location(0, 0, rank), cpu=CpuSpec("c", 2.0))
+
+
+class TestStepping:
+    def test_yields_requests_and_receives_results(self):
+        received = []
+
+        def gen():
+            value = yield "req1"
+            received.append(value)
+            yield "req2"
+
+        proc = SimProcess(_slot(), gen())
+        assert proc.step(None) == "req1"
+        assert proc.state is ProcessState.BLOCKED
+        assert proc.step("result1") == "req2"
+        assert received == ["result1"]
+
+    def test_completion(self):
+        def gen():
+            yield "only"
+
+        proc = SimProcess(_slot(), gen())
+        proc.step(None)
+        assert proc.step("x") is None
+        assert proc.state is ProcessState.DONE
+        assert proc.done
+
+    def test_empty_generator_finishes_immediately(self):
+        def gen():
+            return
+            yield  # pragma: no cover
+
+        proc = SimProcess(_slot(), gen())
+        assert proc.step(None) is None
+        assert proc.done
+
+    def test_stepping_done_process_raises(self):
+        def gen():
+            return
+            yield  # pragma: no cover
+
+        proc = SimProcess(_slot(), gen())
+        proc.step(None)
+        with pytest.raises(SimulationError):
+            proc.step(None)
+
+    def test_app_exception_wrapped_with_rank(self):
+        def gen():
+            yield "a"
+            raise ValueError("boom")
+
+        proc = SimProcess(_slot(rank=7), gen())
+        proc.step(None)
+        with pytest.raises(SimulationError, match="rank 7"):
+            proc.step(None)
+        assert proc.state is ProcessState.FAILED
+        assert isinstance(proc.failure, ValueError)

@@ -1,0 +1,130 @@
+"""Tests for the metacomputing-enabled measurement runtime."""
+
+import pytest
+
+from repro.clocks.clock import ClockEnsemble
+from repro.errors import ConfigurationError
+from repro.fs.filesystem import shared_namespace
+from repro.ids import NodeId
+from repro.sim.runtime import MetaMPIRuntime
+from repro.topology.metacomputer import Placement
+from repro.topology.presets import uniform_metacomputer
+
+
+def _simple_app(ctx):
+    with ctx.region("main"):
+        yield ctx.compute(0.01)
+        yield ctx.comm.barrier()
+
+
+@pytest.fixture
+def mc():
+    return uniform_metacomputer(metahost_count=2, node_count=2, cpus_per_node=2)
+
+
+@pytest.fixture
+def run(mc):
+    placement = Placement.block(mc, 6)
+    return MetaMPIRuntime(mc, placement, seed=3).run(_simple_app)
+
+
+class TestRunResult:
+    def test_every_rank_has_a_trace(self, run):
+        for rank in range(6):
+            machine = run.placement.machine_of(rank)
+            assert run.reader(machine).has_trace(rank)
+
+    def test_partial_archives_without_shared_fs(self, run):
+        # Two metahosts, private file systems: two physical archives.
+        assert run.archive_outcome.partial_archive_count == 2
+
+    def test_traces_only_on_own_metahost(self, run):
+        # Rank 0 lives on machine 0; machine 1's archive must not hold it.
+        reader1 = run.reader(1)
+        assert not reader1.has_trace(0)
+        assert reader1.has_trace(5)
+
+    def test_definitions_replicated_per_archive(self, run):
+        defs0 = run.reader(0).definitions()
+        defs1 = run.reader(1).definitions()
+        assert defs0.machine_names == defs1.machine_names
+        assert defs0.locations == defs1.locations
+
+    def test_sync_data_covers_all_nodes_in_use(self, run):
+        nodes = set(run.placement.ranks_by_node())
+        assert set(run.sync_data.records) == nodes
+
+    def test_master_node_is_rank_zero_node(self, run):
+        assert run.sync_data.master_node == run.placement.slot(0).node
+
+    def test_metahost_env_vars_set(self, mc):
+        """The paper's two identification variables reach every process."""
+        seen = {}
+
+        def app(ctx):
+            seen[ctx.rank] = (ctx.metahost_id, ctx.metahost_name)
+            yield ctx.comm.barrier()
+
+        placement = Placement.block(mc, 6)
+        MetaMPIRuntime(mc, placement, seed=0).run(app)
+        assert seen[0] == (0, "metahost0")
+        assert seen[5] == (1, "metahost1")
+
+    def test_trace_bytes_accounted(self, run):
+        assert run.total_trace_bytes == sum(run.trace_bytes.values())
+        assert all(size > 0 for size in run.trace_bytes.values())
+
+
+class TestConfiguration:
+    def test_shared_namespace_gives_single_archive(self, mc):
+        placement = Placement.block(mc, 6)
+        namespaces = shared_namespace(mc.machine_names())
+        run = MetaMPIRuntime(
+            mc, placement, seed=0, namespaces=namespaces
+        ).run(_simple_app)
+        assert run.archive_outcome.partial_archive_count == 1
+        # With a global file system every reader sees every trace.
+        assert run.reader(1).has_trace(0)
+
+    def test_explicit_clocks_used(self, mc):
+        placement = Placement.block(mc, 2)
+        clocks = ClockEnsemble.synchronized([NodeId(0, 0)])
+        runtime = MetaMPIRuntime(mc, placement, seed=0, clocks=clocks)
+        run = runtime.run(_simple_app)
+        assert run.clocks is clocks
+
+    def test_missing_clock_rejected(self, mc):
+        placement = Placement.block(mc, 6)  # uses nodes on both machines
+        clocks = ClockEnsemble.synchronized([NodeId(0, 0)])
+        with pytest.raises(ConfigurationError):
+            MetaMPIRuntime(mc, placement, seed=0, clocks=clocks)
+
+    def test_missing_namespace_rejected(self, mc):
+        placement = Placement.block(mc, 6)
+        namespaces = {0: shared_namespace(["a"])[0]}
+        with pytest.raises(ConfigurationError):
+            MetaMPIRuntime(mc, placement, seed=0, namespaces=namespaces)
+
+    def test_subcomms_created(self, mc):
+        placement = Placement.block(mc, 4)
+        seen = {}
+
+        def app(ctx):
+            sub = ctx.get_comm("pair")
+            seen[ctx.rank] = None if sub is None else sub.size
+            if sub is not None:
+                yield sub.barrier()
+            else:
+                yield ctx.compute(0.001)
+
+        MetaMPIRuntime(
+            mc, placement, seed=0, subcomms={"pair": [1, 2]}
+        ).run(app)
+        assert seen == {0: None, 1: 2, 2: 2, 3: None}
+
+    def test_determinism_across_runtimes(self, mc):
+        placement = Placement.block(mc, 6)
+        a = MetaMPIRuntime(mc, placement, seed=9).run(_simple_app)
+        b = MetaMPIRuntime(mc, placement, seed=9).run(_simple_app)
+        assert a.stats.finish_time == b.stats.finish_time
+        assert a.trace_bytes == b.trace_bytes

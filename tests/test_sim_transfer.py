@@ -1,0 +1,44 @@
+"""Tests for MPI timing parameters and FIFO channel clamping."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.transfer import ChannelClock, SimParams
+
+
+class TestSimParams:
+    def test_eager_threshold(self):
+        params = SimParams(eager_threshold_bytes=1000)
+        assert params.is_eager(1000)
+        assert not params.is_eager(1001)
+
+    def test_eager_send_cost_grows_with_size(self):
+        params = SimParams()
+        assert params.eager_send_cost_s(10**6) > params.eager_send_cost_s(0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"eager_threshold_bytes": -1},
+            {"send_overhead_s": -1.0},
+            {"copy_bandwidth_bps": 0.0},
+            {"measurement_exchanges": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(SimulationError):
+            SimParams(**kwargs)
+
+
+class TestChannelClock:
+    def test_clamps_to_previous_arrival(self):
+        clock = ChannelClock()
+        channel = (0, 1, 2)
+        assert clock.clamp(channel, 1.0) == 1.0
+        assert clock.clamp(channel, 0.5) == 1.0  # cannot overtake
+        assert clock.clamp(channel, 2.0) == 2.0
+
+    def test_channels_are_independent(self):
+        clock = ChannelClock()
+        assert clock.clamp((0, 1, 2), 5.0) == 5.0
+        assert clock.clamp((0, 2, 1), 1.0) == 1.0

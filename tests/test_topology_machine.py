@@ -1,0 +1,72 @@
+"""Tests for CPU, node, and metahost specifications."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.machine import CpuSpec, Metahost, NodeSpec, homogeneous_metahost
+
+
+class TestCpuSpec:
+    def test_work_seconds_scales_with_speed(self):
+        slow = CpuSpec("a", 2.0, speed_factor=1.0)
+        fast = CpuSpec("b", 2.0, speed_factor=2.0)
+        assert slow.work_seconds(1.0) == pytest.approx(1.0)
+        assert fast.work_seconds(1.0) == pytest.approx(0.5)
+
+    def test_rejects_nonpositive_clock(self):
+        with pytest.raises(TopologyError):
+            CpuSpec("a", 0.0)
+
+    def test_rejects_nonpositive_speed(self):
+        with pytest.raises(TopologyError):
+            CpuSpec("a", 2.0, speed_factor=0.0)
+
+
+class TestNodeSpec:
+    def test_rejects_zero_cpus(self):
+        with pytest.raises(TopologyError):
+            NodeSpec(cpus=0, cpu=CpuSpec("a", 1.0))
+
+
+class TestMetahost:
+    def _cpu(self):
+        return CpuSpec("x", 2.0)
+
+    def test_counts(self):
+        host = homogeneous_metahost("h", node_count=3, cpus_per_node=4, cpu=self._cpu())
+        assert host.node_count == 3
+        assert host.cpu_count == 12
+
+    def test_node_lookup_bounds(self):
+        host = homogeneous_metahost("h", node_count=2, cpus_per_node=1, cpu=self._cpu())
+        assert host.node(1).cpus == 1
+        with pytest.raises(TopologyError):
+            host.node(2)
+        with pytest.raises(TopologyError):
+            host.node(-1)
+
+    def test_requires_name_and_nodes(self):
+        with pytest.raises(TopologyError):
+            Metahost(name="", nodes=[NodeSpec(1, self._cpu())])
+        with pytest.raises(TopologyError):
+            Metahost(name="h", nodes=[])
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(TopologyError):
+            Metahost(
+                name="h",
+                nodes=[NodeSpec(1, self._cpu())],
+                internal_latency_s=-1.0,
+            )
+
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(TopologyError):
+            Metahost(
+                name="h",
+                nodes=[NodeSpec(1, self._cpu())],
+                internal_bandwidth_bps=0.0,
+            )
+
+    def test_homogeneous_builder_validates_count(self):
+        with pytest.raises(TopologyError):
+            homogeneous_metahost("h", node_count=0, cpus_per_node=1, cpu=self._cpu())

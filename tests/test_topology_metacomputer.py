@@ -1,0 +1,146 @@
+"""Tests for the metacomputer model and process placement."""
+
+import pytest
+
+from repro.errors import RoutingError, TopologyError
+from repro.ids import Location, NodeId
+from repro.topology.machine import CpuSpec, homogeneous_metahost
+from repro.topology.metacomputer import Metacomputer, Placement
+from repro.topology.network import LinkClass, LinkSpec
+
+
+def _host(name, nodes=2, cpus=2, speed=1.0):
+    return homogeneous_metahost(
+        name, node_count=nodes, cpus_per_node=cpus, cpu=CpuSpec("c", 2.0, speed)
+    )
+
+
+def _external():
+    return LinkSpec(
+        latency_s=1e-3, jitter_s=1e-6, bandwidth_bps=1e9, link_class=LinkClass.EXTERNAL
+    )
+
+
+@pytest.fixture
+def mc():
+    return Metacomputer(
+        [_host("alpha"), _host("beta")], external_links={(0, 1): _external()}
+    )
+
+
+class TestMetacomputer:
+    def test_requires_metahosts(self):
+        with pytest.raises(TopologyError):
+            Metacomputer([])
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(TopologyError):
+            Metacomputer([_host("a"), _host("a")])
+
+    def test_rejects_self_link(self):
+        with pytest.raises(TopologyError):
+            Metacomputer([_host("a"), _host("b")], external_links={(0, 0): _external()})
+
+    def test_metahost_index_by_name(self, mc):
+        assert mc.metahost_index("beta") == 1
+        with pytest.raises(TopologyError):
+            mc.metahost_index("gamma")
+
+    def test_is_metacomputing(self, mc):
+        assert mc.is_metacomputing
+        assert not Metacomputer([_host("solo")]).is_metacomputing
+
+    def test_total_cpus_and_nodes(self, mc):
+        assert mc.total_cpus == 8
+        assert mc.nodes() == [NodeId(0, 0), NodeId(0, 1), NodeId(1, 0), NodeId(1, 1)]
+
+    def test_routing_loopback(self, mc):
+        link = mc.link_between(Location(0, 0, 0), Location(0, 0, 1))
+        assert link.link_class is LinkClass.LOOPBACK
+
+    def test_routing_internal(self, mc):
+        link = mc.link_between(Location(0, 0, 0), Location(0, 1, 1))
+        assert link.link_class is LinkClass.INTERNAL
+        assert "alpha" in link.name
+
+    def test_routing_external_symmetric(self, mc):
+        a = mc.link_between(Location(0, 0, 0), Location(1, 1, 1))
+        b = mc.link_between(Location(1, 1, 1), Location(0, 0, 0))
+        assert a is b
+        assert a.link_class is LinkClass.EXTERNAL
+
+    def test_missing_external_link_raises(self):
+        mc = Metacomputer([_host("a"), _host("b")])
+        with pytest.raises(RoutingError):
+            mc.external_link(0, 1)
+
+    def test_default_external_fallback(self):
+        mc = Metacomputer([_host("a"), _host("b")], default_external=_external())
+        assert mc.external_link(0, 1).link_class is LinkClass.EXTERNAL
+
+    def test_external_link_same_machine_raises(self, mc):
+        with pytest.raises(RoutingError):
+            mc.external_link(1, 1)
+
+    def test_latency_model_memoized(self, mc):
+        spec = mc.internal_link(0)
+        assert mc.latency_model(spec) is mc.latency_model(spec)
+
+    def test_unknown_machine_raises(self, mc):
+        with pytest.raises(TopologyError):
+            mc.metahost(5)
+
+
+class TestPlacementBlock:
+    def test_fills_in_order(self, mc):
+        placement = Placement.block(mc, 5)
+        machines = [placement.machine_of(r) for r in range(5)]
+        assert machines == [0, 0, 0, 0, 1]
+        assert placement.location(4) == Location(1, 0, 4, 0)
+
+    def test_rejects_overflow(self, mc):
+        with pytest.raises(TopologyError):
+            Placement.block(mc, 9)
+
+    def test_rejects_zero(self, mc):
+        with pytest.raises(TopologyError):
+            Placement.block(mc, 0)
+
+    def test_spans_metahosts(self, mc):
+        assert Placement.block(mc, 5).spans_metahosts()
+        assert not Placement.block(mc, 4).spans_metahosts()
+        assert not Placement.block(mc, 5).spans_metahosts([0, 1])
+
+    def test_ranks_by_node(self, mc):
+        placement = Placement.block(mc, 4)
+        by_node = placement.ranks_by_node()
+        assert by_node[NodeId(0, 0)] == [0, 1]
+        assert by_node[NodeId(0, 1)] == [2, 3]
+
+
+class TestPlacementFromCounts:
+    def test_table3_style_blocks(self, mc):
+        placement = Placement.from_counts(mc, [("beta", 1, 2), ("alpha", 2, 1)])
+        assert placement.size == 4
+        assert placement.machine_of(0) == 1
+        assert placement.machine_of(2) == 0
+        # alpha ranks land on distinct nodes (1 proc/node)
+        assert placement.location(2).node != placement.location(3).node
+
+    def test_same_metahost_twice_uses_fresh_nodes(self, mc):
+        placement = Placement.from_counts(mc, [("alpha", 1, 1), ("alpha", 1, 1)])
+        assert placement.location(0).node == 0
+        assert placement.location(1).node == 1
+
+    def test_rejects_node_overflow(self, mc):
+        with pytest.raises(TopologyError):
+            Placement.from_counts(mc, [("alpha", 3, 1)])
+
+    def test_rejects_ppn_overflow(self, mc):
+        with pytest.raises(TopologyError):
+            Placement.from_counts(mc, [("alpha", 1, 3)])
+
+    def test_slot_bounds(self, mc):
+        placement = Placement.block(mc, 2)
+        with pytest.raises(TopologyError):
+            placement.slot(2)

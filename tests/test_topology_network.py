@@ -1,0 +1,120 @@
+"""Tests for link specs and the stochastic latency model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.network import LatencyModel, LinkClass, LinkSpec, loopback_link
+
+
+def _link(**kwargs):
+    defaults = dict(latency_s=1e-4, jitter_s=1e-5, bandwidth_bps=1e9)
+    defaults.update(kwargs)
+    return LinkSpec(**defaults)
+
+
+class TestLinkSpec:
+    def test_base_latency_subtracts_jitter_mean(self):
+        spec = _link(latency_s=1e-4, jitter_s=1e-5)
+        assert spec.base_latency_s == pytest.approx(9e-5)
+
+    def test_base_latency_never_negative(self):
+        spec = _link(latency_s=1e-6, jitter_s=1e-5)
+        assert spec.base_latency_s == 0.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"latency_s": -1.0},
+            {"jitter_s": -1.0},
+            {"bandwidth_bps": 0.0},
+            {"congestion_prob": 1.5},
+            {"congestion_scale_s": -1.0},
+            {"congestion_block_s": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(TopologyError):
+            _link(**kwargs)
+
+    def test_loopback_helper(self):
+        lb = loopback_link()
+        assert lb.link_class is LinkClass.LOOPBACK
+        assert lb.latency_s < 1e-5
+
+
+class TestLatencyModel:
+    def test_deterministic_without_jitter(self, rng):
+        model = LatencyModel(_link(jitter_s=0.0))
+        assert model.sample_latency(rng) == pytest.approx(1e-4)
+
+    def test_sample_mean_matches_spec(self, rng):
+        model = LatencyModel(_link())
+        samples = [model.sample_latency(rng) for _ in range(4000)]
+        assert np.mean(samples) == pytest.approx(1e-4, rel=0.05)
+
+    def test_samples_never_below_base(self, rng):
+        model = LatencyModel(_link())
+        assert all(
+            model.sample_latency(rng) >= model.spec.base_latency_s
+            for _ in range(500)
+        )
+
+    def test_transfer_time_includes_bandwidth_term(self, rng):
+        model = LatencyModel(_link(jitter_s=0.0))
+        small = model.transfer_time(0, rng)
+        big = model.transfer_time(10**9, rng)
+        assert big - small == pytest.approx(1.0)
+
+    def test_transfer_rejects_negative_size(self, rng):
+        with pytest.raises(TopologyError):
+            LatencyModel(_link()).transfer_time(-1, rng)
+
+    def test_mean_transfer_time_is_deterministic(self):
+        model = LatencyModel(_link())
+        assert model.mean_transfer_time(10**9) == pytest.approx(1.0 + 1e-4)
+
+
+class TestCongestion:
+    def _congested(self):
+        return LatencyModel(
+            _link(
+                name="wan",
+                congestion_prob=1.0,
+                congestion_scale_s=50e-6,
+                congestion_block_s=2.0,
+            )
+        )
+
+    def test_zero_without_when_or_direction(self, rng):
+        model = self._congested()
+        assert model.congestion_bias(None, "a->b") == 0.0
+        assert model.congestion_bias(1.0, None) == 0.0
+
+    def test_bias_constant_within_block(self):
+        model = self._congested()
+        b1 = model.congestion_bias(0.1, "a->b")
+        b2 = model.congestion_bias(1.9, "a->b")
+        assert b1 == b2
+        assert b1 > 0.0
+
+    def test_bias_varies_across_blocks_and_directions(self):
+        model = self._congested()
+        biases = {model.congestion_bias(2.0 * k + 0.5, "a->b") for k in range(20)}
+        assert len(biases) > 5  # independent episode draws
+        assert model.congestion_bias(0.5, "a->b") != model.congestion_bias(0.5, "b->a")
+
+    def test_bias_deterministic_across_model_instances(self):
+        a = self._congested().congestion_bias(0.5, "x->y")
+        b = self._congested().congestion_bias(0.5, "x->y")
+        assert a == b
+
+    def test_disabled_congestion_is_zero(self, rng):
+        model = LatencyModel(_link())
+        assert model.congestion_bias(0.5, "a->b") == 0.0
+
+    def test_latency_includes_bias(self, rng):
+        model = self._congested()
+        bias = model.congestion_bias(0.5, "a->b")
+        sample = model.sample_latency(rng, when=0.5, direction="a->b")
+        assert sample >= model.spec.base_latency_s + bias

@@ -1,0 +1,78 @@
+"""Tests for the VIOLA / IBM POWER topology presets."""
+
+import pytest
+
+from repro.ids import Location
+from repro.topology.network import LinkClass
+from repro.topology.presets import (
+    CAESAR,
+    FH_BRS,
+    FZJ_XD1,
+    IBM_POWER,
+    FZJ_FHBRS_LATENCY_S,
+    ibm_aix_power,
+    single_cluster,
+    uniform_metacomputer,
+    viola_testbed,
+)
+
+
+class TestViola:
+    def test_three_sites(self):
+        mc = viola_testbed()
+        assert mc.machine_names() == [CAESAR, FH_BRS, FZJ_XD1]
+
+    def test_node_counts_match_paper(self):
+        mc = viola_testbed()
+        assert mc.metahost(mc.metahost_index(CAESAR)).node_count == 32
+        assert mc.metahost(mc.metahost_index(FH_BRS)).node_count == 6
+        assert mc.metahost(mc.metahost_index(FZJ_XD1)).node_count == 60
+
+    def test_cpus_per_node_match_paper(self):
+        mc = viola_testbed()
+        assert mc.metahost(mc.metahost_index(CAESAR)).nodes[0].cpus == 2
+        assert mc.metahost(mc.metahost_index(FH_BRS)).nodes[0].cpus == 4
+        assert mc.metahost(mc.metahost_index(FZJ_XD1)).nodes[0].cpus == 2
+
+    def test_all_site_pairs_linked(self):
+        mc = viola_testbed()
+        for a in range(3):
+            for b in range(a + 1, 3):
+                link = mc.external_link(a, b)
+                assert link.link_class is LinkClass.EXTERNAL
+                assert link.latency_s == pytest.approx(FZJ_FHBRS_LATENCY_S)
+
+    def test_speed_gap_fhbrs_vs_caesar(self):
+        mc = viola_testbed()
+        fhbrs = mc.metahost(mc.metahost_index(FH_BRS)).nodes[0].cpu
+        caesar = mc.metahost(mc.metahost_index(CAESAR)).nodes[0].cpu
+        assert fhbrs.speed_factor / caesar.speed_factor == pytest.approx(2.0)
+
+    def test_internal_latencies_match_table1(self):
+        mc = viola_testbed()
+        fzj = mc.internal_link(mc.metahost_index(FZJ_XD1))
+        fhbrs = mc.internal_link(mc.metahost_index(FH_BRS))
+        assert fzj.latency_s == pytest.approx(2.15e-5)
+        assert fhbrs.latency_s == pytest.approx(4.44e-5)
+
+    def test_external_links_have_congestion(self):
+        mc = viola_testbed()
+        assert mc.external_link(0, 2).congestion_prob > 0
+        assert mc.internal_link(0).congestion_prob == 0
+
+
+class TestOtherPresets:
+    def test_ibm_power_single_machine(self):
+        mc = ibm_aix_power()
+        assert mc.machine_names() == [IBM_POWER]
+        assert not mc.is_metacomputing
+        assert mc.metahost(0).nodes[0].cpus == 16
+
+    def test_single_cluster(self):
+        mc = single_cluster(node_count=3, cpus_per_node=2)
+        assert mc.total_cpus == 6
+
+    def test_uniform_default_external(self):
+        mc = uniform_metacomputer(metahost_count=3)
+        link = mc.link_between(Location(0, 0, 0), Location(2, 0, 0))
+        assert link.link_class is LinkClass.EXTERNAL

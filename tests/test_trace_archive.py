@@ -1,0 +1,132 @@
+"""Tests for experiment archives (definitions, sync data, local traces)."""
+
+import numpy as np
+import pytest
+
+from repro.clocks.clock import ClockEnsemble
+from repro.clocks.sync import collect_sync_data
+from repro.errors import ArchiveError
+from repro.fs.filesystem import SimFileSystem, MountNamespace
+from repro.ids import Location, NodeId
+from repro.trace.archive import (
+    ArchiveReader,
+    ArchiveWriter,
+    DEFINITIONS_FILE,
+    Definitions,
+    trace_filename,
+)
+from repro.trace.events import EnterEvent, ExitEvent, SendEvent
+from repro.trace.regions import RegionRegistry
+from repro.topology.presets import single_cluster
+
+
+def _definitions():
+    regions = RegionRegistry()
+    regions.register("main")
+    regions.register("MPI_Send")
+    return Definitions(
+        machine_names=["alpha", "beta"],
+        locations={0: Location(0, 0, 0), 1: Location(1, 0, 1)},
+        regions=regions,
+        communicators={0: ("world", (0, 1))},
+    )
+
+
+def _namespace():
+    ns = MountNamespace({"/work": SimFileSystem("fs")})
+    ns.create_dir("/work/exp")
+    return ns
+
+
+def _sync_data():
+    mc = single_cluster(node_count=2, cpus_per_node=1)
+    rng = np.random.default_rng(0)
+    nodes = {0: [NodeId(0, 0), NodeId(0, 1)]}
+    clocks = ClockEnsemble.random(nodes[0], rng)
+    return collect_sync_data(mc, nodes, clocks, NodeId(0, 0), 0.0, 1.0, rng)
+
+
+class TestDefinitions:
+    def test_json_round_trip(self):
+        defs = _definitions()
+        restored = Definitions.from_json(defs.to_json())
+        assert restored.machine_names == defs.machine_names
+        assert restored.locations == defs.locations
+        assert restored.regions.to_list() == defs.regions.to_list()
+        assert restored.communicators == defs.communicators
+
+    def test_machine_of(self):
+        defs = _definitions()
+        assert defs.machine_of(1) == 1
+        with pytest.raises(ArchiveError):
+            defs.machine_of(9)
+
+    def test_ranks_of_machine(self):
+        defs = _definitions()
+        assert defs.ranks_of_machine(0) == [0]
+        assert defs.ranks_of_machine(5) == []
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(ArchiveError):
+            Definitions.from_json("{not json")
+        with pytest.raises(ArchiveError):
+            Definitions.from_json("{}")
+
+
+class TestWriterReader:
+    def test_round_trip(self):
+        ns = _namespace()
+        writer = ArchiveWriter(ns, "/work/exp")
+        defs = _definitions()
+        writer.write_definitions(defs)
+        writer.write_sync_data(_sync_data())
+        events = [EnterEvent(0.0, 0), SendEvent(0.5, 1, 0, 0, 64), ExitEvent(1.0, 0)]
+        size = writer.write_trace(0, events)
+        assert size > 0
+
+        reader = ArchiveReader(ns, "/work/exp")
+        assert reader.definitions().machine_names == ["alpha", "beta"]
+        assert reader.read_trace(0) == events
+        assert reader.sync_data().master_node == NodeId(0, 0)
+
+    def test_writer_requires_existing_directory(self):
+        ns = MountNamespace({"/work": SimFileSystem("fs")})
+        with pytest.raises(ArchiveError):
+            ArchiveWriter(ns, "/work/missing")
+
+    def test_reader_requires_existing_directory(self):
+        ns = MountNamespace({"/work": SimFileSystem("fs")})
+        with pytest.raises(ArchiveError):
+            ArchiveReader(ns, "/work/missing")
+
+    def test_available_ranks(self):
+        ns = _namespace()
+        writer = ArchiveWriter(ns, "/work/exp")
+        for rank in (0, 3, 17):
+            writer.write_trace(rank, [])
+        reader = ArchiveReader(ns, "/work/exp")
+        assert reader.available_ranks() == [0, 3, 17]
+        assert reader.has_trace(3)
+        assert not reader.has_trace(5)
+
+    def test_rank_mismatch_detected(self):
+        ns = _namespace()
+        writer = ArchiveWriter(ns, "/work/exp")
+        writer.write_trace(0, [])
+        # Corrupt: copy rank 0's file to rank 1's name.
+        blob = ns.read_file(f"/work/exp/{trace_filename(0)}")
+        ns.write_file(f"/work/exp/{trace_filename(1)}", blob)
+        reader = ArchiveReader(ns, "/work/exp")
+        with pytest.raises(ArchiveError, match="claims rank"):
+            reader.read_trace(1)
+
+    def test_definitions_cached(self):
+        ns = _namespace()
+        writer = ArchiveWriter(ns, "/work/exp")
+        writer.write_definitions(_definitions())
+        reader = ArchiveReader(ns, "/work/exp")
+        assert reader.definitions() is reader.definitions()
+
+    def test_filenames(self):
+        assert trace_filename(12) == "trace.12.dat"
+        assert DEFINITIONS_FILE == "definitions.json"

@@ -1,0 +1,123 @@
+"""Tests for trace buffers and the binary encoding."""
+
+import pytest
+
+from repro.errors import EncodingError, TraceError
+from repro.trace.buffer import TraceBuffer
+from repro.trace.encoding import FORMAT_VERSION, MAGIC, decode_events, encode_events
+from repro.trace.events import (
+    CollExitEvent,
+    EnterEvent,
+    ExitEvent,
+    RecvEvent,
+    SendEvent,
+)
+
+
+class TestBuffer:
+    def test_collects_events_in_order(self):
+        buf = TraceBuffer(0)
+        buf.enter(0.0, 1)
+        buf.send(0.5, 2, 3, 0, 100)
+        buf.exit(1.0, 1)
+        buf.finalize()
+        assert [type(e).__name__ for e in buf] == [
+            "EnterEvent",
+            "SendEvent",
+            "ExitEvent",
+        ]
+
+    def test_rejects_time_reversal(self):
+        buf = TraceBuffer(0)
+        buf.enter(1.0, 1)
+        with pytest.raises(TraceError, match="non-monotonic"):
+            buf.exit(0.5, 1)
+
+    def test_equal_stamps_allowed(self):
+        buf = TraceBuffer(0)
+        buf.enter(1.0, 1)
+        buf.exit(1.0, 1)
+        buf.finalize()
+
+    def test_exit_without_enter_rejected(self):
+        buf = TraceBuffer(0)
+        with pytest.raises(TraceError):
+            buf.exit(0.0, 1)
+
+    def test_finalize_checks_balance(self):
+        buf = TraceBuffer(3)
+        buf.enter(0.0, 1)
+        with pytest.raises(TraceError, match="unclosed"):
+            buf.finalize()
+
+    def test_append_after_finalize_rejected(self):
+        buf = TraceBuffer(0)
+        buf.finalize()
+        with pytest.raises(TraceError):
+            buf.enter(0.0, 1)
+
+
+SAMPLE_EVENTS = [
+    EnterEvent(0.0, 0),
+    EnterEvent(0.25, 1),
+    SendEvent(0.5, 3, 7, 0, 4096),
+    RecvEvent(0.75, 2, -1, 1, 123456789),
+    ExitEvent(1.0, 1),
+    CollExitEvent(1.5, 2, 0, 3, 1024, 2048),
+    ExitEvent(2.0, 0),
+]
+
+
+class TestEncoding:
+    def test_round_trip(self):
+        blob = encode_events(7, SAMPLE_EVENTS)
+        rank, events = decode_events(blob)
+        assert rank == 7
+        assert events == SAMPLE_EVENTS
+
+    def test_empty_trace_round_trip(self):
+        rank, events = decode_events(encode_events(0, []))
+        assert rank == 0
+        assert events == []
+
+    def test_header_magic(self):
+        blob = encode_events(1, [])
+        assert blob.startswith(MAGIC)
+
+    def test_bad_magic_rejected(self):
+        blob = b"XXXX" + encode_events(0, [])[4:]
+        with pytest.raises(EncodingError, match="magic"):
+            decode_events(blob)
+
+    def test_bad_version_rejected(self):
+        import struct
+
+        blob = struct.pack("<4sHI", MAGIC, FORMAT_VERSION + 1, 0)
+        with pytest.raises(EncodingError, match="version"):
+            decode_events(blob)
+
+    def test_truncated_header_rejected(self):
+        with pytest.raises(EncodingError):
+            decode_events(b"RP")
+
+    def test_truncated_record_rejected(self):
+        blob = encode_events(0, SAMPLE_EVENTS)
+        with pytest.raises(EncodingError, match="truncated"):
+            decode_events(blob[:-3])
+
+    def test_unknown_kind_rejected(self):
+        blob = encode_events(0, []) + bytes([99]) + b"\x00" * 12
+        with pytest.raises(EncodingError, match="unknown record kind"):
+            decode_events(blob)
+
+    def test_timestamps_preserved_exactly(self):
+        events = [EnterEvent(0.1234567890123456, 0), ExitEvent(1e-9, 0)]
+        # Note: buffer monotonicity is not enforced by the codec itself.
+        _, decoded = decode_events(encode_events(0, events))
+        assert decoded[0].time == events[0].time
+        assert decoded[1].time == events[1].time
+
+    def test_large_sizes_survive(self):
+        events = [SendEvent(0.0, 1, 0, 0, 200 * 1024 * 1024)]
+        _, decoded = decode_events(encode_events(0, events))
+        assert decoded[0].size == 200 * 1024 * 1024
