@@ -1,0 +1,242 @@
+"""Hot-path pipeline benchmark: simulate → encode → decode → replay.
+
+Times each stage of the toolset's end-to-end pipeline on the scaled
+Experiment 1 workload (32/64/128 ranks by default) and writes the results
+to ``BENCH_pipeline.json``:
+
+* **simulate** — run the coupled MetaTrace application on the simulated
+  VIOLA metacomputer and write all trace archives (one pass; includes the
+  encoder, since the runtime serializes traces as it goes);
+* **encode**   — re-serialize every rank's decoded event list with
+  :func:`~repro.trace.encoding.encode_events`;
+* **decode**   — parse every rank's trace file with
+  :func:`~repro.trace.encoding.decode_events`;
+* **replay**   — full :class:`~repro.analysis.replay.ReplayAnalyzer` pass
+  (streaming decode, timeline build, matching, pattern accumulation).
+
+Encode/decode/replay are timed as the minimum over ``reps`` repetitions
+(the simulation runs once per factor — it is deterministic and by far the
+longest stage).  Usable three ways:
+
+* pytest (tier-2 perf suite): ``pytest benchmarks/bench_pipeline_hotpath.py``;
+* script: ``PYTHONPATH=src python benchmarks/bench_pipeline_hotpath.py
+  --factors 1 2 4 --out BENCH_pipeline.json``;
+* library: :func:`run_pipeline_benchmark` from the smoke test.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import pathlib
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.replay import ReplayAnalyzer
+from repro.apps.metatrace import make_metatrace_app
+from repro.experiments.configs import scaled_experiment1
+from repro.sim.runtime import MetaMPIRuntime
+from repro.trace.encoding import decode_events, encode_events
+
+#: Schema identifier written into (and checked against) the JSON artifact.
+SCHEMA = "repro-bench-pipeline/1"
+
+#: Default scale factors: 32, 64 and 128 ranks.
+DEFAULT_FACTORS = (1, 2, 4)
+DEFAULT_SEED = 1
+DEFAULT_REPS = 3
+DEFAULT_OUT = pathlib.Path(__file__).parent / "out" / "BENCH_pipeline.json"
+
+#: Stage keys each result carries, in pipeline order.
+STAGE_KEYS = ("simulate_s", "encode_s", "decode_s", "replay_s")
+
+
+def bench_factor(
+    factor: int,
+    seed: int = DEFAULT_SEED,
+    reps: int = DEFAULT_REPS,
+    coupling_intervals: Optional[int] = None,
+    cg_iterations: Optional[int] = None,
+) -> Dict[str, object]:
+    """Time all four stages for one scale factor; returns one result row."""
+    metacomputer, placement, config = scaled_experiment1(
+        factor, coupling_intervals=coupling_intervals
+    )
+    if cg_iterations is not None:
+        config = dataclasses.replace(config, cg_iterations=cg_iterations)
+    nranks = len(config.trace_ranks) + len(config.partrace_ranks)
+
+    runtime = MetaMPIRuntime(
+        metacomputer, placement, seed=seed, subcomms=config.subcomms()
+    )
+    t0 = time.perf_counter()
+    run = runtime.run(make_metatrace_app(config))
+    simulate_s = time.perf_counter() - t0
+
+    readers = {m: run.reader(m) for m in run.machines_used}
+    definitions = next(iter(readers.values())).definitions()
+    blobs = []
+    for rank in sorted(definitions.locations):
+        reader = readers[definitions.locations[rank].machine]
+        blobs.append((rank, reader.read_trace_blob(rank)))
+
+    decode_s = float("inf")
+    event_count = 0
+    decoded: List[object] = []
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        event_count = 0
+        decoded = []
+        for rank, blob in blobs:
+            _, events = decode_events(blob)
+            event_count += len(events)
+            decoded.append((rank, events))
+        decode_s = min(decode_s, time.perf_counter() - t0)
+
+    encode_s = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        for rank, events in decoded:
+            encode_events(rank, events)
+        encode_s = min(encode_s, time.perf_counter() - t0)
+
+    replay_s = float("inf")
+    matched = 0
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        result = ReplayAnalyzer(readers).analyze()
+        replay_s = min(replay_s, time.perf_counter() - t0)
+        matched = result.violations.total
+    return {
+        "factor": factor,
+        "ranks": nranks,
+        "events": event_count,
+        "trace_bytes": run.total_trace_bytes,
+        "matched_pairs": matched,
+        "stages": {
+            "simulate_s": simulate_s,
+            "encode_s": encode_s,
+            "decode_s": decode_s,
+            "replay_s": replay_s,
+        },
+    }
+
+
+def run_pipeline_benchmark(
+    factors: Sequence[int] = DEFAULT_FACTORS,
+    seed: int = DEFAULT_SEED,
+    reps: int = DEFAULT_REPS,
+    coupling_intervals: Optional[int] = None,
+    cg_iterations: Optional[int] = None,
+) -> Dict[str, object]:
+    """Run the benchmark at every factor; returns the JSON-ready document."""
+    results: List[Dict[str, object]] = [
+        bench_factor(
+            factor,
+            seed=seed,
+            reps=reps,
+            coupling_intervals=coupling_intervals,
+            cg_iterations=cg_iterations,
+        )
+        for factor in factors
+    ]
+    return {
+        "schema": SCHEMA,
+        "workload": "scaled-experiment1",
+        "seed": seed,
+        "reps": reps,
+        "stage_keys": list(STAGE_KEYS),
+        "results": results,
+    }
+
+
+def validate_document(doc: Dict[str, object]) -> None:
+    """Raise ``ValueError`` unless *doc* matches the BENCH_pipeline schema."""
+    if doc.get("schema") != SCHEMA:
+        raise ValueError(f"unexpected schema {doc.get('schema')!r}")
+    results = doc.get("results")
+    if not isinstance(results, list) or not results:
+        raise ValueError("results must be a non-empty list")
+    for row in results:
+        for key in ("factor", "ranks", "events", "trace_bytes", "stages"):
+            if key not in row:
+                raise ValueError(f"result row missing {key!r}: {row}")
+        stages = row["stages"]
+        for stage in STAGE_KEYS:
+            value = stages.get(stage)
+            if not isinstance(value, (int, float)) or value < 0:
+                raise ValueError(f"stage {stage!r} has bad value {value!r}")
+
+
+def write_document(doc: Dict[str, object], out: pathlib.Path) -> None:
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+
+
+try:  # pytest entry point; the module stays runnable without pytest.
+    import pytest
+except ImportError:  # pragma: no cover - script usage
+    pytest = None
+
+
+if pytest is not None:
+
+    @pytest.mark.perf
+    @pytest.mark.slow
+    def test_perf_pipeline_hotpath():
+        """Full 32/64/128-rank run; writes benchmarks/out/BENCH_pipeline.json."""
+        doc = run_pipeline_benchmark()
+        validate_document(doc)
+        write_document(doc, DEFAULT_OUT)
+        for row in doc["results"]:
+            assert row["events"] > 0
+            # Decode must beat simulate by a wide margin: it reads what the
+            # simulation took seconds to produce.
+            assert row["stages"]["decode_s"] < row["stages"]["simulate_s"]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--factors",
+        type=int,
+        nargs="+",
+        default=list(DEFAULT_FACTORS),
+        help="scale factors (ranks = 32 * factor); default: 1 2 4",
+    )
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument(
+        "--reps", type=int, default=DEFAULT_REPS, help="min-of-N repetitions"
+    )
+    parser.add_argument(
+        "--intervals",
+        type=int,
+        default=None,
+        help="override coupling_intervals (smaller = faster run)",
+    )
+    parser.add_argument(
+        "--out", type=pathlib.Path, default=DEFAULT_OUT, help="output JSON path"
+    )
+    args = parser.parse_args(argv)
+    doc = run_pipeline_benchmark(
+        factors=args.factors,
+        seed=args.seed,
+        reps=args.reps,
+        coupling_intervals=args.intervals,
+    )
+    validate_document(doc)
+    write_document(doc, args.out)
+    for row in doc["results"]:
+        stages = row["stages"]
+        print(
+            f"factor {row['factor']:>2} ({row['ranks']:>3} ranks, "
+            f"{row['events']:>7} events): "
+            + "  ".join(f"{k[:-2]} {stages[k]:.4f}s" for k in STAGE_KEYS)
+        )
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,27 +11,24 @@ here requires data from other ranks.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterable, List, NamedTuple, Optional
 
-from repro.analysis.callpath import CallPathBuilder, CallPathRegistry
+from repro.analysis.callpath import ROOT_PATH, CallPathRegistry
 from repro.clocks.sync import LinearConverter
 from repro.errors import AnalysisError
 from repro.ids import Location, NodeId, node_of
-from repro.trace.events import (
-    CollExitEvent,
-    OmpRegionEvent,
-    EnterEvent,
-    Event,
-    ExitEvent,
-    RecvEvent,
-    SendEvent,
-)
+from repro.trace.events import Event, EventKind
 from repro.trace.regions import RegionRegistry, is_mpi_region
 
 
-@dataclass(frozen=True)
-class SendRecord:
-    """A SEND event with synchronized stamp, in trace order."""
+class SendRecord(NamedTuple):
+    """A SEND event with synchronized stamp, in trace order.
+
+    The per-event records are ``NamedTuple``\\ s for the same reason the raw
+    trace events are: ``build_timeline`` constructs one per communication
+    record and tuple construction is several times cheaper than a frozen
+    dataclass ``__init__``.
+    """
 
     time: float
     dest: int  # global rank
@@ -40,8 +37,7 @@ class SendRecord:
     size: int
 
 
-@dataclass(frozen=True)
-class RecvRecord:
+class RecvRecord(NamedTuple):
     """A RECV event with synchronized stamp, in trace order."""
 
     time: float
@@ -51,8 +47,7 @@ class RecvRecord:
     size: int
 
 
-@dataclass(frozen=True)
-class CollRecord:
+class CollRecord(NamedTuple):
     """A COLLEXIT event with synchronized stamp."""
 
     time: float
@@ -63,8 +58,7 @@ class CollRecord:
     recvd: int
 
 
-@dataclass(frozen=True)
-class OmpRegionRecord:
+class OmpRegionRecord(NamedTuple):
     """One fork-join region with synchronized times and team summary."""
 
     cpid: int
@@ -80,7 +74,7 @@ class OmpRegionRecord:
         return max(0.0, self.nthreads * self.busy_max - self.busy_sum)
 
 
-@dataclass
+@dataclass(slots=True)
 class MPIOpInstance:
     """One completed MPI call of one rank, with synchronized times."""
 
@@ -130,13 +124,22 @@ class ProcessTimeline:
 def build_timeline(
     rank: int,
     location: Location,
-    events: Sequence[Event],
+    events: Iterable[Event],
     converter: LinearConverter,
     callpaths: CallPathRegistry,
     regions: RegionRegistry,
 ) -> ProcessTimeline:
-    """Walk one rank's events and produce its synchronized timeline."""
-    builder = CallPathBuilder(callpaths)
+    """Walk one rank's events and produce its synchronized timeline.
+
+    *events* may be any iterable — in particular the streaming decoder of
+    :meth:`~repro.trace.archive.ArchiveReader.stream_trace`, so a trace is
+    consumed record by record without a full in-memory event list.
+
+    This is the replay's innermost loop (every event of every rank passes
+    through once), so it dispatches on the integer event kind, inlines the
+    affine clock conversion, and caches the per-region MPI classification
+    instead of resolving region names per event.
+    """
     timeline = ProcessTimeline(
         rank=rank, location=location, first_time=0.0, last_time=0.0
     )
@@ -144,29 +147,48 @@ def build_timeline(
     frame_stack: List[List] = []
     first: Optional[float] = None
     last = 0.0
+    count = 0
+
+    slope = converter.slope
+    intercept = converter.intercept
+    intern = callpaths.intern
+    visits = timeline.visits
+    exclusive_time = timeline.exclusive_time
+    mpi_ops_append = timeline.mpi_ops.append
+    #: region id → region name when it is an MPI region, else None.
+    mpi_name: Dict[int, Optional[str]] = {}
+    kind_enter, kind_exit = int(EventKind.ENTER), int(EventKind.EXIT)
+    kind_send, kind_recv = int(EventKind.SEND), int(EventKind.RECV)
+    kind_collexit, kind_omp = int(EventKind.COLLEXIT), int(EventKind.OMPREGION)
 
     for event in events:
-        t = converter.convert(event.time)
+        t = event.time * slope + intercept
         if first is None:
             first = t
         last = t
-        if isinstance(event, EnterEvent):
-            cpid = builder.enter(event.region)
-            timeline.visits[cpid] = timeline.visits.get(cpid, 0) + 1
-            name = regions.name_of(event.region)
+        count += 1
+        kind = event.kind
+        if kind == kind_enter:
+            region = event.region
+            cpid = intern(frame_stack[-1][0] if frame_stack else ROOT_PATH, region)
+            visits[cpid] = visits.get(cpid, 0) + 1
+            name = mpi_name.get(region, _UNRESOLVED)
+            if name is _UNRESOLVED:
+                resolved = regions.name_of(region)
+                name = resolved if is_mpi_region(resolved) else None
+                mpi_name[region] = name
             instance = None
-            if is_mpi_region(name):
+            if name is not None:
                 instance = MPIOpInstance(
                     rank=rank,
-                    region=event.region,
+                    region=region,
                     op_name=name,
                     cpid=cpid,
                     enter=t,
                     exit=t,
                 )
-            frame_stack.append([cpid, event.region, t, 0.0, instance])
-        elif isinstance(event, ExitEvent):
-            builder.exit(event.region)
+            frame_stack.append([cpid, region, t, 0.0, instance])
+        elif kind == kind_exit:
             if not frame_stack:
                 raise AnalysisError(f"rank {rank}: EXIT without open frame")
             cpid, region, enter_t, child_time, instance = frame_stack.pop()
@@ -175,32 +197,34 @@ def build_timeline(
                     f"rank {rank}: EXIT region {event.region} does not match "
                     f"open region {region}"
                 )
-            duration = max(0.0, t - enter_t)
-            exclusive = max(0.0, duration - child_time)
-            timeline.exclusive_time[cpid] = (
-                timeline.exclusive_time.get(cpid, 0.0) + exclusive
+            duration = t - enter_t
+            if duration < 0.0:
+                duration = 0.0
+            exclusive = duration - child_time
+            exclusive_time[cpid] = exclusive_time.get(cpid, 0.0) + (
+                exclusive if exclusive > 0.0 else 0.0
             )
             if frame_stack:
                 frame_stack[-1][3] += duration
             if instance is not None:
                 instance.exit = t
-                timeline.mpi_ops.append(instance)
-        elif isinstance(event, SendEvent):
+                mpi_ops_append(instance)
+        elif kind == kind_send:
             instance = _open_mpi_instance(frame_stack, rank, "SEND")
             instance.sends.append(
                 SendRecord(t, event.dest, event.tag, event.comm, event.size)
             )
-        elif isinstance(event, RecvEvent):
+        elif kind == kind_recv:
             instance = _open_mpi_instance(frame_stack, rank, "RECV")
             instance.recvs.append(
                 RecvRecord(t, event.source, event.tag, event.comm, event.size)
             )
-        elif isinstance(event, CollExitEvent):
+        elif kind == kind_collexit:
             instance = _open_mpi_instance(frame_stack, rank, "COLLEXIT")
             instance.coll = CollRecord(
                 t, event.region, event.comm, event.root, event.sent, event.recvd
             )
-        elif isinstance(event, OmpRegionEvent):
+        elif kind == kind_omp:
             if not frame_stack or frame_stack[-1][1] != event.region:
                 raise AnalysisError(
                     f"rank {rank}: OMPREGION record outside its region frame"
@@ -218,15 +242,19 @@ def build_timeline(
             )
         else:  # pragma: no cover - closed event union
             raise AnalysisError(f"rank {rank}: unknown event {event!r}")
-        timeline.event_count += 1
 
     if frame_stack:
         raise AnalysisError(
             f"rank {rank}: {len(frame_stack)} regions still open at trace end"
         )
+    timeline.event_count = count
     timeline.first_time = first if first is not None else 0.0
     timeline.last_time = last if first is not None else 0.0
     return timeline
+
+
+#: Cache-miss sentinel for the per-region MPI-name cache (None is a valid hit).
+_UNRESOLVED = object()
 
 
 def _open_mpi_instance(frame_stack: List[List], rank: int, what: str) -> MPIOpInstance:

@@ -13,8 +13,9 @@ collective operation on a communicator belongs to that communicator's
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Callable, Deque, Dict, Iterator, List, Optional, Tuple
 
 from repro.analysis.instances import (
     CollRecord,
@@ -33,23 +34,70 @@ PAIR_METADATA_BYTES = 48
 COLLECTIVE_MEMBER_BYTES = 16
 
 
-@dataclass(frozen=True)
 class MatchedPair:
-    """One send/receive pair with both sides' context."""
+    """One send/receive pair with both sides' context.
 
-    sender_rank: int
-    sender_location: Location
-    send_op: MPIOpInstance
-    send: SendRecord
-    receiver_rank: int
-    receiver_location: Location
-    recv_op: MPIOpInstance
-    recv: RecvRecord
+    A plain slotted class rather than a dataclass: the replay creates one
+    per matched message, and the quantities every downstream consumer needs
+    — the grid predicate and the Late Sender / Late Receiver waiting times
+    — are computed once at construction instead of being rederived by each
+    of the five point-to-point patterns plus the grid breakdown.
 
-    @property
-    def crosses_metahosts(self) -> bool:
-        """The grid predicate: endpoints on different machines."""
-        return self.sender_location.machine != self.receiver_location.machine
+    ``late_sender_wait`` is the interval between entering the receiving
+    call and the sender entering the sending call, clipped to the receiving
+    call (≥ 0); ``late_receiver_wait`` is the dual; ``crosses_metahosts``
+    is true when the endpoints live on different machines.
+    """
+
+    __slots__ = (
+        "sender_rank",
+        "sender_location",
+        "send_op",
+        "send",
+        "receiver_rank",
+        "receiver_location",
+        "recv_op",
+        "recv",
+        "crosses_metahosts",
+        "late_sender_wait",
+        "late_receiver_wait",
+    )
+
+    def __init__(
+        self,
+        sender_rank: int,
+        sender_location: Location,
+        send_op: MPIOpInstance,
+        send: SendRecord,
+        receiver_rank: int,
+        receiver_location: Location,
+        recv_op: MPIOpInstance,
+        recv: RecvRecord,
+    ) -> None:
+        self.sender_rank = sender_rank
+        self.sender_location = sender_location
+        self.send_op = send_op
+        self.send = send
+        self.receiver_rank = receiver_rank
+        self.receiver_location = receiver_location
+        self.recv_op = recv_op
+        self.recv = recv
+        self.crosses_metahosts = sender_location.machine != receiver_location.machine
+        send_enter = send_op.enter
+        send_exit = send_op.exit
+        recv_enter = recv_op.enter
+        recv_exit = recv_op.exit
+        wait = (send_enter if send_enter < recv_exit else recv_exit) - recv_enter
+        self.late_sender_wait = wait if wait > 0.0 else 0.0
+        wait = (recv_enter if recv_enter < send_exit else send_exit) - send_enter
+        self.late_receiver_wait = wait if wait > 0.0 else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MatchedPair(sender_rank={self.sender_rank}, "
+            f"receiver_rank={self.receiver_rank}, send={self.send!r}, "
+            f"recv={self.recv!r})"
+        )
 
 
 @dataclass
@@ -102,56 +150,80 @@ class MessageMatcher:
     ``comm_ranks`` optionally maps communicator ids to their global ranks
     in communicator-rank order (from the archive's definitions document);
     collective instances then carry it as ``comm_order`` so order-sensitive
-    patterns (Early Scan) can use true comm-rank order.
+    patterns (Early Scan) can use true comm-rank order.  ``comm_lookup``
+    is the lazy alternative: a callable resolving one communicator id on
+    first use, so callers with large definitions documents don't build the
+    whole table up front for the handful of communicators a trace touches.
     """
 
     def __init__(
         self,
         timelines: Dict[int, ProcessTimeline],
         comm_ranks: Optional[Dict[int, Tuple[int, ...]]] = None,
+        comm_lookup: Optional[Callable[[int], Optional[Tuple[int, ...]]]] = None,
     ) -> None:
         self.timelines = timelines
         self.comm_ranks = comm_ranks or {}
+        self._comm_lookup = comm_lookup
+        self._comm_order_cache: Dict[int, Optional[Tuple[int, ...]]] = {}
         self.stats = MatchStats()
+
+    def _order_of(self, comm: int) -> Optional[Tuple[int, ...]]:
+        """Comm-rank order of one communicator, resolved lazily and cached."""
+        order = self.comm_ranks.get(comm)
+        if order is not None or self._comm_lookup is None:
+            return order
+        if comm not in self._comm_order_cache:
+            self._comm_order_cache[comm] = self._comm_lookup(comm)
+        return self._comm_order_cache[comm]
 
     # -- point-to-point -------------------------------------------------------
 
     def matched_pairs(self) -> Iterator[MatchedPair]:
         """Yield every matched pair (receiver trace order per rank)."""
-        queues: Dict[Tuple[int, int, int, int], List[Tuple[MPIOpInstance, SendRecord]]] = {}
+        queues: Dict[Tuple[int, int, int, int], Deque[Tuple[MPIOpInstance, SendRecord]]] = {}
         for rank in sorted(self.timelines):
             timeline = self.timelines[rank]
             for op in timeline.mpi_ops:
                 for send in op.sends:
                     key = (rank, send.dest, send.tag, send.comm)
-                    queues.setdefault(key, []).append((op, send))
+                    queue = queues.get(key)
+                    if queue is None:
+                        queues[key] = queue = deque()
+                    queue.append((op, send))
 
-        for rank in sorted(self.timelines):
-            timeline = self.timelines[rank]
+        timelines = self.timelines
+        stats = self.stats
+        matched = 0
+        for rank in sorted(timelines):
+            timeline = timelines[rank]
+            location = timeline.location
             for op in timeline.mpi_ops:
                 for recv in op.recvs:
-                    key = (recv.source, rank, recv.tag, recv.comm)
+                    source = recv.source
+                    key = (source, rank, recv.tag, recv.comm)
                     queue = queues.get(key)
                     if not queue:
-                        self.stats.unmatched_recvs += 1
+                        stats.unmatched_recvs += 1
                         raise AnalysisError(
-                            f"rank {rank}: RECV from {recv.source} "
+                            f"rank {rank}: RECV from {source} "
                             f"(tag {recv.tag}, comm {recv.comm}) has no matching SEND"
                         )
-                    send_op, send = queue.pop(0)
-                    self.stats.matched += 1
-                    self.stats.metadata_bytes += PAIR_METADATA_BYTES
+                    send_op, send = queue.popleft()
+                    matched += 1
                     yield MatchedPair(
-                        sender_rank=recv.source,
-                        sender_location=self.timelines[recv.source].location,
-                        send_op=send_op,
-                        send=send,
-                        receiver_rank=rank,
-                        receiver_location=timeline.location,
-                        recv_op=op,
-                        recv=recv,
+                        source,
+                        timelines[source].location,
+                        send_op,
+                        send,
+                        rank,
+                        location,
+                        op,
+                        recv,
                     )
-        self.stats.unmatched_sends = sum(len(q) for q in queues.values())
+        stats.matched = matched
+        stats.metadata_bytes += matched * PAIR_METADATA_BYTES
+        stats.unmatched_sends = sum(len(q) for q in queues.values())
 
     # -- collectives -------------------------------------------------------------
 
@@ -170,7 +242,7 @@ class MessageMatcher:
                 key = (coll.comm, index)
                 instance = instances.get(key)
                 if instance is None:
-                    order = self.comm_ranks.get(coll.comm)
+                    order = self._order_of(coll.comm)
                     instance = CollectiveInstance(
                         comm=coll.comm,
                         index=index,

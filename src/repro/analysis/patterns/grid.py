@@ -23,8 +23,6 @@ from repro.analysis.patterns.base import (
     GRID_WAIT_AT_NXN,
     NXN_OPS,
 )
-from repro.analysis.patterns.point2point import late_receiver_wait, late_sender_wait
-
 #: Ordered (causing machine, waiting machine) pair.
 MachinePair = Tuple[int, int]
 
@@ -75,11 +73,11 @@ def accumulate_p2p(breakdown: GridPairBreakdown, pair: MatchedPair) -> None:
         return
     sender_machine = pair.sender_location.machine
     receiver_machine = pair.receiver_location.machine
-    ls = late_sender_wait(pair)
+    ls = pair.late_sender_wait
     if ls > 0.0:
         # The sender's metahost causes the receiver's metahost to wait.
         breakdown.add(GRID_LATE_SENDER, sender_machine, receiver_machine, ls)
-    lr = late_receiver_wait(pair)
+    lr = pair.late_receiver_wait
     if lr > 0.0:
         breakdown.add(GRID_LATE_RECEIVER, receiver_machine, sender_machine, lr)
 

@@ -17,8 +17,7 @@ metahosts has taken place" and attribute the same waiting time.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, NamedTuple, Tuple
 
 from repro.analysis.matching import MatchedPair
 from repro.analysis.patterns.base import (
@@ -30,8 +29,7 @@ from repro.analysis.patterns.base import (
 )
 
 
-@dataclass(frozen=True)
-class P2PContribution:
+class P2PContribution(NamedTuple):
     """One pattern hit: severity located at (rank, call path)."""
 
     metric: str
@@ -51,25 +49,19 @@ class P2PPattern:
 
 def late_sender_wait(pair: MatchedPair) -> float:
     """Waiting time of the Late Sender situation for one pair (≥ 0)."""
-    recv_enter = pair.recv_op.enter
-    recv_exit = pair.recv_op.exit
-    send_enter = pair.send_op.enter
-    return max(0.0, min(send_enter, recv_exit) - recv_enter)
+    return pair.late_sender_wait
 
 
 def late_receiver_wait(pair: MatchedPair) -> float:
     """Waiting time of the Late Receiver situation for one pair (≥ 0)."""
-    send_enter = pair.send_op.enter
-    send_exit = pair.send_op.exit
-    recv_enter = pair.recv_op.enter
-    return max(0.0, min(recv_enter, send_exit) - send_enter)
+    return pair.late_receiver_wait
 
 
 class LateSenderPattern(P2PPattern):
     name = LATE_SENDER
 
     def contributions(self, pair: MatchedPair) -> List[P2PContribution]:
-        wait = late_sender_wait(pair)
+        wait = pair.late_sender_wait
         if wait <= 0.0:
             return []
         return [
@@ -83,7 +75,7 @@ class GridLateSenderPattern(P2PPattern):
     def contributions(self, pair: MatchedPair) -> List[P2PContribution]:
         if not pair.crosses_metahosts:
             return []
-        wait = late_sender_wait(pair)
+        wait = pair.late_sender_wait
         if wait <= 0.0:
             return []
         return [
@@ -112,7 +104,7 @@ class WrongOrderPattern(P2PPattern):
         self._latest_send[key] = max(this_send, previous) if previous is not None else this_send
         if previous is None or this_send >= previous:
             return []
-        wait = late_sender_wait(pair)
+        wait = pair.late_sender_wait
         if wait <= 0.0:
             return []
         return [
@@ -124,7 +116,7 @@ class LateReceiverPattern(P2PPattern):
     name = LATE_RECEIVER
 
     def contributions(self, pair: MatchedPair) -> List[P2PContribution]:
-        wait = late_receiver_wait(pair)
+        wait = pair.late_receiver_wait
         if wait <= 0.0:
             return []
         return [P2PContribution(self.name, pair.sender_rank, pair.send_op.cpid, wait)]
@@ -136,7 +128,7 @@ class GridLateReceiverPattern(P2PPattern):
     def contributions(self, pair: MatchedPair) -> List[P2PContribution]:
         if not pair.crosses_metahosts:
             return []
-        wait = late_receiver_wait(pair)
+        wait = pair.late_receiver_wait
         if wait <= 0.0:
             return []
         return [P2PContribution(self.name, pair.sender_rank, pair.send_op.cpid, wait)]

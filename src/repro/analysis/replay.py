@@ -80,6 +80,49 @@ class AnalysisResult:
     #: severities per (causing metahost, waiting metahost) combination.
     grid_pairs: GridPairBreakdown = field(default_factory=GridPairBreakdown)
 
+    # Lazily built query indexes.  The cube and call-path registry are
+    # frozen once analyze() returns, so caching is safe; before these,
+    # every metric_in_region/metric_under_region call re-walked every call
+    # path (and rebuilt the per-callpath marginal) per query.
+    _by_callpath_cache: Dict[str, Dict[int, float]] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+    _leaf_index: Optional[Dict[int, List[int]]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _containment_index: Optional[Dict[int, List[int]]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def _by_callpath(self, metric: str) -> Dict[int, float]:
+        cached = self._by_callpath_cache.get(metric)
+        if cached is None:
+            cached = self.cube.by_callpath(metric)
+            self._by_callpath_cache[metric] = cached
+        return cached
+
+    def _region_indexes(self) -> Tuple[Dict[int, List[int]], Dict[int, List[int]]]:
+        """``(leaf index, containment index)``: region id → cpids.
+
+        Built in one pass over the interned paths.  Parents are always
+        interned before their children, so a path's region set is its
+        parent's set plus its own leaf region.
+        """
+        if self._leaf_index is None or self._containment_index is None:
+            leaf: Dict[int, List[int]] = {}
+            containment: Dict[int, List[int]] = {}
+            region_sets: Dict[int, frozenset] = {}
+            for path in self.callpaths.all_paths():
+                leaf.setdefault(path.region, []).append(path.cpid)
+                parent_set = region_sets.get(path.parent, frozenset())
+                regions = parent_set | {path.region}
+                region_sets[path.cpid] = regions
+                for rid in regions:
+                    containment.setdefault(rid, []).append(path.cpid)
+            self._leaf_index = leaf
+            self._containment_index = containment
+        return self._leaf_index, self._containment_index
+
     # -- metric access ----------------------------------------------------------
 
     def metric_total(self, metric: str) -> float:
@@ -148,31 +191,31 @@ class AnalysisResult:
         cpid = self.callpaths.find(self.definitions.regions, *names)
         if cpid is None:
             return 0.0
-        return sum(self.cube.at(metric, cpid).values())
+        return self._by_callpath(metric).get(cpid, 0.0)
 
     def metric_in_region(self, metric: str, region_name: str) -> float:
         """Metric total over all call paths whose innermost frame is *region_name*."""
         regions = self.definitions.regions
         if region_name not in regions:
             return 0.0
-        rid = regions.id_of(region_name)
-        total = 0.0
-        for cpid, value in self.cube.by_callpath(metric).items():
-            if self.callpaths.path(cpid).region == rid:
-                total += value
-        return total
+        leaf_index, _ = self._region_indexes()
+        by_callpath = self._by_callpath(metric)
+        return sum(
+            by_callpath.get(cpid, 0.0)
+            for cpid in leaf_index.get(regions.id_of(region_name), ())
+        )
 
     def metric_under_region(self, metric: str, region_name: str) -> float:
         """Metric total over call paths containing *region_name* anywhere."""
         regions = self.definitions.regions
         if region_name not in regions:
             return 0.0
-        rid = regions.id_of(region_name)
-        total = 0.0
-        for cpid, value in self.cube.by_callpath(metric).items():
-            if rid in self.callpaths.frames(cpid):
-                total += value
-        return total
+        _, containment_index = self._region_indexes()
+        by_callpath = self._by_callpath(metric)
+        return sum(
+            by_callpath.get(cpid, 0.0)
+            for cpid in containment_index.get(regions.id_of(region_name), ())
+        )
 
 
 class ReplayAnalyzer:
@@ -210,13 +253,11 @@ class ReplayAnalyzer:
                     f"rank {rank}'s trace is not visible on its own metahost "
                     f"({trace_filename(rank)} missing)"
                 )
-            events = reader.read_trace(rank)
-            trace_bytes[rank] = len(
-                reader.namespace.read_file(f"{reader.path}/{trace_filename(rank)}")
-            )
             converter = synchronized.converters.get(node_of(location))
             if converter is None:
                 raise AnalysisError(f"no clock converter for node {node_of(location)}")
+            # Stream the trace: one file read, no materialized event list.
+            trace_bytes[rank], events = reader.stream_trace(rank)
             timelines[rank] = build_timeline(
                 rank, location, events, converter, callpaths, definitions.regions
             )
@@ -224,29 +265,33 @@ class ReplayAnalyzer:
         cube = SeverityCube()
         self._base_metrics(cube, timelines)
 
-        matcher = MessageMatcher(
-            timelines,
-            comm_ranks={
-                cid: ranks
-                for cid, (_name, ranks) in definitions.communicators.items()
-            },
-        )
+        def comm_order(cid: int) -> Optional[Tuple[int, ...]]:
+            entry = definitions.communicators.get(cid)
+            return entry[1] if entry is not None else None
+
+        matcher = MessageMatcher(timelines, comm_lookup=comm_order)
         checker = ClockConditionChecker()
         grid_pairs = GridPairBreakdown()
         p2p_patterns = default_p2p_patterns()
+        # Hot loop over every matched pair: resolve each rank's node once,
+        # bind per-pair callables out of the loop.
+        nodes = {rank: node_of(tl.location) for rank, tl in timelines.items()}
+        stamp_append = checker.stamps.append
+        cube_add = cube.add
+        contribution_fns = [p.contributions for p in p2p_patterns]
         for pair in matcher.matched_pairs():
             accumulate_p2p(grid_pairs, pair)
-            checker.add(
+            stamp_append(
                 MessageStamp(
-                    sender_node=node_of(pair.sender_location),
-                    receiver_node=node_of(pair.receiver_location),
-                    send_time_s=pair.send.time,
-                    recv_time_s=pair.recv.time,
+                    nodes[pair.sender_rank],
+                    nodes[pair.receiver_rank],
+                    pair.send.time,
+                    pair.recv.time,
                 )
             )
-            for pattern in p2p_patterns:
-                for hit in pattern.contributions(pair):
-                    cube.add(hit.metric, hit.cpid, hit.rank, hit.value)
+            for contributions in contribution_fns:
+                for hit in contributions(pair):
+                    cube_add(hit.metric, hit.cpid, hit.rank, hit.value)
 
         coll_patterns = default_collective_patterns()
         for instance in matcher.collective_instances():
@@ -282,25 +327,32 @@ class ReplayAnalyzer:
     @staticmethod
     def _base_metrics(cube: SeverityCube, timelines: Dict[int, ProcessTimeline]) -> None:
         """Accumulate structural metrics (time, MPI, communication classes)."""
+        cube_add = cube.add
+        leaf_of: Dict[str, Optional[str]] = {}
         for rank, timeline in timelines.items():
             for cpid, exclusive in timeline.exclusive_time.items():
-                cube.add(TIME, cpid, rank, exclusive)
+                cube_add(TIME, cpid, rank, exclusive)
             for op in timeline.mpi_ops:
-                duration = op.duration
+                duration = op.exit - op.enter
                 if duration <= 0.0:
                     continue
-                cube.add(MPI, op.cpid, rank, duration)
-                leaf = classify_region(op.op_name)
+                cpid = op.cpid
+                cube_add(MPI, cpid, rank, duration)
+                name = op.op_name
+                try:
+                    leaf = leaf_of[name]
+                except KeyError:
+                    leaf = leaf_of[name] = classify_region(name)
                 if leaf == P2P:
-                    cube.add(COMMUNICATION, op.cpid, rank, duration)
-                    cube.add(P2P, op.cpid, rank, duration)
+                    cube_add(COMMUNICATION, cpid, rank, duration)
+                    cube_add(P2P, cpid, rank, duration)
                 elif leaf == COLLECTIVE:
-                    cube.add(COMMUNICATION, op.cpid, rank, duration)
-                    cube.add(COLLECTIVE, op.cpid, rank, duration)
+                    cube_add(COMMUNICATION, cpid, rank, duration)
+                    cube_add(COLLECTIVE, cpid, rank, duration)
                 elif leaf == SYNCHRONIZATION:
-                    cube.add(SYNCHRONIZATION, op.cpid, rank, duration)
+                    cube_add(SYNCHRONIZATION, cpid, rank, duration)
             for omp in timeline.omp_regions:
-                cube.add(IDLE_THREADS, omp.cpid, rank, omp.idle_thread_seconds)
+                cube_add(IDLE_THREADS, omp.cpid, rank, omp.idle_thread_seconds)
 
 
 def analyze_run(run_result, scheme: Optional[SyncScheme] = None) -> AnalysisResult:

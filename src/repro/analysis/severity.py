@@ -23,14 +23,18 @@ class SeverityCube:
 
     def add(self, metric: str, cpid: int, rank: int, value: float) -> None:
         """Accumulate *value* seconds into one cell (negatives rejected)."""
-        if value < 0:
+        if value <= 0.0:
+            if value == 0.0:
+                return
             raise AnalysisError(
                 f"negative severity {value} for {metric} at cpid={cpid} rank={rank}"
             )
-        if value == 0.0:
-            return
-        by_cp = self.data.setdefault(metric, {})
-        by_rank = by_cp.setdefault(cpid, {})
+        # Hot path (one call per pattern hit): try/except on the populated
+        # case avoids setdefault's per-call default-dict allocations.
+        try:
+            by_rank = self.data[metric][cpid]
+        except KeyError:
+            by_rank = self.data.setdefault(metric, {}).setdefault(cpid, {})
         by_rank[rank] = by_rank.get(rank, 0.0) + value
 
     # -- aggregations -------------------------------------------------------

@@ -11,18 +11,18 @@ Table 2 counts them for the three synchronization schemes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List
+from typing import Iterable, List, NamedTuple
 
 from repro.ids import NodeId
 
 
-@dataclass(frozen=True)
-class MessageStamp:
+class MessageStamp(NamedTuple):
     """One matched message with synchronized (master-time) stamps.
 
     ``send_time_s`` is the stamp of the SEND event on the sender,
     ``recv_time_s`` the stamp of the RECV event on the receiver, both
-    already converted to master time.
+    already converted to master time.  A ``NamedTuple`` because the replay
+    creates one per matched pair.
     """
 
     sender_node: NodeId

@@ -9,7 +9,7 @@ processes total with the same number of processors for Trace and Partrace.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.apps.metatrace.config import MetaTraceConfig, interleaved_x_coords
 from repro.topology.metacomputer import Metacomputer, Placement
@@ -60,6 +60,46 @@ def experiment1() -> Tuple[Metacomputer, Placement, MetaTraceConfig]:
     placement = Placement.from_counts(metacomputer, list(EXPERIMENT1_BLOCKS))
     coords = interleaved_x_coords((4, 2, 2), 8)
     return metacomputer, placement, _workload(coords)
+
+
+def scaled_experiment1(
+    factor: int = 1,
+    coupling_intervals: Optional[int] = None,
+) -> Tuple[Metacomputer, Placement, MetaTraceConfig]:
+    """Experiment 1 scaled by an integer *factor* (32·factor ranks total).
+
+    Every block of :data:`EXPERIMENT1_BLOCKS` gets *factor*× the nodes, the
+    Trace grid grows along x (``dims = (4·factor, 2, 2)``) and keeps the
+    interleaved FH-BRS/CAESAR x-mapping, so the metahost boundary still
+    cuts through nearest-neighbor communication at every scale.  The VIOLA
+    testbed's node counts are scaled up just enough to host the placement
+    (FH-BRS has six physical nodes, so factors above 3 need a larger
+    testbed); per-node characteristics are unchanged.
+
+    ``factor=1`` is exactly :func:`experiment1`'s shape; ``factor=2``/``4``
+    give the 64- and 128-rank configurations of the pipeline benchmark.
+    """
+    if factor < 1:
+        raise ValueError(f"factor must be >= 1, got {factor}")
+    blocks = [(host, nodes * factor, procs) for host, nodes, procs in EXPERIMENT1_BLOCKS]
+    fhbrs_nodes = dict((h, n) for h, n, _ in blocks)[FH_BRS]
+    node_scale = -(-fhbrs_nodes // 6)  # ceil: smallest testbed fitting FH-BRS
+    metacomputer = viola_testbed(node_scale=node_scale)
+    placement = Placement.from_counts(metacomputer, blocks)
+    nranks = sum(nodes * procs for _, nodes, procs in blocks)
+    half = nranks // 2
+    dims = (4 * factor, 2, 2)
+    extra = {} if coupling_intervals is None else {
+        "coupling_intervals": coupling_intervals
+    }
+    config = MetaTraceConfig(
+        trace_ranks=tuple(range(half, nranks)),
+        partrace_ranks=tuple(range(half)),
+        dims=dims,
+        trace_coords=interleaved_x_coords(dims, 8 * factor),
+        **extra,
+    )
+    return metacomputer, placement, config
 
 
 def experiment2() -> Tuple[Metacomputer, Placement, MetaTraceConfig]:

@@ -1,56 +1,66 @@
 """Minimal deterministic discrete-event engine.
 
-A binary heap of ``(time, sequence, callback)`` entries.  The sequence
-number breaks ties in insertion order, which — together with seeding every
-random draw from one :class:`numpy.random.Generator` — makes entire
-simulations bit-reproducible from a single seed.
+A binary heap of plain ``[time, seq, callback]`` list entries.  The sequence
+number breaks ties in insertion order (and is unique, so comparison never
+reaches the callback slot), which — together with seeding every random draw
+from one :class:`numpy.random.Generator` — makes entire simulations
+bit-reproducible from a single seed.
+
+Cancellation flips the callback slot to ``None`` and decrements a live-entry
+counter, so :meth:`Engine.pending_events` and :meth:`Engine.empty` are O(1)
+and cancelled entries cost one heap pop when their time comes instead of a
+full-heap scan on every query.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 from repro.errors import SimulationError
 
+#: Callback-slot sentinel for entries whose callback already ran (or was
+#: skipped as cancelled); distinguishes them from cancelled-but-pending
+#: entries (``None``) so a late ``cancel()`` cannot corrupt the counter.
+_DONE = object()
 
-@dataclass(order=True)
-class _Entry:
-    time: float
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+# Entry layout: [time, seq, callback]; callback is None once cancelled and
+# _DONE once consumed by the run loop.
+_TIME, _SEQ, _CALLBACK = 0, 1, 2
 
 
 class EventHandle:
     """Cancelable reference to a scheduled callback."""
 
-    __slots__ = ("_entry",)
+    __slots__ = ("_entry", "_engine")
 
-    def __init__(self, entry: _Entry) -> None:
+    def __init__(self, entry: list, engine: "Engine") -> None:
         self._entry = entry
+        self._engine = engine
 
     def cancel(self) -> None:
-        self._entry.cancelled = True
+        if self._entry[_CALLBACK] is not None and self._entry[_CALLBACK] is not _DONE:
+            self._entry[_CALLBACK] = None
+            self._engine._live -= 1
 
     @property
     def time(self) -> float:
-        return self._entry.time
+        return self._entry[_TIME]
 
     @property
     def cancelled(self) -> bool:
-        return self._entry.cancelled
+        return self._entry[_CALLBACK] is None
 
 
 class Engine:
     """The event loop.  Time is in (true) seconds and never runs backwards."""
 
     def __init__(self) -> None:
-        self._heap: List[_Entry] = []
+        self._heap: List[list] = []
         self._seq = 0
         self._now = 0.0
         self._processed = 0
+        self._live = 0  # non-cancelled entries still in the heap
 
     @property
     def now(self) -> float:
@@ -64,7 +74,8 @@ class Engine:
 
     @property
     def pending_events(self) -> int:
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Live (non-cancelled) scheduled callbacks — O(1)."""
+        return self._live
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
         """Run *callback* ``delay`` seconds from now."""
@@ -78,33 +89,45 @@ class Engine:
             raise SimulationError(
                 f"cannot schedule into the past: t={time} < now={self._now}"
             )
-        entry = _Entry(time=time, seq=self._seq, callback=callback)
+        entry = [time, self._seq, callback]
         self._seq += 1
         heapq.heappush(self._heap, entry)
-        return EventHandle(entry)
+        self._live += 1
+        return EventHandle(entry, self)
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Process events in time order.
 
         Stops when the heap is empty, when the next event lies beyond
         *until*, or after *max_events* callbacks (a runaway-loop backstop).
+        In every stop case with *until* set, ``now`` ends up at *until*
+        (never beyond it, never stale behind it).
         """
+        heap = self._heap
+        pop = heapq.heappop
         executed = 0
-        while self._heap:
-            if until is not None and self._heap[0].time > until:
+        while heap:
+            if until is not None and heap[0][_TIME] > until:
                 self._now = until
                 return
-            entry = heapq.heappop(self._heap)
-            if entry.cancelled:
+            entry = pop(heap)
+            callback = entry[_CALLBACK]
+            if callback is None:  # cancelled; stays marked cancelled forever
                 continue
-            self._now = entry.time
-            entry.callback()
+            entry[_CALLBACK] = _DONE
+            self._live -= 1
+            self._now = entry[_TIME]
+            callback()
             self._processed += 1
             executed += 1
             if max_events is not None and executed >= max_events:
                 raise SimulationError(
                     f"simulation exceeded {max_events} events — likely livelock"
                 )
+        # Heap drained before reaching *until*: idle time still passes.
+        if until is not None and until > self._now:
+            self._now = until
 
     def empty(self) -> bool:
-        return all(e.cancelled for e in self._heap)
+        """True when no live callbacks remain — O(1)."""
+        return self._live == 0

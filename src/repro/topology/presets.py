@@ -44,15 +44,22 @@ def viola_testbed(
     caesar_speed: float = 1.0,
     fhbrs_speed: float = 2.0,
     xd1_speed: float = 2.0,
+    node_scale: int = 1,
 ) -> Metacomputer:
     """The three-site VIOLA metacomputer used for the paper's experiments.
 
     Parameters let tests vary the heterogeneity; the defaults reproduce the
     paper's reported ~2x compute-speed gap between FH-BRS and CAESAR.
+    ``node_scale`` multiplies every site's node count (CPU and network
+    characteristics unchanged) so scaled-up runs — e.g. the pipeline
+    benchmark's 128-rank configuration, which needs more than FH-BRS's six
+    physical nodes — fit on a proportionally larger testbed.
     """
+    if node_scale < 1:
+        raise ValueError(f"node_scale must be >= 1, got {node_scale}")
     caesar = homogeneous_metahost(
         CAESAR,
-        node_count=32,
+        node_count=32 * node_scale,
         cpus_per_node=2,
         cpu=CpuSpec("Intel Xeon", 2.6, speed_factor=caesar_speed),
         internal_latency_s=6.0e-5,
@@ -62,7 +69,7 @@ def viola_testbed(
     )
     fhbrs = homogeneous_metahost(
         FH_BRS,
-        node_count=6,
+        node_count=6 * node_scale,
         cpus_per_node=4,
         cpu=CpuSpec("AMD Opteron", 2.0, speed_factor=fhbrs_speed),
         internal_latency_s=FHBRS_INTERNAL_LATENCY_S,
@@ -72,7 +79,7 @@ def viola_testbed(
     )
     xd1 = homogeneous_metahost(
         FZJ_XD1,
-        node_count=60,
+        node_count=60 * node_scale,
         cpus_per_node=2,
         cpu=CpuSpec("AMD Opteron", 2.2, speed_factor=xd1_speed),
         internal_latency_s=FZJ_INTERNAL_LATENCY_S,

@@ -18,14 +18,14 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.clocks.serialize import sync_data_from_dict, sync_data_to_dict
 from repro.clocks.sync import SyncData
 from repro.errors import ArchiveError
 from repro.fs.filesystem import MountNamespace
 from repro.ids import Location
-from repro.trace.encoding import decode_events, encode_events
+from repro.trace.encoding import encode_events, iter_events
 from repro.trace.events import Event
 from repro.trace.regions import RegionRegistry
 
@@ -169,13 +169,32 @@ class ArchiveReader:
         return self.namespace.is_file(self._file(trace_filename(rank)))
 
     def read_trace(self, rank: int) -> List[Event]:
+        _size, records = self.stream_trace(rank)
+        return list(records)
+
+    def read_trace_blob(self, rank: int) -> bytes:
+        """One rank's trace file as raw bytes (header included, undecoded).
+
+        For consumers that drive the codec themselves — the pipeline
+        benchmark times :func:`~repro.trace.encoding.decode_events` against
+        exactly these bytes.
+        """
+        return self.namespace.read_file(self._file(trace_filename(rank)))
+
+    def stream_trace(self, rank: int) -> Tuple[int, Iterator[Event]]:
+        """One rank's trace as ``(file byte count, lazy event iterator)``.
+
+        The streaming form lets the replay walk a trace exactly once without
+        ever materializing the full event list (or re-reading the file just
+        to learn its size).
+        """
         blob = self.namespace.read_file(self._file(trace_filename(rank)))
-        file_rank, events = decode_events(blob)
+        file_rank, records = iter_events(blob)
         if file_rank != rank:
             raise ArchiveError(
                 f"trace file {trace_filename(rank)} claims rank {file_rank}"
             )
-        return events
+        return len(blob), records
 
     def available_ranks(self) -> List[int]:
         ranks = []

@@ -19,14 +19,24 @@ kind  payload                                     bytes
 ====  ==========================================  =======
 
 A short magic header (``RPRT`` + format version + rank) makes stray files
-detectable.  Decoding is strict: unknown kinds and truncated records raise
-:class:`~repro.errors.EncodingError`.
+detectable.  The codec is strict both ways: out-of-range field values on
+encode, and unknown kinds or truncated records on decode, all raise
+:class:`~repro.errors.EncodingError` (offsets in decode diagnostics always
+point at the record's kind tag, i.e. the start of the offending record).
+
+Both directions run through per-kind dispatch tables.  The decoder exposes
+a streaming :func:`iter_events` so consumers never have to materialize a
+full event list, and batches runs of same-kind records — the common case,
+since tight loops emit long ENTER/EXIT/SEND trains — through a single
+:meth:`struct.Struct.iter_unpack` call over a :class:`memoryview` slice
+instead of one ``unpack_from`` per record.
 """
 
 from __future__ import annotations
 
 import struct
-from typing import Iterable, List, Tuple
+from itertools import chain
+from typing import Callable, Dict, Iterable, Iterator, List, Tuple
 
 from repro.errors import EncodingError
 from repro.trace.events import (
@@ -51,48 +61,83 @@ _RECV = _SEND
 _COLLEXIT = struct.Struct("<dIIiQQ")
 _OMPREGION = struct.Struct("<dIIdd")
 
+# Whole-record structs (kind byte + payload, still unaligned little-endian)
+# shared by the encoder and the run-batched decoder fast path.
+_ENTER_REC = struct.Struct("<BdI")
+_EXIT_REC = _ENTER_REC
+_SEND_REC = struct.Struct("<BdiiIQ")
+_RECV_REC = _SEND_REC
+_COLLEXIT_REC = struct.Struct("<BdIIiQQ")
+_OMPREGION_REC = struct.Struct("<BdIIdd")
+
+#: kind → function packing one event into its full record (kind byte included).
+_ENCODERS: Dict[int, Callable[[Event], bytes]] = {
+    EventKind.ENTER: lambda e, _p=_ENTER_REC.pack: _p(1, e.time, e.region),
+    EventKind.EXIT: lambda e, _p=_EXIT_REC.pack: _p(2, e.time, e.region),
+    EventKind.SEND: lambda e, _p=_SEND_REC.pack: _p(
+        3, e.time, e.dest, e.tag, e.comm, e.size
+    ),
+    EventKind.RECV: lambda e, _p=_RECV_REC.pack: _p(
+        4, e.time, e.source, e.tag, e.comm, e.size
+    ),
+    EventKind.COLLEXIT: lambda e, _p=_COLLEXIT_REC.pack: _p(
+        5, e.time, e.region, e.comm, e.root, e.sent, e.recvd
+    ),
+    EventKind.OMPREGION: lambda e, _p=_OMPREGION_REC.pack: _p(
+        6, e.time, e.region, e.nthreads, e.busy_sum, e.busy_max
+    ),
+}
+
+def _factory(cls) -> Callable[[tuple], Event]:
+    """Record tuple (kind byte included) → event, via C-level tuple.__new__.
+
+    Events are NamedTuples, so ``tuple.__new__(cls, fields)`` builds them
+    without entering the generated Python ``__new__`` — the decoder
+    constructs millions of these.  Field arity is guaranteed by the fixed
+    record structs.
+    """
+    return lambda f, _new=tuple.__new__, _cls=cls: _new(_cls, f[1:])
+
+
+#: kind → (record stride, unpack_from, iter_unpack, record fields → event).
+_DECODERS: Dict[int, Tuple[int, Callable, Callable, Callable[[tuple], Event]]] = {
+    int(kind): (rec.size, rec.unpack_from, rec.iter_unpack, _factory(cls))
+    for kind, rec, cls in (
+        (EventKind.ENTER, _ENTER_REC, EnterEvent),
+        (EventKind.EXIT, _EXIT_REC, ExitEvent),
+        (EventKind.SEND, _SEND_REC, SendEvent),
+        (EventKind.RECV, _RECV_REC, RecvEvent),
+        (EventKind.COLLEXIT, _COLLEXIT_REC, CollExitEvent),
+        (EventKind.OMPREGION, _OMPREGION_REC, OmpRegionEvent),
+    )
+}
+
 
 def encode_events(rank: int, events: Iterable[Event]) -> bytes:
     """Serialize *events* of one process to a trace-file byte string."""
-    chunks: List[bytes] = [_HEADER.pack(MAGIC, FORMAT_VERSION, rank)]
-    for event in events:
-        kind = event.kind
-        if kind == EventKind.ENTER:
-            chunks.append(bytes([kind]) + _ENTER.pack(event.time, event.region))
-        elif kind == EventKind.EXIT:
-            chunks.append(bytes([kind]) + _EXIT.pack(event.time, event.region))
-        elif kind == EventKind.SEND:
-            chunks.append(
-                bytes([kind])
-                + _SEND.pack(event.time, event.dest, event.tag, event.comm, event.size)
-            )
-        elif kind == EventKind.RECV:
-            chunks.append(
-                bytes([kind])
-                + _RECV.pack(event.time, event.source, event.tag, event.comm, event.size)
-            )
-        elif kind == EventKind.COLLEXIT:
-            chunks.append(
-                bytes([kind])
-                + _COLLEXIT.pack(
-                    event.time, event.region, event.comm, event.root, event.sent, event.recvd
-                )
-            )
-        elif kind == EventKind.OMPREGION:
-            chunks.append(
-                bytes([kind])
-                + _OMPREGION.pack(
-                    event.time, event.region, event.nthreads,
-                    event.busy_sum, event.busy_max,
-                )
-            )
-        else:  # pragma: no cover - events enum is closed
-            raise EncodingError(f"cannot encode event kind {kind!r}")
+    try:
+        header = _HEADER.pack(MAGIC, FORMAT_VERSION, rank)
+    except struct.error as exc:
+        raise EncodingError(f"cannot encode rank {rank} in trace header: {exc}") from exc
+    chunks: List[bytes] = [header]
+    append = chunks.append
+    encoders = _ENCODERS
+    for index, event in enumerate(events):
+        encoder = encoders.get(event.kind)
+        if encoder is None:
+            raise EncodingError(f"cannot encode event kind {event.kind!r}")
+        try:
+            append(encoder(event))
+        except struct.error as exc:
+            raise EncodingError(
+                f"cannot encode {EventKind(event.kind).name} event at index "
+                f"{index}: {exc} ({event!r})"
+            ) from exc
     return b"".join(chunks)
 
 
-def decode_events(data: bytes) -> Tuple[int, List[Event]]:
-    """Parse a trace file; returns ``(rank, events)``."""
+def _check_header(data: bytes) -> int:
+    """Validate the file header; returns the recorded rank."""
     if len(data) < _HEADER.size:
         raise EncodingError("trace file shorter than its header")
     magic, version, rank = _HEADER.unpack_from(data, 0)
@@ -100,43 +145,85 @@ def decode_events(data: bytes) -> Tuple[int, List[Event]]:
         raise EncodingError(f"bad magic {magic!r} (expected {MAGIC!r})")
     if version != FORMAT_VERSION:
         raise EncodingError(f"unsupported trace format version {version}")
-    events: List[Event] = []
-    offset = _HEADER.size
+    return rank
+
+
+def _run_end(data: bytes, offset: int, kind: int, stride: int, size: int) -> int:
+    """End offset of the run of complete *kind* records starting at *offset*.
+
+    The first record is already known to be complete; extend while the next
+    full record carries the same kind tag.
+    """
+    end = offset + stride
+    while end + stride <= size and data[end] == kind:
+        end += stride
+    return end
+
+
+#: Records decoded per chunk on the streaming path — large enough to make the
+#: per-chunk Python generator resume negligible, small enough that memory
+#: stays O(chunk) rather than O(trace).
+_CHUNK_RECORDS = 1024
+
+
+def _chunk_iter(data: bytes, chunk: int = _CHUNK_RECORDS) -> Iterator[List[Event]]:
+    """Decode records after a validated header, yielding lists of ~*chunk*.
+
+    The single implementation of the record grammar: both the streaming
+    (:func:`iter_events`) and the one-shot (:func:`decode_events`) decoders
+    consume it.  Inside a chunk the loop is tight ``append``/``extend``;
+    yielding whole lists keeps per-event generator-resume cost out of the
+    hot path (the consumer iterates each chunk at C level).
+    """
+    view = memoryview(data)
+    decoders = _DECODERS
     size = len(data)
+    offset = _HEADER.size
+    buf: List[Event] = []
+    append = buf.append
+    extend = buf.extend
     while offset < size:
         kind = data[offset]
-        offset += 1
-        try:
-            if kind == EventKind.ENTER:
-                time, region = _ENTER.unpack_from(data, offset)
-                offset += _ENTER.size
-                events.append(EnterEvent(time, region))
-            elif kind == EventKind.EXIT:
-                time, region = _EXIT.unpack_from(data, offset)
-                offset += _EXIT.size
-                events.append(ExitEvent(time, region))
-            elif kind == EventKind.SEND:
-                time, dest, tag, comm, msg_size = _SEND.unpack_from(data, offset)
-                offset += _SEND.size
-                events.append(SendEvent(time, dest, tag, comm, msg_size))
-            elif kind == EventKind.RECV:
-                time, source, tag, comm, msg_size = _RECV.unpack_from(data, offset)
-                offset += _RECV.size
-                events.append(RecvEvent(time, source, tag, comm, msg_size))
-            elif kind == EventKind.COLLEXIT:
-                time, region, comm, root, sent, recvd = _COLLEXIT.unpack_from(data, offset)
-                offset += _COLLEXIT.size
-                events.append(CollExitEvent(time, region, comm, root, sent, recvd))
-            elif kind == EventKind.OMPREGION:
-                time, region, nthreads, busy_sum, busy_max = _OMPREGION.unpack_from(
-                    data, offset
-                )
-                offset += _OMPREGION.size
-                events.append(
-                    OmpRegionEvent(time, region, nthreads, busy_sum, busy_max)
-                )
-            else:
-                raise EncodingError(f"unknown record kind {kind} at offset {offset - 1}")
-        except struct.error as exc:
-            raise EncodingError(f"truncated record at offset {offset - 1}") from exc
+        entry = decoders.get(kind)
+        if entry is None:
+            raise EncodingError(f"unknown record kind {kind} at offset {offset}")
+        stride, unpack_from, iter_unpack, factory = entry
+        end = offset + stride
+        if end > size:
+            raise EncodingError(
+                f"truncated {EventKind(kind).name} record at offset {offset}"
+            )
+        if end < size and data[end] == kind:
+            # Run of ≥ 2 same-kind records: one iter_unpack for the batch.
+            end = _run_end(data, offset, kind, stride, size)
+            extend(map(factory, iter_unpack(view[offset:end])))
+        else:
+            append(factory(unpack_from(data, offset)))
+        offset = end
+        if len(buf) >= chunk:
+            yield buf
+            buf = []
+            append = buf.append
+            extend = buf.extend
+    if buf:
+        yield buf
+
+
+def iter_events(data: bytes) -> Tuple[int, Iterator[Event]]:
+    """Streaming decoder: ``(rank, lazy event iterator)``.
+
+    The header is validated eagerly; record decoding errors surface as
+    :class:`~repro.errors.EncodingError` while iterating.  Memory use is
+    bounded by the decode chunk size, never the whole trace.
+    """
+    return _check_header(data), chain.from_iterable(_chunk_iter(data))
+
+
+def decode_events(data: bytes) -> Tuple[int, List[Event]]:
+    """Parse a trace file; returns ``(rank, events)``."""
+    rank = _check_header(data)
+    events: List[Event] = []
+    extend = events.extend
+    for chunk in _chunk_iter(data):
+        extend(chunk)
     return rank, events

@@ -17,13 +17,19 @@ single-machine pattern catalogue is built entirely on them):
 
 Times are node-local clock stamps in seconds; synchronization to master
 time happens post mortem.
+
+Records are ``NamedTuple`` subclasses rather than frozen dataclasses:
+millions of them are constructed on the trace→decode→replay hot path, and
+tuple construction is several times cheaper than frozen-dataclass
+``__init__`` (which pays one ``object.__setattr__`` per field).  They stay
+immutable and field-named; equality additionally requires the same record
+type, so an ENTER never compares equal to an equal-valued EXIT.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import Union
+from typing import NamedTuple, Union
 
 
 class EventKind(enum.IntEnum):
@@ -35,24 +41,35 @@ class EventKind(enum.IntEnum):
     OMPREGION = 6
 
 
-@dataclass(frozen=True)
-class EnterEvent:
+def _typed_eq(self, other):
+    return type(self) is type(other) and tuple.__eq__(self, other)
+
+
+def _typed_ne(self, other):
+    return not _typed_eq(self, other)
+
+
+class EnterEvent(NamedTuple):
     time: float
     region: int
 
     kind = EventKind.ENTER
+    __eq__ = _typed_eq
+    __ne__ = _typed_ne
+    __hash__ = tuple.__hash__
 
 
-@dataclass(frozen=True)
-class ExitEvent:
+class ExitEvent(NamedTuple):
     time: float
     region: int
 
     kind = EventKind.EXIT
+    __eq__ = _typed_eq
+    __ne__ = _typed_ne
+    __hash__ = tuple.__hash__
 
 
-@dataclass(frozen=True)
-class SendEvent:
+class SendEvent(NamedTuple):
     time: float
     dest: int  # global rank of the receiver
     tag: int
@@ -60,10 +77,12 @@ class SendEvent:
     size: int
 
     kind = EventKind.SEND
+    __eq__ = _typed_eq
+    __ne__ = _typed_ne
+    __hash__ = tuple.__hash__
 
 
-@dataclass(frozen=True)
-class RecvEvent:
+class RecvEvent(NamedTuple):
     time: float
     source: int  # global rank of the sender
     tag: int
@@ -71,10 +90,12 @@ class RecvEvent:
     size: int
 
     kind = EventKind.RECV
+    __eq__ = _typed_eq
+    __ne__ = _typed_ne
+    __hash__ = tuple.__hash__
 
 
-@dataclass(frozen=True)
-class CollExitEvent:
+class CollExitEvent(NamedTuple):
     time: float
     region: int
     comm: int
@@ -83,10 +104,12 @@ class CollExitEvent:
     recvd: int
 
     kind = EventKind.COLLEXIT
+    __eq__ = _typed_eq
+    __ne__ = _typed_ne
+    __hash__ = tuple.__hash__
 
 
-@dataclass(frozen=True)
-class OmpRegionEvent:
+class OmpRegionEvent(NamedTuple):
     """Summary record of one fork-join parallel region (hybrid codes).
 
     Written just before the region's EXIT: the team size and the total and
@@ -102,6 +125,9 @@ class OmpRegionEvent:
     busy_max: float
 
     kind = EventKind.OMPREGION
+    __eq__ = _typed_eq
+    __ne__ = _typed_ne
+    __hash__ = tuple.__hash__
 
 
 Event = Union[

@@ -1,0 +1,89 @@
+"""Tier-1 smoke test for the pipeline hot-path benchmark harness.
+
+Runs the real harness at the smallest scale (32 ranks, one coupling
+interval, one repetition) and validates the ``BENCH_pipeline.json`` schema
+— so a schema or harness regression is caught by the fast suite, without
+the minutes-long full benchmark (``pytest -m perf benchmarks/``).
+"""
+
+import importlib.util
+import json
+import pathlib
+import sys
+
+import pytest
+
+_BENCH_PATH = (
+    pathlib.Path(__file__).resolve().parents[1]
+    / "benchmarks"
+    / "bench_pipeline_hotpath.py"
+)
+
+
+def _load_harness():
+    spec = importlib.util.spec_from_file_location("bench_pipeline_hotpath", _BENCH_PATH)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("bench_pipeline_hotpath", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+bench = _load_harness()
+
+
+@pytest.fixture(scope="module")
+def tiny_doc():
+    return bench.run_pipeline_benchmark(
+        factors=[1], reps=1, coupling_intervals=1, cg_iterations=4
+    )
+
+
+@pytest.mark.perf
+class TestPipelineBenchSmoke:
+    def test_document_matches_schema(self, tiny_doc):
+        bench.validate_document(tiny_doc)
+        assert tiny_doc["schema"] == bench.SCHEMA
+        assert tiny_doc["workload"] == "scaled-experiment1"
+        (row,) = tiny_doc["results"]
+        assert row["factor"] == 1
+        assert row["ranks"] == 32
+        assert row["events"] > 0
+        assert row["trace_bytes"] > 0
+        assert row["matched_pairs"] > 0
+        assert set(bench.STAGE_KEYS) == set(row["stages"])
+        for value in row["stages"].values():
+            assert value >= 0.0
+
+    def test_json_round_trips_through_disk(self, tiny_doc, tmp_path):
+        out = tmp_path / "BENCH_pipeline.json"
+        bench.write_document(tiny_doc, out)
+        reloaded = json.loads(out.read_text(encoding="utf-8"))
+        bench.validate_document(reloaded)
+        assert reloaded == json.loads(json.dumps(tiny_doc))
+
+    def test_validation_rejects_bad_documents(self, tiny_doc):
+        with pytest.raises(ValueError, match="schema"):
+            bench.validate_document({"schema": "something-else", "results": []})
+        with pytest.raises(ValueError, match="results"):
+            bench.validate_document({"schema": bench.SCHEMA, "results": []})
+        broken = json.loads(json.dumps(tiny_doc))
+        del broken["results"][0]["stages"]["replay_s"]
+        with pytest.raises(ValueError, match="replay_s"):
+            bench.validate_document(broken)
+        negative = json.loads(json.dumps(tiny_doc))
+        negative["results"][0]["stages"]["decode_s"] = -1.0
+        with pytest.raises(ValueError, match="decode_s"):
+            bench.validate_document(negative)
+
+    def test_cli_writes_artifact(self, tmp_path):
+        out = tmp_path / "from_cli.json"
+        code = bench.main(
+            [
+                "--factors", "1",
+                "--reps", "1",
+                "--intervals", "1",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        bench.validate_document(json.loads(out.read_text(encoding="utf-8")))

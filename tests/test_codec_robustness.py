@@ -1,0 +1,184 @@
+"""Property-style robustness tests for the trace codec.
+
+The codec contract under test (PR: engine/codec correctness fixes):
+
+* every decode diagnostic for a bad record points at the offset of that
+  record's **kind tag** (the record start), not somewhere inside it;
+* ``encode_events`` never leaks a raw ``struct.error`` — out-of-range
+  fields surface as :class:`~repro.errors.EncodingError` naming the event;
+* the streaming decoder (:func:`iter_events`) and the one-shot decoder
+  (:func:`decode_events`) agree on every input, including across the
+  streaming chunk boundary.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EncodingError
+from repro.trace.encoding import decode_events, encode_events, iter_events
+from repro.trace.events import (
+    CollExitEvent,
+    EnterEvent,
+    ExitEvent,
+    OmpRegionEvent,
+    RecvEvent,
+    SendEvent,
+)
+
+times = st.floats(min_value=0.0, max_value=1e9, allow_nan=False)
+region_ids = st.integers(min_value=0, max_value=2**32 - 1)
+ranks = st.integers(min_value=-1, max_value=2**31 - 1)
+tags = st.integers(min_value=-1, max_value=2**31 - 1)
+comms = st.integers(min_value=0, max_value=2**32 - 1)
+sizes = st.integers(min_value=0, max_value=2**63 - 1)
+
+#: All six kinds, OMPREGION included (the older property suite predates it).
+events = st.one_of(
+    st.builds(EnterEvent, time=times, region=region_ids),
+    st.builds(ExitEvent, time=times, region=region_ids),
+    st.builds(SendEvent, time=times, dest=ranks, tag=tags, comm=comms, size=sizes),
+    st.builds(RecvEvent, time=times, source=ranks, tag=tags, comm=comms, size=sizes),
+    st.builds(
+        CollExitEvent,
+        time=times,
+        region=region_ids,
+        comm=comms,
+        root=ranks,
+        sent=sizes,
+        recvd=sizes,
+    ),
+    st.builds(
+        OmpRegionEvent,
+        time=times,
+        region=region_ids,
+        nthreads=st.integers(min_value=1, max_value=2**32 - 1),
+        busy_sum=times,
+        busy_max=times,
+    ),
+)
+
+
+def _record_offsets(rank, evs):
+    """Byte offset of each event's record (its kind tag) plus the blob end."""
+    offsets = [len(encode_events(rank, evs[:i])) for i in range(len(evs) + 1)]
+    return offsets
+
+
+class TestRoundTrip:
+    @given(rank=st.integers(min_value=0, max_value=2**32 - 1),
+           evs=st.lists(events, max_size=60))
+    @settings(max_examples=120)
+    def test_all_kinds_round_trip(self, rank, evs):
+        decoded_rank, decoded = decode_events(encode_events(rank, evs))
+        assert decoded_rank == rank
+        assert decoded == evs
+
+    @given(evs=st.lists(events, max_size=40))
+    def test_streaming_matches_one_shot(self, evs):
+        blob = encode_events(7, evs)
+        rank_a, listed = decode_events(blob)
+        rank_b, streamed = iter_events(blob)
+        assert rank_a == rank_b == 7
+        assert list(streamed) == listed
+
+    def test_round_trip_across_chunk_boundary(self):
+        # More records than one streaming chunk, with kind alternation so
+        # both the singleton and the run-batched decode paths execute.
+        evs = []
+        for i in range(3000):
+            evs.append(EnterEvent(float(i), i % 7))
+            if i % 5 == 0:
+                evs.append(SendEvent(float(i), 1, 0, 0, 64))
+        blob = encode_events(0, evs)
+        assert decode_events(blob)[1] == evs
+        assert list(iter_events(blob)[1]) == evs
+
+
+class TestDecodeDiagnostics:
+    @given(evs=st.lists(events, min_size=1, max_size=12), data=st.data())
+    @settings(max_examples=120)
+    def test_truncation_reports_record_start(self, evs, data):
+        """Any cut strictly inside a record names that record's offset."""
+        blob = encode_events(0, evs)
+        offsets = _record_offsets(0, evs)
+        index = data.draw(st.integers(min_value=0, max_value=len(evs) - 1))
+        cut = data.draw(
+            st.integers(min_value=offsets[index] + 1, max_value=offsets[index + 1] - 1)
+        )
+        with pytest.raises(EncodingError, match=rf"at offset {offsets[index]}\b"):
+            decode_events(blob[:cut])
+        rank, stream = iter_events(blob[:cut])
+        with pytest.raises(EncodingError, match=rf"at offset {offsets[index]}\b"):
+            list(stream)
+
+    @given(evs=st.lists(events, min_size=1, max_size=12), data=st.data())
+    @settings(max_examples=120)
+    def test_flipped_kind_byte_reports_its_offset(self, evs, data):
+        blob = bytearray(encode_events(0, evs))
+        offsets = _record_offsets(0, evs)
+        index = data.draw(st.integers(min_value=0, max_value=len(evs) - 1))
+        bad_kind = data.draw(st.integers(min_value=7, max_value=255))
+        blob[offsets[index]] = bad_kind
+        with pytest.raises(
+            EncodingError,
+            match=rf"unknown record kind {bad_kind} at offset {offsets[index]}\b",
+        ):
+            decode_events(bytes(blob))
+
+    def test_kind_zero_rejected(self):
+        blob = bytearray(encode_events(0, [EnterEvent(1.0, 2)]))
+        offset = len(encode_events(0, []))
+        blob[offset] = 0
+        with pytest.raises(EncodingError, match=f"unknown record kind 0 at offset {offset}"):
+            decode_events(bytes(blob))
+
+    def test_truncation_of_later_record_names_later_offset(self):
+        evs = [EnterEvent(1.0, 2), SendEvent(2.0, 1, 0, 0, 64)]
+        blob = encode_events(0, evs)
+        offsets = _record_offsets(0, evs)
+        with pytest.raises(EncodingError, match=f"truncated SEND record at offset {offsets[1]}"):
+            decode_events(blob[: offsets[1] + 5])
+
+
+class TestEncodeErrors:
+    def test_negative_size_wrapped(self):
+        with pytest.raises(EncodingError, match="SEND event at index 1"):
+            encode_events(
+                0, [EnterEvent(0.0, 1), SendEvent(1.0, 2, 0, 0, -5)]
+            )
+
+    def test_out_of_range_region_wrapped(self):
+        with pytest.raises(EncodingError, match="ENTER event at index 0"):
+            encode_events(0, [EnterEvent(0.0, 2**32)])
+
+    def test_bad_header_rank_wrapped(self):
+        with pytest.raises(EncodingError, match="trace header"):
+            encode_events(2**32, [])
+        with pytest.raises(EncodingError, match="trace header"):
+            encode_events(-1, [])
+
+    def test_unknown_event_kind_rejected(self):
+        class Bogus:
+            kind = 99
+
+        with pytest.raises(EncodingError, match="cannot encode event kind"):
+            encode_events(0, [Bogus()])
+
+    @given(size=st.integers(min_value=2**64, max_value=2**80))
+    @settings(max_examples=20)
+    def test_oversized_fields_wrapped(self, size):
+        with pytest.raises(EncodingError):
+            encode_events(0, [RecvEvent(0.0, 1, 0, 0, size)])
+
+
+class TestEventSemantics:
+    def test_equal_fields_different_kind_not_equal(self):
+        assert EnterEvent(1.0, 2) != ExitEvent(1.0, 2)
+        assert EnterEvent(1.0, 2) == EnterEvent(1.0, 2)
+
+    def test_events_hashable_and_immutable(self):
+        event = EnterEvent(1.0, 2)
+        assert hash(event) == hash(EnterEvent(1.0, 2))
+        with pytest.raises(AttributeError):
+            event.time = 3.0

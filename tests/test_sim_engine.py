@@ -108,3 +108,75 @@ class TestRunLimits:
             engine.schedule(float(i), lambda: None)
         engine.run()
         assert engine.processed_events == 5
+
+    def test_until_advances_now_when_heap_drains_early(self):
+        # Regression: the heap drains at t=1 but simulated idle time still
+        # passes until the run horizon — now must end up at `until`, not
+        # stay stale at the last event's stamp.
+        engine = Engine()
+        engine.schedule(1.0, lambda: None)
+        engine.run(until=5.0)
+        assert engine.now == 5.0
+        # Scheduling relative to the horizon must therefore be legal.
+        engine.schedule_at(5.0, lambda: None)
+
+    def test_until_advances_now_on_empty_heap(self):
+        engine = Engine()
+        engine.run(until=3.0)
+        assert engine.now == 3.0
+
+    def test_until_never_moves_now_backwards(self):
+        engine = Engine()
+        engine.schedule(2.0, lambda: None)
+        engine.run()
+        assert engine.now == 2.0
+        engine.run(until=1.0)
+        assert engine.now == 2.0
+
+
+class TestPendingAccounting:
+    def test_pending_counts_live_entries(self):
+        engine = Engine()
+        handles = [engine.schedule(float(i + 1), lambda: None) for i in range(3)]
+        assert engine.pending_events == 3
+        handles[1].cancel()
+        assert engine.pending_events == 2
+        assert not engine.empty()
+        engine.run()
+        assert engine.pending_events == 0
+        assert engine.empty()
+
+    def test_double_cancel_decrements_once(self):
+        engine = Engine()
+        handle = engine.schedule(1.0, lambda: None)
+        other = engine.schedule(2.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert engine.pending_events == 1
+        engine.run()
+        assert engine.pending_events == 0
+        assert not other.cancelled
+
+    def test_cancel_after_execution_is_noop(self):
+        engine = Engine()
+        hits = []
+        handle = engine.schedule(1.0, lambda: hits.append(1))
+        engine.schedule(2.0, lambda: None)
+        engine.run(until=1.5)
+        assert hits == [1]
+        handle.cancel()  # already executed: must not touch the live counter
+        assert not handle.cancelled
+        assert engine.pending_events == 1
+        engine.run()
+        assert engine.pending_events == 0
+
+    def test_cancelled_tie_preserves_order_of_survivors(self):
+        engine = Engine()
+        order = []
+        engine.schedule(1.0, lambda: order.append(1))
+        middle = engine.schedule(1.0, lambda: order.append(2))
+        engine.schedule(1.0, lambda: order.append(3))
+        middle.cancel()
+        engine.run()
+        assert order == [1, 3]
+        assert engine.processed_events == 2
