@@ -51,6 +51,21 @@ from repro.clocks import (
     SCHEMES,
 )
 from repro.sim import Context, MetaMPIRuntime, RunResult, SimParams, World
+
+# Imported after repro.sim: the faults package reaches back into
+# repro.sim.transfer for RetryPolicy, so the sim package must finish
+# initializing first (runtime -> faults -> sim.transfer resolves; the
+# reverse order is a circular import).
+from repro.faults import (
+    FaultPlan,
+    FileSystemFault,
+    LinkDegradation,
+    LinkOutage,
+    MessageLoss,
+    PingFault,
+    TraceCorruption,
+    TraceTruncation,
+)
 from repro.analysis import (
     AnalysisResult,
     ReplayAnalyzer,
@@ -95,6 +110,14 @@ __all__ = [
     "HierarchicalInterpolation",
     "LinearClock",
     "SCHEMES",
+    "FaultPlan",
+    "FileSystemFault",
+    "LinkDegradation",
+    "LinkOutage",
+    "MessageLoss",
+    "PingFault",
+    "TraceCorruption",
+    "TraceTruncation",
     "Context",
     "MetaMPIRuntime",
     "RunResult",

@@ -154,6 +154,11 @@ class MessageMatcher:
     is the lazy alternative: a callable resolving one communicator id on
     first use, so callers with large definitions documents don't build the
     whole table up front for the handful of communicators a trace touches.
+
+    ``allow_unmatched`` turns the unmatched-receive hard error into a
+    counted skip: degraded-mode replay analyzes a subset of ranks, so a
+    surviving receiver may legitimately reference a sender whose trace was
+    lost.  The skipped receives show up in ``stats.unmatched_recvs``.
     """
 
     def __init__(
@@ -161,11 +166,13 @@ class MessageMatcher:
         timelines: Dict[int, ProcessTimeline],
         comm_ranks: Optional[Dict[int, Tuple[int, ...]]] = None,
         comm_lookup: Optional[Callable[[int], Optional[Tuple[int, ...]]]] = None,
+        allow_unmatched: bool = False,
     ) -> None:
         self.timelines = timelines
         self.comm_ranks = comm_ranks or {}
         self._comm_lookup = comm_lookup
         self._comm_order_cache: Dict[int, Optional[Tuple[int, ...]]] = {}
+        self.allow_unmatched = allow_unmatched
         self.stats = MatchStats()
 
     def _order_of(self, comm: int) -> Optional[Tuple[int, ...]]:
@@ -205,6 +212,8 @@ class MessageMatcher:
                     queue = queues.get(key)
                     if not queue:
                         stats.unmatched_recvs += 1
+                        if self.allow_unmatched:
+                            continue
                         raise AnalysisError(
                             f"rank {rank}: RECV from {source} "
                             f"(tag {recv.tag}, comm {recv.comm}) has no matching SEND"

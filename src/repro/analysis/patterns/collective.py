@@ -176,6 +176,10 @@ class EarlyScanPattern(CollectivePattern):
         if instance.op_name not in PREFIX_OPS:
             return []
         order = instance.comm_order or sorted(instance.members)
+        # Degraded-mode replay may exclude ranks whose traces did not
+        # survive; comm_order still lists them, so walk only the members
+        # actually present (their relative order is what matters).
+        order = [r for r in order if r in instance.members]
         out: List[CollContribution] = []
         for index, rank in enumerate(order):
             op = instance.members[rank][0]

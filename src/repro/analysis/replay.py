@@ -15,6 +15,7 @@ Mirrors SCALASCA's metacomputing-enabled analysis (paper Section 4):
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -42,10 +43,23 @@ from repro.analysis.patterns.grid import (
 )
 from repro.analysis.severity import SeverityCube
 from repro.clocks.condition import ClockConditionChecker, MessageStamp
-from repro.clocks.sync import HierarchicalInterpolation, SyncScheme
-from repro.errors import AnalysisError
+from repro.clocks.sync import HierarchicalInterpolation, LinearConverter, SyncScheme
+from repro.errors import AnalysisError, PartialTraceWarning
 from repro.ids import node_of
 from repro.trace.archive import ArchiveReader, Definitions, trace_filename
+from repro.trace.encoding import salvage_events
+
+
+@dataclass(frozen=True)
+class RankCompleteness:
+    """Per-rank account of how much of a trace the analysis could use."""
+
+    rank: int
+    complete: bool
+    completeness: float  # fraction of the trace file's bytes that decoded
+    events: int  # events decoded (salvaged prefix included)
+    analyzed: bool  # included in matching/pattern search
+    error: str = ""  # why the trace is incomplete ("" when complete)
 
 
 @dataclass
@@ -79,6 +93,11 @@ class AnalysisResult:
     #: Fine-grained grid classification (paper §6 future work): grid
     #: severities per (causing metahost, waiting metahost) combination.
     grid_pairs: GridPairBreakdown = field(default_factory=GridPairBreakdown)
+    #: True when the analysis ran in degraded mode (damaged traces are
+    #: salvaged/excluded instead of raising).
+    degraded: bool = False
+    #: Per-rank completeness record (degraded mode; empty otherwise).
+    completeness: Dict[int, RankCompleteness] = field(default_factory=dict)
 
     # Lazily built query indexes.  The cube and call-path registry are
     # frozen once analyze() returns, so caching is safe; before these,
@@ -193,6 +212,18 @@ class AnalysisResult:
             return 0.0
         return self._by_callpath(metric).get(cpid, 0.0)
 
+    @property
+    def analyzed_ranks(self) -> List[int]:
+        """Ranks whose timelines entered the pattern search."""
+        return sorted(self.timelines)
+
+    @property
+    def excluded_ranks(self) -> List[int]:
+        """Ranks dropped by degraded mode (damaged or unreadable traces)."""
+        return sorted(
+            rank for rank, rec in self.completeness.items() if not rec.analyzed
+        )
+
     def metric_in_region(self, metric: str, region_name: str) -> float:
         """Metric total over all call paths whose innermost frame is *region_name*."""
         regions = self.definitions.regions
@@ -219,48 +250,168 @@ class AnalysisResult:
 
 
 class ReplayAnalyzer:
-    """Drives one analysis over a set of per-metahost archive readers."""
+    """Drives one analysis over a set of per-metahost archive readers.
+
+    With ``degraded=True`` the analyzer survives damaged experiments: a
+    truncated or corrupt trace is salvaged up to its first defect and the
+    rank excluded, a missing trace or reader excludes the rank, missing
+    sync measurements fall back through the non-strict scheme ladder, and
+    receives whose sender was excluded are skipped.  Each exclusion emits a
+    :class:`~repro.errors.PartialTraceWarning` and is recorded in
+    ``AnalysisResult.completeness``; the pattern search then runs on the
+    intersection of complete ranks.
+    """
 
     def __init__(
         self,
         readers: Dict[int, ArchiveReader],
         scheme: Optional[SyncScheme] = None,
+        degraded: bool = False,
     ) -> None:
         if not readers:
             raise AnalysisError("no archive readers supplied")
         self.readers = dict(readers)
-        self.scheme = scheme if scheme is not None else HierarchicalInterpolation()
+        self.degraded = degraded
+        if scheme is None:
+            scheme = HierarchicalInterpolation(strict=not degraded)
+        self.scheme = scheme
+
+    def _load_degraded(
+        self,
+        rank: int,
+        reader: Optional[ArchiveReader],
+        completeness: Dict[int, RankCompleteness],
+    ) -> Optional[Tuple[int, list]]:
+        """Salvage one rank's trace; record and warn instead of raising.
+
+        Returns ``(byte count, events)`` for a fully decoded trace, None
+        for a rank that must be excluded from the analysis.
+        """
+
+        def exclude(reason: str, fraction: float = 0.0, events: int = 0) -> None:
+            completeness[rank] = RankCompleteness(
+                rank=rank,
+                complete=False,
+                completeness=fraction,
+                events=events,
+                analyzed=False,
+                error=reason,
+            )
+            warnings.warn(
+                f"rank {rank} excluded from replay: {reason}", PartialTraceWarning,
+                stacklevel=4,
+            )
+
+        if reader is None:
+            exclude("no archive reader for its metahost")
+            return None
+        if not reader.has_trace(rank):
+            exclude(f"{trace_filename(rank)} missing from its metahost's archive")
+            return None
+        blob = reader.read_trace_blob(rank)
+        salvaged = salvage_events(blob)
+        if salvaged.rank is not None and salvaged.rank != rank:
+            exclude(f"trace file claims rank {salvaged.rank}")
+            return None
+        if not salvaged.complete:
+            exclude(
+                salvaged.error,
+                fraction=salvaged.completeness,
+                events=len(salvaged.events),
+            )
+            return None
+        if not salvaged.balanced:
+            # A cut landing exactly on a record boundary decodes cleanly;
+            # the only evidence of damage is regions left open at the end.
+            exclude(
+                f"trace decodes but leaves {salvaged.open_regions} region(s) "
+                "open (truncated at a record boundary?)",
+                fraction=salvaged.completeness,
+                events=len(salvaged.events),
+            )
+            return None
+        completeness[rank] = RankCompleteness(
+            rank=rank,
+            complete=True,
+            completeness=1.0,
+            events=len(salvaged.events),
+            analyzed=True,
+        )
+        return len(blob), salvaged.events
 
     def analyze(self) -> AnalysisResult:
         first_reader = next(iter(self.readers.values()))
         definitions = first_reader.definitions()
         sync_data = first_reader.sync_data()
         synchronized = self.scheme.convert_all(sync_data)
+        degraded = self.degraded
 
         callpaths = CallPathRegistry()
         timelines: Dict[int, ProcessTimeline] = {}
         trace_bytes: Dict[int, int] = {}
+        completeness: Dict[int, RankCompleteness] = {}
         for rank in sorted(definitions.locations):
             location = definitions.locations[rank]
             reader = self.readers.get(location.machine)
-            if reader is None:
-                raise AnalysisError(
-                    f"no archive reader for machine {location.machine} "
-                    f"(rank {rank} lives there)"
-                )
-            if not reader.has_trace(rank):
-                raise AnalysisError(
-                    f"rank {rank}'s trace is not visible on its own metahost "
-                    f"({trace_filename(rank)} missing)"
-                )
+            if degraded:
+                loaded = self._load_degraded(rank, reader, completeness)
+                if loaded is None:
+                    continue
+                trace_bytes[rank], events = loaded
+            else:
+                if reader is None:
+                    raise AnalysisError(
+                        f"no archive reader for machine {location.machine} "
+                        f"(rank {rank} lives there)"
+                    )
+                if not reader.has_trace(rank):
+                    raise AnalysisError(
+                        f"rank {rank}'s trace is not visible on its own metahost "
+                        f"({trace_filename(rank)} missing)"
+                    )
+                # Stream the trace: one file read, no materialized event list.
+                trace_bytes[rank], events = reader.stream_trace(rank)
             converter = synchronized.converters.get(node_of(location))
             if converter is None:
-                raise AnalysisError(f"no clock converter for node {node_of(location)}")
-            # Stream the trace: one file read, no materialized event list.
-            trace_bytes[rank], events = reader.stream_trace(rank)
-            timelines[rank] = build_timeline(
-                rank, location, events, converter, callpaths, definitions.regions
-            )
+                if not degraded:
+                    raise AnalysisError(
+                        f"no clock converter for node {node_of(location)}"
+                    )
+                warnings.warn(
+                    f"rank {rank}: no clock converter for {node_of(location)}, "
+                    "using local time unconverted",
+                    PartialTraceWarning,
+                    stacklevel=2,
+                )
+                converter = LinearConverter.identity()
+            try:
+                timelines[rank] = build_timeline(
+                    rank, location, events, converter, callpaths, definitions.regions
+                )
+            except AnalysisError as exc:
+                if not degraded:
+                    raise
+                # Backstop for damage that decodes as valid records (e.g.
+                # corruption stamping bytes that happen to parse) but is
+                # structurally inconsistent.
+                trace_bytes.pop(rank, None)
+                prior = completeness.get(rank)
+                completeness[rank] = RankCompleteness(
+                    rank=rank,
+                    complete=False,
+                    completeness=prior.completeness if prior else 0.0,
+                    events=prior.events if prior else 0,
+                    analyzed=False,
+                    error=str(exc),
+                )
+                warnings.warn(
+                    f"rank {rank} excluded from replay: {exc}",
+                    PartialTraceWarning,
+                    stacklevel=2,
+                )
+
+        if not timelines:
+            raise AnalysisError("no rank produced a usable trace")
 
         cube = SeverityCube()
         self._base_metrics(cube, timelines)
@@ -269,7 +420,9 @@ class ReplayAnalyzer:
             entry = definitions.communicators.get(cid)
             return entry[1] if entry is not None else None
 
-        matcher = MessageMatcher(timelines, comm_lookup=comm_order)
+        matcher = MessageMatcher(
+            timelines, comm_lookup=comm_order, allow_unmatched=degraded
+        )
         checker = ClockConditionChecker()
         grid_pairs = GridPairBreakdown()
         p2p_patterns = default_p2p_patterns()
@@ -322,6 +475,8 @@ class ReplayAnalyzer:
             total_time=total_time_of(timelines),
             timelines=timelines,
             grid_pairs=grid_pairs,
+            degraded=degraded,
+            completeness=completeness,
         )
 
     @staticmethod
@@ -355,9 +510,11 @@ class ReplayAnalyzer:
                 cube_add(IDLE_THREADS, omp.cpid, rank, omp.idle_thread_seconds)
 
 
-def analyze_run(run_result, scheme: Optional[SyncScheme] = None) -> AnalysisResult:
+def analyze_run(
+    run_result, scheme: Optional[SyncScheme] = None, degraded: bool = False
+) -> AnalysisResult:
     """Analyze a :class:`~repro.sim.runtime.RunResult` end to end."""
     readers = {
         machine: run_result.reader(machine) for machine in run_result.machines_used
     }
-    return ReplayAnalyzer(readers, scheme=scheme).analyze()
+    return ReplayAnalyzer(readers, scheme=scheme, degraded=degraded).analyze()

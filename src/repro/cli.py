@@ -7,6 +7,7 @@ Usage::
     python -m repro.cli table3            # experiment configurations
     python -m repro.cli figure6           # 3-metahost MetaTrace analysis
     python -m repro.cli figure7           # 1-metahost MetaTrace analysis
+    python -m repro.cli faults            # escalating fault-injection ladder
     python -m repro.cli all               # everything above
     python -m repro.cli figure6 --seed 3  # different random seed
 """
@@ -99,6 +100,12 @@ def _cmd_figure4(seed: int) -> str:
     )
 
 
+def _cmd_faults(seed: int) -> str:
+    from repro.experiments.faults import run_fault_experiment
+
+    return run_fault_experiment(seed=seed).text()
+
+
 def _cmd_figure6(seed: int) -> str:
     return _metatrace(1, seed)
 
@@ -116,6 +123,7 @@ COMMANDS: Dict[str, Callable[[int], str]] = {
     "figure4": _cmd_figure4,
     "figure6": _cmd_figure6,
     "figure7": _cmd_figure7,
+    "faults": _cmd_faults,
 }
 
 
@@ -144,6 +152,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "figure4": 3,
         "figure6": 11,
         "figure7": 11,
+        "faults": 11,
     }
     targets = sorted(COMMANDS) if args.what == "all" else [args.what]
     for name in targets:

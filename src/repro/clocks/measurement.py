@@ -20,6 +20,7 @@ motivating the paper's hierarchical scheme.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Optional
 
 import numpy as np
 
@@ -36,20 +37,37 @@ class OffsetMeasurementConfig:
     Parameters
     ----------
     exchanges:
-        Number of ping-pongs; the minimum-RTT exchange is kept.  KOJAK-era
-        tools used a handful of exchanges to keep startup cost low.
+        Number of successful ping-pongs collected; the minimum-RTT exchange
+        is kept.  KOJAK-era tools used a handful of exchanges to keep
+        startup cost low.
     payload_bytes:
         Size of the probe messages (clock value + header).
+    rtt_cap_s:
+        Optional outlier rejection: exchanges whose round-trip time exceeds
+        this cap are not eligible as the winning exchange (they still cost
+        time).  If *every* exchange exceeds the cap the best one is used
+        anyway — a degraded measurement beats none.  ``None`` (default)
+        disables the filter.
+    reping_factor:
+        Upper bound on probe attempts, as a multiple of ``exchanges``; only
+        consulted when fault injection drops pings.  Each dropped ping costs
+        a timeout before the re-ping.
     """
 
     exchanges: int = 8
     payload_bytes: int = 64
+    rtt_cap_s: Optional[float] = None
+    reping_factor: int = 3
 
     def __post_init__(self) -> None:
         if self.exchanges < 1:
             raise MeasurementError(f"need at least one exchange: {self.exchanges}")
         if self.payload_bytes < 0:
             raise MeasurementError(f"payload must be non-negative: {self.payload_bytes}")
+        if self.rtt_cap_s is not None and self.rtt_cap_s <= 0:
+            raise MeasurementError(f"RTT cap must be positive: {self.rtt_cap_s}")
+        if self.reping_factor < 1:
+            raise MeasurementError(f"re-ping factor must be >= 1: {self.reping_factor}")
 
 
 @dataclass(frozen=True)
@@ -101,13 +119,20 @@ def measure_offset(
     start_true_time: float,
     rng: np.random.Generator,
     config: OffsetMeasurementConfig = OffsetMeasurementConfig(),
+    injector: Any = None,
 ) -> OffsetMeasurement:
     """Simulate one remote clock reading over *link* starting at *start_true_time*.
 
-    Returns the minimum-RTT exchange.  Exchanges are carried out back to
-    back; the function also works for ``node == reference`` (it then returns
-    a zero offset with zero error, which the hierarchical scheme relies on
-    for the metamaster's own metahost).
+    Returns the minimum-RTT exchange (subject to ``config.rtt_cap_s``
+    outlier rejection).  Exchanges are carried out back to back; the
+    function also works for ``node == reference`` (it then returns a zero
+    offset with zero error, which the hierarchical scheme relies on for the
+    metamaster's own metahost).
+
+    With a fault *injector*, individual exchanges may be dropped (the
+    master times out and re-pings, up to ``exchanges * reping_factor``
+    attempts) or their return leg delayed by an injected asymmetry.  Raises
+    :class:`~repro.errors.MeasurementError` if every attempt is lost.
     """
     if node == reference:
         local = reference_clock.local_time(start_true_time)
@@ -122,26 +147,48 @@ def measure_offset(
             true_time_s=start_true_time,
         )
 
-    best: OffsetMeasurement | None = None
+    best: OffsetMeasurement | None = None  # winner under the RTT cap
+    fallback: OffsetMeasurement | None = None  # winner ignoring the cap
     t = start_true_time
     fwd_direction = f"{reference}->{node}"
     bwd_direction = f"{node}->{reference}"
-    for _ in range(config.exchanges):
+    faulty = injector is not None and injector.touches_measurement
+    max_attempts = config.exchanges * (config.reping_factor if faulty else 1)
+    # Master-side timeout before re-pinging a lost probe (deterministic, no
+    # random draw: the retry schedule must not disturb the latency stream).
+    drop_penalty = 4.0 * link.mean_transfer_time(config.payload_bytes)
+    successes = 0
+    for _ in range(max_attempts):
+        if successes >= config.exchanges:
+            break
+        if faulty and injector.ping_dropped(link.spec):
+            injector.counters.pings_reissued += 1
+            t += drop_penalty
+            continue
         d_fwd = link.transfer_time(
             config.payload_bytes, rng, when=t, direction=fwd_direction
         )
         d_bwd = link.transfer_time(
             config.payload_bytes, rng, when=t + d_fwd, direction=bwd_direction
         )
+        if faulty:
+            d_bwd += injector.ping_asymmetry_s(link.spec)
         m1 = reference_clock.read(t, rng)
         slave_at = t + d_fwd
         s = slave_clock.read(slave_at, rng)
         m2 = reference_clock.read(t + d_fwd + d_bwd, rng)
         rtt = m2 - m1
-        if best is None or rtt < best.rtt_s:
+        candidate = None
+        within_cap = config.rtt_cap_s is None or rtt <= config.rtt_cap_s
+        if within_cap:
+            if best is None or rtt < best.rtt_s:
+                candidate = "best"
+        elif best is None and (fallback is None or rtt < fallback.rtt_s):
+            candidate = "fallback"
+        if candidate is not None:
             mid_local = 0.5 * (m1 + m2)
             mid_true = t + 0.5 * (d_fwd + d_bwd)
-            best = OffsetMeasurement(
+            measurement = OffsetMeasurement(
                 node=node,
                 reference=reference,
                 offset_s=s - mid_local,
@@ -151,6 +198,17 @@ def measure_offset(
                 true_offset_s=slave_clock.offset_to(reference_clock, slave_at),
                 true_time_s=mid_true,
             )
+            if candidate == "best":
+                best = measurement
+            else:
+                fallback = measurement
         t += d_fwd + d_bwd
-    assert best is not None  # exchanges >= 1
+        successes += 1
+    if best is None:
+        best = fallback
+    if best is None:
+        raise MeasurementError(
+            f"offset measurement {reference} -> {node}: all {max_attempts} "
+            "probe attempts were lost"
+        )
     return best

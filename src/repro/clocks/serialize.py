@@ -59,7 +59,7 @@ def measurement_from_dict(raw: Optional[Dict[str, Any]]) -> Optional[OffsetMeasu
 
 
 def sync_data_to_dict(data: SyncData) -> Dict[str, Any]:
-    return {
+    out = {
         "master_node": _node_to_list(data.master_node),
         "local_masters": {
             str(machine): _node_to_list(node)
@@ -80,6 +80,11 @@ def sync_data_to_dict(data: SyncData) -> Dict[str, Any]:
             for rec in data.records.values()
         ],
     }
+    # Only emitted when present so fault-free archives keep their exact
+    # pre-fault-injection byte layout.
+    if data.failures:
+        out["failures"] = list(data.failures)
+    return out
 
 
 def sync_data_from_dict(raw: Dict[str, Any]) -> SyncData:
@@ -93,6 +98,7 @@ def sync_data_from_dict(raw: Dict[str, Any]) -> SyncData:
             global_clock_machines=frozenset(
                 int(m) for m in raw.get("global_clock_machines", [])
             ),
+            failures=[str(f) for f in raw.get("failures", [])],
         )
         for entry in raw["records"]:
             rec = NodeSyncRecord(

@@ -31,7 +31,7 @@ the paper's Table 2:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -41,7 +41,7 @@ from repro.clocks.measurement import (
     OffsetMeasurementConfig,
     measure_offset,
 )
-from repro.errors import ClockError
+from repro.errors import ClockError, MeasurementError
 from repro.ids import Location, NodeId
 from repro.topology.metacomputer import Metacomputer
 
@@ -129,12 +129,18 @@ class SyncData:
     global_clock_machines:
         Machines whose nodes share a hardware-synchronized clock; the
         hierarchical scheme skips the slave step there.
+    failures:
+        Human-readable descriptions of offset measurements that could not
+        be carried out (all probes lost under fault injection).  The
+        corresponding record fields stay ``None``; non-strict schemes fall
+        back around them.
     """
 
     master_node: NodeId
     records: Dict[NodeId, NodeSyncRecord] = field(default_factory=dict)
     local_masters: Dict[int, NodeId] = field(default_factory=dict)
     global_clock_machines: frozenset = frozenset()
+    failures: List[str] = field(default_factory=list)
 
     def record(self, node: NodeId) -> NodeSyncRecord:
         try:
@@ -146,17 +152,52 @@ class SyncData:
         return sorted(self.records)
 
 
+def _interp_or_single(
+    start: Optional[OffsetMeasurement], end: Optional[OffsetMeasurement]
+) -> Optional[LinearConverter]:
+    """Best converter obtainable from whatever measurements survived.
+
+    Interpolation with both anchors, single-offset with one, ``None`` with
+    neither — the degradation ladder non-strict schemes walk down.
+    """
+    if start is not None and end is not None:
+        return LinearConverter.from_interpolation(start, end)
+    if start is not None:
+        return LinearConverter.from_single_offset(start)
+    if end is not None:
+        return LinearConverter.from_single_offset(end)
+    return None
+
+
 class SyncScheme:
-    """Base class: turns :class:`SyncData` into per-node converters."""
+    """Base class: turns :class:`SyncData` into per-node converters.
+
+    ``strict`` (the default) raises :class:`~repro.errors.ClockError` on
+    missing measurements.  With ``strict=False`` each scheme degrades
+    instead: interpolation falls back to a single offset, the hierarchical
+    scheme falls back to flat measurements for a metahost whose local
+    master is unreachable, and as a last resort a node converts through the
+    identity — degraded-mode replay prefers an imprecise time base over no
+    analysis at all.
+    """
 
     #: Short identifier used by experiment drivers and Table 2 rows.
     name: str = "abstract"
+
+    def __init__(self, strict: bool = True) -> None:
+        self.strict = strict
 
     def converters(self, data: SyncData) -> Dict[NodeId, LinearConverter]:
         raise NotImplementedError
 
     def convert_all(self, data: SyncData) -> "SynchronizedTime":
         return SynchronizedTime(self.converters(data))
+
+    def _missing(self, message: str) -> LinearConverter:
+        """Strict: raise; non-strict: last-resort identity conversion."""
+        if self.strict:
+            raise ClockError(message)
+        return LinearConverter.identity()
 
 
 @dataclass
@@ -184,7 +225,13 @@ class FlatSingleOffset(SyncScheme):
                 out[node] = LinearConverter.identity()
                 continue
             if rec.flat_start is None:
-                raise ClockError(f"node {node} lacks a flat start measurement")
+                fallback = None if self.strict else _interp_or_single(None, rec.flat_end)
+                if fallback is None:
+                    fallback = self._missing(
+                        f"node {node} lacks a flat start measurement"
+                    )
+                out[node] = fallback
+                continue
             out[node] = LinearConverter.from_single_offset(rec.flat_start)
         return out
 
@@ -201,7 +248,17 @@ class FlatInterpolation(SyncScheme):
                 out[node] = LinearConverter.identity()
                 continue
             if rec.flat_start is None or rec.flat_end is None:
-                raise ClockError(f"node {node} lacks flat start/end measurements")
+                fallback = (
+                    None
+                    if self.strict
+                    else _interp_or_single(rec.flat_start, rec.flat_end)
+                )
+                if fallback is None:
+                    fallback = self._missing(
+                        f"node {node} lacks flat start/end measurements"
+                    )
+                out[node] = fallback
+                continue
             out[node] = LinearConverter.from_interpolation(rec.flat_start, rec.flat_end)
         return out
 
@@ -220,9 +277,20 @@ class HierarchicalInterpolation(SyncScheme):
                 continue
             rec = data.record(local_master)
             if rec.meta_start is None or rec.meta_end is None:
-                raise ClockError(
-                    f"local master {local_master} lacks metamaster measurements"
+                if self.strict:
+                    raise ClockError(
+                        f"local master {local_master} lacks metamaster measurements"
+                    )
+                # Unreachable local master: degrade the whole metahost to
+                # whatever survived — partial metamaster measurements, then
+                # the local master's flat measurements, then identity.
+                converter = _interp_or_single(rec.meta_start, rec.meta_end)
+                if converter is None:
+                    converter = _interp_or_single(rec.flat_start, rec.flat_end)
+                meta_conv[machine] = (
+                    converter if converter is not None else LinearConverter.identity()
                 )
+                continue
             meta_conv[machine] = LinearConverter.from_interpolation(
                 rec.meta_start, rec.meta_end
             )
@@ -231,9 +299,11 @@ class HierarchicalInterpolation(SyncScheme):
         for node, rec in data.records.items():
             machine_converter = meta_conv.get(rec.machine)
             if machine_converter is None:
-                raise ClockError(f"machine {rec.machine} has no local master")
+                if self.strict:
+                    raise ClockError(f"machine {rec.machine} has no local master")
+                machine_converter = LinearConverter.identity()
             if (
-                node == data.local_masters[rec.machine]
+                node == data.local_masters.get(rec.machine)
                 or rec.machine in data.global_clock_machines
             ):
                 # Local masters (and every node of a globally-clocked
@@ -241,7 +311,18 @@ class HierarchicalInterpolation(SyncScheme):
                 out[node] = machine_converter
                 continue
             if rec.local_start is None or rec.local_end is None:
-                raise ClockError(f"node {node} lacks local-master measurements")
+                if self.strict:
+                    raise ClockError(f"node {node} lacks local-master measurements")
+                # Fall back from the hierarchy to this node's own flat
+                # measurements (the pre-paper scheme), then to the
+                # metahost-level converter alone.
+                local = _interp_or_single(rec.local_start, rec.local_end)
+                if local is not None:
+                    out[node] = local.then(machine_converter)
+                else:
+                    flat = _interp_or_single(rec.flat_start, rec.flat_end)
+                    out[node] = flat if flat is not None else machine_converter
+                continue
             to_local_master = LinearConverter.from_interpolation(
                 rec.local_start, rec.local_end
             )
@@ -266,6 +347,7 @@ def collect_sync_data(
     run_end_s: float,
     rng: np.random.Generator,
     config: OffsetMeasurementConfig = OffsetMeasurementConfig(),
+    injector: Any = None,
 ) -> SyncData:
     """Carry out all offset measurements of a run (start and end rounds).
 
@@ -279,6 +361,11 @@ def collect_sync_data(
     run_start_s / run_end_s:
         True times of the two measurement rounds ("taken at program start
         and repeated at program end").
+    injector:
+        Optional fault injector; dropped pings are re-pinged inside
+        :func:`~repro.clocks.measurement.measure_offset`, and measurements
+        whose every probe is lost are recorded in ``SyncData.failures``
+        (their record fields stay ``None``) instead of raising.
     """
     if run_end_s < run_start_s:
         raise ClockError(
@@ -319,7 +406,16 @@ def collect_sync_data(
         for node in nodes:
             data.records[node] = NodeSyncRecord(node=node, machine=machine)
 
+    def attempt(kind: str, round_name: str, *args) -> Optional[OffsetMeasurement]:
+        """One measurement; lost-measurement failures recorded, not raised."""
+        try:
+            return measure_offset(*args, rng, config, injector=injector)
+        except MeasurementError as exc:
+            data.failures.append(f"{kind}@{round_name}: {exc}")
+            return None
+
     for round_index, t0 in enumerate((run_start_s, run_end_s)):
+        round_name = "start" if round_index == 0 else "end"
         # Offset measurements are ping-pongs carried out one after another;
         # a small stagger keeps their simulated instants distinct.
         stagger = 0.0
@@ -330,15 +426,15 @@ def collect_sync_data(
                 rec = data.records[node]
                 node_clock = clocks.clock(node)
                 if node != master_node:
-                    flat = measure_offset(
+                    flat = attempt(
+                        "flat",
+                        round_name,
                         node,
                         master_node,
                         node_clock,
                         master_clock,
                         link_model(node, master_node),
                         t0 + stagger,
-                        rng,
-                        config,
                     )
                     stagger += config.exchanges * 2.5e-3
                     if round_index == 0:
@@ -346,15 +442,15 @@ def collect_sync_data(
                     else:
                         rec.flat_end = flat
                 if node != local_master and machine not in global_clock_machines:
-                    local = measure_offset(
+                    local = attempt(
+                        "local",
+                        round_name,
                         node,
                         local_master,
                         node_clock,
                         lm_clock,
                         link_model(node, local_master),
                         t0 + stagger,
-                        rng,
-                        config,
                     )
                     stagger += config.exchanges * 1e-4
                     if round_index == 0:
@@ -362,15 +458,15 @@ def collect_sync_data(
                     else:
                         rec.local_end = local
             if local_master != master_node:
-                meta = measure_offset(
+                meta = attempt(
+                    "meta",
+                    round_name,
                     local_master,
                     master_node,
                     lm_clock,
                     master_clock,
                     link_model(local_master, master_node),
                     t0 + stagger,
-                    rng,
-                    config,
                 )
                 stagger += config.exchanges * 2.5e-3
                 rec = data.records[local_master]

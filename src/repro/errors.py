@@ -31,6 +31,33 @@ class MPIUsageError(SimulationError):
     """A simulated MPI call was used incorrectly (bad rank, bad comm, ...)."""
 
 
+class CommunicationTimeoutError(SimulationError):
+    """A message could not be delivered within the retransmission budget.
+
+    Raised by the transport layer when every retransmission attempt of a
+    message fell into a link outage (or was lost) and the retry policy's
+    attempt/timeout budget is exhausted — the simulated equivalent of a
+    permanently dead external link.
+
+    Attributes
+    ----------
+    link:
+        Name of the link the message could not cross.
+    attempts:
+        Number of delivery attempts made (original send + retransmits).
+    waited_s:
+        Total time spent in retransmission backoff before giving up.
+    """
+
+    def __init__(
+        self, message: str, link: str = "", attempts: int = 0, waited_s: float = 0.0
+    ) -> None:
+        super().__init__(message)
+        self.link = link
+        self.attempts = attempts
+        self.waited_s = waited_s
+
+
 class ClockError(ReproError):
     """Clock-model or synchronization failure."""
 
@@ -58,9 +85,40 @@ class FileSystemError(ReproError):
 class ArchiveCreationAborted(FileSystemError):
     """The runtime archive-management protocol aborted the measurement.
 
-    Raised when, after the hierarchical creation protocol, at least one
-    process still cannot see an archive directory (paper, Section 4,
-    *Runtime archive management*: "otherwise the application is aborted").
+    Raised when, after the hierarchical creation protocol (including any
+    retries), at least one process still cannot see an archive directory
+    (paper, Section 4, *Runtime archive management*: "otherwise the
+    application is aborted").
+
+    Attributes
+    ----------
+    failing_ranks:
+        Global ranks that could not see (or create) the archive directory.
+    failing_machines:
+        Names of the metahosts those ranks run on.
+    path:
+        The archive path that could not be provided.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        failing_ranks: tuple = (),
+        failing_machines: tuple = (),
+        path: str = "",
+    ) -> None:
+        super().__init__(message)
+        self.failing_ranks = tuple(failing_ranks)
+        self.failing_machines = tuple(failing_machines)
+        self.path = path
+
+
+class PartialTraceWarning(UserWarning):
+    """A trace file was truncated or corrupt and only a prefix was salvaged.
+
+    Emitted (via :func:`warnings.warn`) by degraded-mode replay when a
+    rank's event stream could not be decoded completely; the analysis then
+    proceeds on the intersection of fully decoded ranks.
     """
 
 

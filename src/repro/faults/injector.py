@@ -1,0 +1,230 @@
+"""Runtime fault injection driven by a :class:`~repro.faults.plan.FaultPlan`.
+
+One :class:`FaultInjector` is shared by every layer of a run — transport,
+offset measurement, archive management, trace writing — so a single seeded
+generator orders all fault randomness and a single counter block feeds the
+degradation report.  All methods are cheap no-ops when the plan carries no
+spec of the relevant type; the simulation's own random stream is never
+touched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import CommunicationTimeoutError
+from repro.faults.plan import (
+    FaultPlan,
+    FileSystemFault,
+    LinkDegradation,
+    LinkOutage,
+    MessageLoss,
+    PingFault,
+    TraceCorruption,
+    TraceTruncation,
+    link_matches,
+)
+from repro.sim.transfer import RetryPolicy
+from repro.topology.network import LinkSpec
+from repro.trace.encoding import HEADER_SIZE, record_boundary
+
+
+@dataclass
+class FaultCounters:
+    """What the injector did to a run; the degradation report reads this."""
+
+    messages_dropped: int = 0
+    retransmits: int = 0
+    timeouts: int = 0
+    pings_dropped: int = 0
+    pings_reissued: int = 0
+    fs_failures_injected: int = 0
+    traces_truncated: int = 0
+    traces_corrupted: int = 0
+
+    @property
+    def total(self) -> int:
+        return sum(getattr(self, f.name) for f in fields(self))
+
+    def as_dict(self) -> Dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+class FaultInjector:
+    """Stateful executor of one fault plan over one run.
+
+    Holds the plan's own :class:`numpy.random.Generator` (seeded from
+    ``plan.seed``) and the mutable per-run state: loss coin flips, the
+    per-machine file-system failure budgets, and the fault counters.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.rng = np.random.default_rng(plan.seed)
+        self.counters = FaultCounters()
+        self._outages: Tuple[LinkOutage, ...] = plan.of_type(LinkOutage)
+        self._degradations: Tuple[LinkDegradation, ...] = plan.of_type(LinkDegradation)
+        self._losses: Tuple[MessageLoss, ...] = plan.of_type(MessageLoss)
+        self._ping_faults: Tuple[PingFault, ...] = plan.of_type(PingFault)
+        self._trace_truncations: Tuple[TraceTruncation, ...] = plan.of_type(
+            TraceTruncation
+        )
+        self._trace_corruptions: Tuple[TraceCorruption, ...] = plan.of_type(
+            TraceCorruption
+        )
+        self._fs_budget: Dict[str, Optional[int]] = {}
+        for spec in plan.of_type(FileSystemFault):
+            # None marks a permanent failure; ints count down to zero.
+            self._fs_budget[spec.machine] = None if spec.permanent else spec.fail_count
+
+    # ------------------------------------------------------------------ links
+
+    def link_blacked_out(self, spec: LinkSpec, when: float) -> bool:
+        """Is the link inside an outage window at time *when*?"""
+        return any(
+            o.start_s <= when < o.end_s and link_matches(o.link, spec)
+            for o in self._outages
+        )
+
+    def latency_factor(self, spec: LinkSpec, when: float) -> float:
+        """Multiplier on sampled transfer times (1.0 when undisturbed)."""
+        factor = 1.0
+        for d in self._degradations:
+            if d.start_s <= when < d.end_s and link_matches(d.link, spec):
+                factor *= d.latency_factor
+        return factor
+
+    def _loss_probability(self, spec: LinkSpec, when: float) -> float:
+        prob = 0.0
+        for loss in self._losses:
+            if link_matches(loss.link, spec):
+                prob = max(prob, loss.probability)
+        for d in self._degradations:
+            if d.start_s <= when < d.end_s and link_matches(d.link, spec):
+                prob = max(prob, d.loss_prob)
+        return prob
+
+    def message_delivery(
+        self, spec: LinkSpec, when: float, policy: RetryPolicy
+    ) -> float:
+        """Extra sender-side delay for one message crossing *spec* at *when*.
+
+        Simulates the delivery attempts: each attempt fails if the link is
+        blacked out at the attempt time or the loss coin comes up bad; a
+        failed attempt costs the policy's backoff before the next.  Returns
+        the summed backoff delay of all failed attempts (0.0 for a clean
+        first attempt — the common case takes no random draw unless a loss
+        probability applies).  Raises
+        :class:`~repro.errors.CommunicationTimeoutError` when the budget
+        runs out, which models permanent link death.
+        """
+        if not (self._outages or self._degradations or self._losses):
+            return 0.0
+        waited = 0.0
+        attempt = 1
+        while True:
+            now = when + waited
+            lost = self.link_blacked_out(spec, now)
+            if not lost:
+                prob = self._loss_probability(spec, now)
+                lost = prob > 0.0 and self.rng.random() < prob
+            if not lost:
+                if attempt > 1:
+                    self.counters.retransmits += attempt - 1
+                return waited
+            self.counters.messages_dropped += 1
+            backoff = policy.backoff_s(attempt)
+            if attempt >= policy.max_attempts or waited + backoff > policy.timeout_s:
+                self.counters.timeouts += 1
+                raise CommunicationTimeoutError(
+                    f"message on link '{spec.name or spec.link_class.value}' "
+                    f"undeliverable after {attempt} attempts "
+                    f"({waited * 1e3:.2f} ms of backoff)",
+                    link=spec.name or spec.link_class.value,
+                    attempts=attempt,
+                    waited_s=waited,
+                )
+            waited += backoff
+            attempt += 1
+
+    # ------------------------------------------------------------ measurement
+
+    def ping_dropped(self, spec: LinkSpec) -> bool:
+        """Loses one offset-measurement exchange (caller re-pings)."""
+        for fault in self._ping_faults:
+            if fault.drop_prob > 0.0 and link_matches(fault.link, spec):
+                if self.rng.random() < fault.drop_prob:
+                    self.counters.pings_dropped += 1
+                    return True
+        return False
+
+    def ping_asymmetry_s(self, spec: LinkSpec) -> float:
+        """One-directional extra delay on the return leg of an exchange."""
+        return sum(
+            f.asymmetry_s
+            for f in self._ping_faults
+            if f.asymmetry_s > 0.0 and link_matches(f.link, spec)
+        )
+
+    @property
+    def touches_measurement(self) -> bool:
+        return bool(self._ping_faults)
+
+    # ------------------------------------------------------------ file system
+
+    def fs_create_fails(self, machine: str) -> bool:
+        """Should this directory-creation attempt on *machine* fail?
+
+        Consumes one unit of the machine's failure budget per call (so a
+        transient fault fails exactly ``fail_count`` attempts, then heals).
+        """
+        for key in (machine, "*"):
+            budget = self._fs_budget.get(key, 0)
+            if budget is None:  # permanent
+                self.counters.fs_failures_injected += 1
+                return True
+            if budget > 0:
+                self._fs_budget[key] = budget - 1
+                self.counters.fs_failures_injected += 1
+                return True
+        return False
+
+    # ------------------------------------------------------------------ trace
+
+    def mangle_trace(self, rank: int, blob: bytes) -> bytes:
+        """Apply truncation/corruption specs for *rank* to an encoded trace."""
+        for trunc in self._trace_truncations:
+            if trunc.rank != rank:
+                continue
+            payload = max(0, len(blob) - HEADER_SIZE)
+            keep = HEADER_SIZE + int(payload * trunc.keep_fraction)
+            if keep < len(blob):
+                blob = blob[:keep]
+                self.counters.traces_truncated += 1
+        for corr in self._trace_corruptions:
+            if corr.rank != rank or len(blob) <= HEADER_SIZE:
+                continue
+            payload = len(blob) - HEADER_SIZE
+            target = HEADER_SIZE + int(payload * corr.at_fraction)
+            start = record_boundary(blob, target)
+            if start >= len(blob):
+                continue
+            end = min(len(blob), start + corr.length)
+            blob = blob[:start] + b"\xff" * (end - start) + blob[end:]
+            self.counters.traces_corrupted += 1
+        return blob
+
+
+def build_injector(plan: Optional[FaultPlan]) -> Optional[FaultInjector]:
+    """Injector for *plan*, or None for a missing/empty plan.
+
+    Returning None for the empty plan is what guarantees byte-identical
+    behavior with faults disabled: every consumer checks for None before
+    doing anything at all.
+    """
+    if plan is None or plan.is_empty:
+        return None
+    return FaultInjector(plan)

@@ -22,10 +22,18 @@ distinct file system.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from repro.errors import ArchiveCreationAborted, FileSystemError
 from repro.fs.filesystem import MountNamespace
+
+
+class _InjectedCreateFailure(FileSystemError):
+    """A directory creation that failed because a fault plan said so.
+
+    Only these are retried: genuine namespace errors (path exists, no mount)
+    are deterministic and would fail identically on every retry.
+    """
 
 
 @dataclass(frozen=True)
@@ -34,7 +42,9 @@ class ProtocolStep:
 
     actor_rank: int
     machine: int
-    action: str  # "create", "check", "create-local", "allreduce", "abort"
+    #: "create", "check", "create-local", "create-failed", "retry",
+    #: "allreduce", "abort"
+    action: str
     detail: str = ""
 
 
@@ -60,12 +70,57 @@ class ArchiveManagementOutcome:
     def creation_attempts(self) -> int:
         return sum(1 for s in self.steps if s.action in ("create", "create-local"))
 
+    @property
+    def retries(self) -> int:
+        """Creation attempts repeated after an injected transient failure."""
+        return sum(1 for s in self.steps if s.action == "retry")
+
+
+def _create_with_retry(
+    ns: MountNamespace,
+    path: str,
+    rank: int,
+    machine: int,
+    machine_name: str,
+    steps: List[ProtocolStep],
+    injector: Any,
+    max_attempts: int,
+) -> None:
+    """One logical directory creation, retrying injected transient failures.
+
+    Each attempt first consults the fault injector (which may consume one
+    unit of the machine's failure budget), then performs the real creation.
+    Injected failures are retried up to *max_attempts* times with recorded
+    ``create-failed``/``retry`` steps; genuine namespace errors and an
+    exhausted budget propagate as :class:`~repro.errors.FileSystemError`.
+    """
+    attempt = 1
+    while True:
+        try:
+            if injector is not None and injector.fs_create_fails(machine_name):
+                raise _InjectedCreateFailure(
+                    f"injected fault: cannot create {path} on {machine_name}"
+                )
+            ns.create_dir(path, exist_ok=False)
+            return
+        except _InjectedCreateFailure as exc:
+            steps.append(
+                ProtocolStep(rank, machine, "create-failed", f"attempt {attempt}: {exc}")
+            )
+            if attempt >= max_attempts:
+                raise
+            steps.append(ProtocolStep(rank, machine, "retry", f"attempt {attempt + 1}"))
+            attempt += 1
+
 
 def ensure_archives(
     namespaces: Mapping[int, MountNamespace],
     path: str,
     ranks_of_machine: Mapping[int, Sequence[int]],
     root_rank: int = 0,
+    injector: Any = None,
+    machine_names: Optional[Mapping[int, str]] = None,
+    max_create_attempts: int = 3,
 ) -> ArchiveManagementOutcome:
     """Run the hierarchical archive-creation protocol.
 
@@ -79,6 +134,15 @@ def ensure_archives(
         Machine index → ordered ranks living there; the first rank of each
         machine acts as local master.  The machine of *root_rank* must list
         it first.
+    injector:
+        Optional fault injector whose ``fs_create_fails(machine_name)``
+        makes creation attempts fail transiently (retried, with backoff
+        recorded as protocol steps) or permanently (abort path).
+    machine_names:
+        Machine index → metahost name, used to match fault specs; indices
+        are stringified when absent.
+    max_create_attempts:
+        Creation attempts per directory before giving up on that machine.
     """
     if not namespaces:
         raise FileSystemError("no mount namespaces supplied")
@@ -100,22 +164,35 @@ def ensure_archives(
 
     outcome = ArchiveManagementOutcome(path=path, archive_fs_of_machine={})
     steps = outcome.steps
+    names = machine_names or {}
+
+    def name_of(machine: int) -> str:
+        return names.get(machine, str(machine))
 
     # Step 1: rank zero creates the archive directory and broadcasts.
     root_ns = namespaces[root_machine]
     try:
-        root_ns.create_dir(path, exist_ok=False)
+        _create_with_retry(
+            root_ns, path, root_rank, root_machine, name_of(root_machine),
+            steps, injector, max_create_attempts,
+        )
     except FileSystemError as exc:
         steps.append(ProtocolStep(root_rank, root_machine, "abort", str(exc)))
         raise ArchiveCreationAborted(
-            f"rank {root_rank} could not create archive {path}: {exc}"
+            f"rank {root_rank} could not create archive {path}: {exc}",
+            failing_ranks=(root_rank,),
+            failing_machines=(name_of(root_machine),),
+            path=path,
         ) from exc
     steps.append(
         ProtocolStep(root_rank, root_machine, "create", root_ns.resolve(path).name)
     )
 
     # Step 2: each local master checks visibility and creates a partial
-    # archive when the root's directory lives on foreign storage.
+    # archive when the root's directory lives on foreign storage.  A local
+    # master whose creation fails for good does NOT abort here — the
+    # protocol's verdict is the step-3 all-reduce, which then names every
+    # rank the failure leaves without an archive.
     for machine in sorted(ranks_of_machine):
         local_master = list(ranks_of_machine[machine])[0]
         ns = namespaces[machine]
@@ -124,23 +201,37 @@ def ensure_archives(
             ProtocolStep(local_master, machine, "check", "visible" if visible else "missing")
         )
         if not visible:
-            ns.create_dir(path, exist_ok=False)
+            try:
+                _create_with_retry(
+                    ns, path, local_master, machine, name_of(machine),
+                    steps, injector, max_create_attempts,
+                )
+            except FileSystemError:
+                continue
             steps.append(
                 ProtocolStep(local_master, machine, "create-local", ns.resolve(path).name)
             )
 
     # Step 3: every process verifies visibility; all-reduce of the outcomes.
-    all_ok = True
+    failing_ranks: List[int] = []
+    failing_machines: List[str] = []
     for machine in sorted(ranks_of_machine):
         ns = namespaces[machine]
         for rank in ranks_of_machine[machine]:
             if not ns.is_dir(path):
-                all_ok = False
+                failing_ranks.append(rank)
+                if name_of(machine) not in failing_machines:
+                    failing_machines.append(name_of(machine))
                 steps.append(ProtocolStep(rank, machine, "abort", "archive invisible"))
+    all_ok = not failing_ranks
     steps.append(ProtocolStep(root_rank, root_machine, "allreduce", f"ok={all_ok}"))
     if not all_ok:
         raise ArchiveCreationAborted(
-            f"at least one process cannot see an archive directory at {path}"
+            f"at least one process cannot see an archive directory at {path} "
+            f"(ranks {failing_ranks} on {', '.join(failing_machines)})",
+            failing_ranks=tuple(failing_ranks),
+            failing_machines=tuple(failing_machines),
+            path=path,
         )
 
     for machine in sorted(ranks_of_machine):

@@ -505,6 +505,9 @@ class WorldStats:
     collectives: int = 0
     rendezvous_messages: int = 0
     finish_time: float = 0.0
+    #: Fault-injected retransmissions performed by this world's transport
+    #: (0 without an active fault plan).
+    retransmits: int = 0
 
 
 # --------------------------------------------------------------------------
@@ -527,6 +530,11 @@ class World:
         Optional object implementing the hook methods ``enter``, ``exit``,
         ``send``, ``recv`` and ``coll_exit`` (see
         :mod:`repro.instrument.adapter`); ``None`` disables tracing.
+    fault_injector:
+        Optional :class:`~repro.faults.FaultInjector`; when set, every
+        network delay consults it for outage/loss/degradation effects and
+        retransmission backoff (``params.retry``).  ``None`` — the default
+        and the empty-plan case — leaves the timing model byte-identical.
     """
 
     def __init__(
@@ -537,6 +545,7 @@ class World:
         rng: Optional[np.random.Generator] = None,
         tracer: Any = None,
         max_events: int = 50_000_000,
+        fault_injector: Any = None,
     ) -> None:
         if placement.metacomputer is not metacomputer:
             raise SimulationError("placement does not belong to this metacomputer")
@@ -546,6 +555,7 @@ class World:
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self.tracer = tracer
         self.max_events = max_events
+        self.fault_injector = fault_injector
         self.engine = Engine()
         self.stats = WorldStats()
 
@@ -738,17 +748,34 @@ class World:
         b = node_of(self.placement.location(dst_global))
         return f"{a}->{b}"
 
+    def _faulted(self, link, sampled: float) -> float:
+        """Apply fault-plan effects to one sampled network delay.
+
+        Retransmission backoff (lost messages, outage windows) is added on
+        top; degradation windows scale the sampled delay itself.  Raises
+        :class:`~repro.errors.CommunicationTimeoutError` out of the engine
+        when the retry budget dies on a blacked-out link.
+        """
+        inj = self.fault_injector
+        if inj is None:
+            return sampled
+        when = self.engine.now
+        before = inj.counters.retransmits
+        delay = inj.message_delivery(link.spec, when, self.params.retry)
+        self.stats.retransmits += inj.counters.retransmits - before
+        return delay + sampled * inj.latency_factor(link.spec, when + delay)
+
     def _transfer_time(self, link, size: int, src_global: int, dst_global: int) -> float:
-        return link.transfer_time(
+        return self._faulted(link, link.transfer_time(
             size, self.rng, when=self.engine.now,
             direction=self._direction(src_global, dst_global),
-        )
+        ))
 
     def _one_way_latency(self, link, src_global: int, dst_global: int) -> float:
-        return link.sample_latency(
+        return self._faulted(link, link.sample_latency(
             self.rng, when=self.engine.now,
             direction=self._direction(src_global, dst_global),
-        )
+        ))
 
     def _do_send(self, proc: SimProcess, req: SendReq, blocking: bool) -> None:
         comm = self.comm_by_id(req.comm_id)

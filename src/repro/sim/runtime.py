@@ -30,6 +30,7 @@ from repro.clocks.clock import ClockEnsemble
 from repro.clocks.measurement import OffsetMeasurementConfig
 from repro.clocks.sync import SyncData, collect_sync_data
 from repro.errors import ConfigurationError
+from repro.faults import FaultCounters, FaultPlan, build_injector
 from repro.fs.filesystem import MountNamespace, private_namespaces
 from repro.fs.manager import ArchiveManagementOutcome, ensure_archives
 from repro.ids import NodeId
@@ -39,6 +40,7 @@ from repro.sim.process import AppGenerator
 from repro.sim.transfer import SimParams
 from repro.topology.metacomputer import Metacomputer, Placement
 from repro.trace.archive import ArchiveReader, ArchiveWriter, Definitions
+from repro.trace.encoding import encode_events
 
 DEFAULT_ARCHIVE_PATH = "/work/epik_experiment"
 
@@ -58,6 +60,10 @@ class RunResult:
     trace_bytes: Dict[int, int] = field(default_factory=dict)
     #: Ground truth — tests only; real tools never have this.
     clocks: Optional[ClockEnsemble] = None
+    #: Fault plan the run executed under (None / empty plan → clean run)
+    #: and what the injector actually did.
+    fault_plan: Optional[FaultPlan] = None
+    fault_counters: Optional[FaultCounters] = None
 
     def reader(self, machine: int) -> ArchiveReader:
         """Archive reader through the given metahost's namespace."""
@@ -93,6 +99,11 @@ class MetaMPIRuntime:
     subcomms:
         Named sub-communicators to create before launch, e.g.
         ``{"trace": [...ranks...], "partrace": [...]}`` for MetaTrace.
+    fault_plan:
+        Optional :class:`~repro.faults.FaultPlan` injected into the whole
+        pipeline (transport, offset measurement, archive management, trace
+        writing).  ``None`` or an empty plan changes nothing, byte for
+        byte.
     """
 
     def __init__(
@@ -108,6 +119,7 @@ class MetaMPIRuntime:
         archive_path: str = DEFAULT_ARCHIVE_PATH,
         subcomms: Optional[Mapping[str, Sequence[int]]] = None,
         measurement_config: Optional[OffsetMeasurementConfig] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         self.metacomputer = metacomputer
         self.placement = placement
@@ -115,6 +127,8 @@ class MetaMPIRuntime:
         self.seed = seed
         self.archive_path = archive_path
         self.subcomms = dict(subcomms or {})
+        self.fault_plan = fault_plan
+        self.fault_injector = build_injector(fault_plan)
         self._rng = np.random.default_rng(seed)
         nodes_in_use = sorted(placement.ranks_by_node())
         if clocks is None:
@@ -199,6 +213,7 @@ class MetaMPIRuntime:
 
     def run(self, app: Callable[..., AppGenerator]) -> RunResult:
         """Execute *app*, write archives, return the run record."""
+        injector = self.fault_injector
         tracer = Tracer(self.clocks)
         world = World(
             self.metacomputer,
@@ -206,6 +221,7 @@ class MetaMPIRuntime:
             params=self.params,
             rng=self._rng,
             tracer=tracer,
+            fault_injector=injector,
         )
         for name, ranks in self.subcomms.items():
             world.new_communicator(name, ranks)
@@ -223,14 +239,21 @@ class MetaMPIRuntime:
             run_end_s=stats.finish_time,
             rng=self._rng,
             config=self.measurement_config,
+            injector=injector,
         )
 
         ranks_of_machine = self._ranks_of_machine()
         namespaces_in_use = {
             machine: self.namespaces[machine] for machine in ranks_of_machine
         }
+        machine_names = dict(enumerate(self.metacomputer.machine_names()))
         outcome = ensure_archives(
-            namespaces_in_use, self.archive_path, ranks_of_machine, root_rank=0
+            namespaces_in_use,
+            self.archive_path,
+            ranks_of_machine,
+            root_rank=0,
+            injector=injector,
+            machine_names=machine_names,
         )
 
         definitions = Definitions(
@@ -251,9 +274,12 @@ class MetaMPIRuntime:
             writer.write_definitions(definitions)
             writer.write_sync_data(sync_data)
             for rank in ranks:
-                trace_bytes[rank] = writer.write_trace(
-                    rank, tracer.buffer(rank).events
-                )
+                events = tracer.buffer(rank).events
+                if injector is None:
+                    trace_bytes[rank] = writer.write_trace(rank, events)
+                else:
+                    blob = injector.mangle_trace(rank, encode_events(rank, events))
+                    trace_bytes[rank] = writer.write_trace_blob(rank, blob)
 
         return RunResult(
             metacomputer=self.metacomputer,
@@ -266,4 +292,6 @@ class MetaMPIRuntime:
             definitions=definitions,
             trace_bytes=trace_bytes,
             clocks=self.clocks,
+            fault_plan=self.fault_plan,
+            fault_counters=injector.counters if injector is not None else None,
         )

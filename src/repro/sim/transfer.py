@@ -20,6 +20,49 @@ from repro.errors import SimulationError
 
 
 @dataclass(frozen=True)
+class RetryPolicy:
+    """Sender-side retransmission policy for lost messages.
+
+    When a fault plan drops (or blacks out) a message, the sending transport
+    retransmits after an exponentially growing backoff until the message
+    gets through, the attempt budget is exhausted, or the accumulated
+    backoff exceeds ``timeout_s`` — whichever comes first.  Exhaustion
+    surfaces as :class:`~repro.errors.CommunicationTimeoutError` (permanent
+    link death).  With no faults injected the policy is never consulted.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total delivery attempts (original send + retransmits), >= 1.
+    base_backoff_s:
+        Backoff before the first retransmit.
+    backoff_multiplier:
+        Factor applied to the backoff after every failed attempt.
+    timeout_s:
+        Give up once the summed backoff would exceed this bound.
+    """
+
+    max_attempts: int = 5
+    base_backoff_s: float = 200e-6
+    backoff_multiplier: float = 2.0
+    timeout_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise SimulationError("retry policy needs at least one attempt")
+        if self.base_backoff_s < 0 or self.timeout_s <= 0:
+            raise SimulationError("retry backoff/timeout must be non-negative/positive")
+        if self.backoff_multiplier < 1.0:
+            raise SimulationError("backoff multiplier must be >= 1")
+
+    def backoff_s(self, attempt: int) -> float:
+        """Backoff delay before retransmission number *attempt* (1-based)."""
+        if attempt < 1:
+            raise SimulationError(f"retransmit attempt must be >= 1: {attempt}")
+        return self.base_backoff_s * self.backoff_multiplier ** (attempt - 1)
+
+
+@dataclass(frozen=True)
 class SimParams:
     """Tunable constants of the MPI timing model.
 
@@ -38,6 +81,9 @@ class SimParams:
         CPU cost of posting an isend/irecv and of a (no-wait) test.
     measurement_exchanges:
         Ping-pong count used by clock-offset measurements at run start/end.
+    retry:
+        Retransmission policy consulted when a fault plan interferes with
+        message delivery; inert without fault injection.
     """
 
     eager_threshold_bytes: int = 65536
@@ -47,6 +93,7 @@ class SimParams:
     collective_alpha_factor: float = 1.0
     nonblocking_overhead_s: float = 0.5e-6
     measurement_exchanges: int = 8
+    retry: RetryPolicy = RetryPolicy()
 
     def __post_init__(self) -> None:
         if self.eager_threshold_bytes < 0:

@@ -22,7 +22,7 @@ from __future__ import annotations
 import enum
 import zlib
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -113,13 +113,23 @@ class LatencyModel:
     The model is ``base + Exp(jitter) [+ congestion(when, direction)]
     + size / bandwidth``.  Sampling is driven by a caller-provided
     :class:`numpy.random.Generator` so that whole simulations are
-    reproducible from one seed; the congestion component is a deterministic
-    function of (link, direction, time block), so two probes in the same
-    window see the same bias.
+    reproducible from one seed.
+
+    The congestion component deliberately does NOT draw from that stream:
+    the bias must be a pure function of (link, direction, time block) so
+    that every model instance — the simulator's and, independently, any
+    cost model or test probing the same link — sees the same episode
+    pattern regardless of how many latency samples were drawn in between.
+    Each (direction, block) bias is therefore derived once from a
+    CRC32-keyed generator and cached on the model; the per-call generator
+    construction this replaces was the only repeated off-stream sampling in
+    the simulator (all remaining off-stream randomness is the fault
+    injector's, which owns a single plan-seeded stream).
     """
 
     def __init__(self, spec: LinkSpec) -> None:
         self.spec = spec
+        self._bias_cache: Dict[Tuple[str, int], float] = {}
 
     def congestion_bias(self, when: Optional[float], direction: Optional[str]) -> float:
         """Directional queueing bias active at time *when* (0 if unmodeled)."""
@@ -129,11 +139,17 @@ class LatencyModel:
         if when is None or direction is None:
             return 0.0
         block = int(when // spec.congestion_block_s)
-        seed = zlib.crc32(f"{spec.name}|{direction}|{block}".encode("utf-8"))
-        draw = np.random.default_rng(seed)
-        if draw.random() >= spec.congestion_prob:
-            return 0.0
-        return float(draw.exponential(spec.congestion_scale_s))
+        key = (direction, block)
+        bias = self._bias_cache.get(key)
+        if bias is None:
+            seed = zlib.crc32(f"{spec.name}|{direction}|{block}".encode("utf-8"))
+            draw = np.random.default_rng(seed)
+            if draw.random() >= spec.congestion_prob:
+                bias = 0.0
+            else:
+                bias = float(draw.exponential(spec.congestion_scale_s))
+            self._bias_cache[key] = bias
+        return bias
 
     def sample_latency(
         self,

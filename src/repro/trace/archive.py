@@ -132,7 +132,10 @@ class ArchiveWriter:
 
     def write_trace(self, rank: int, events: Sequence[Event]) -> int:
         """Write one rank's local trace; returns the encoded byte count."""
-        blob = encode_events(rank, events)
+        return self.write_trace_blob(rank, encode_events(rank, events))
+
+    def write_trace_blob(self, rank: int, blob: bytes) -> int:
+        """Write pre-encoded (possibly fault-mangled) trace bytes for *rank*."""
         self.namespace.write_file(self._file(trace_filename(rank)), blob, overwrite=True)
         return len(blob)
 

@@ -35,8 +35,9 @@ instead of one ``unpack_from`` per record.
 from __future__ import annotations
 
 import struct
+from dataclasses import dataclass, field
 from itertools import chain
-from typing import Callable, Dict, Iterable, Iterator, List, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.errors import EncodingError
 from repro.trace.events import (
@@ -54,6 +55,9 @@ MAGIC = b"RPRT"
 FORMAT_VERSION = 1
 
 _HEADER = struct.Struct("<4sHI")  # magic, version, rank
+
+#: Byte length of the file header (fault injection cuts traces below this).
+HEADER_SIZE = _HEADER.size
 _ENTER = struct.Struct("<dI")
 _EXIT = _ENTER
 _SEND = struct.Struct("<diiIQ")
@@ -227,3 +231,124 @@ def decode_events(data: bytes) -> Tuple[int, List[Event]]:
     for chunk in _chunk_iter(data):
         extend(chunk)
     return rank, events
+
+
+def record_boundary(data: bytes, target_offset: int) -> int:
+    """Offset of the first record starting at or after *target_offset*.
+
+    Walks the record grammar from the header without decoding payloads, so
+    callers (fault injection, salvage diagnostics) can damage or cut a trace
+    at a record boundary.  Stops early at an unknown kind byte; the returned
+    offset never exceeds ``len(data)``.
+    """
+    size = len(data)
+    offset = _HEADER.size
+    decoders = _DECODERS
+    while offset < size and offset < target_offset:
+        entry = decoders.get(data[offset])
+        if entry is None:
+            break
+        offset += entry[0]
+    return min(offset, size)
+
+
+@dataclass
+class SalvagedTrace:
+    """Best-effort decode of a possibly truncated or corrupt trace file.
+
+    ``events`` holds every record that decoded cleanly before the first
+    defect; ``complete`` is True iff the whole byte stream decoded.  The
+    strict decoders raise on the defects this type records — salvage never
+    raises, it stops.
+    """
+
+    rank: Optional[int]
+    events: List[Event] = field(default_factory=list)
+    complete: bool = True
+    error: str = ""
+    bytes_decoded: int = 0
+    bytes_total: int = 0
+    #: ENTER records left unmatched by an EXIT at the end of the decoded
+    #: prefix.  Negative when stray EXITs outnumber ENTERs (corruption that
+    #: happened to decode as valid records).
+    open_regions: int = 0
+
+    @property
+    def completeness(self) -> float:
+        """Fraction of the file's bytes that decoded (1.0 for a clean file)."""
+        if self.bytes_total <= 0:
+            return 1.0 if self.complete else 0.0
+        return self.bytes_decoded / self.bytes_total
+
+    @property
+    def balanced(self) -> bool:
+        """True iff every decoded ENTER has its EXIT.
+
+        A truncation that lands exactly on a record boundary yields a blob
+        that decodes cleanly (``complete`` is True) — the only remaining
+        evidence of damage is regions left open at the end of the event
+        stream.  Analyzability requires ``complete and balanced``.
+        """
+        return self.open_regions == 0
+
+
+def salvage_events(data: bytes) -> SalvagedTrace:
+    """Decode the longest clean prefix of *data*, never raising.
+
+    Unlike :func:`decode_events`, a bad header, an unknown kind byte, or a
+    truncated final record end the decode instead of raising
+    :class:`~repro.errors.EncodingError`; everything before the defect is
+    returned together with a description of it.  Degraded-mode replay is
+    built on this.
+    """
+    bytes_total = len(data)
+    try:
+        rank = _check_header(data)
+    except EncodingError as exc:
+        return SalvagedTrace(
+            rank=None, complete=False, error=str(exc), bytes_total=bytes_total
+        )
+    events: List[Event] = []
+    append = events.append
+    decoders = _DECODERS
+    size = bytes_total
+    offset = _HEADER.size
+    depth = 0
+    while offset < size:
+        kind = data[offset]
+        entry = decoders.get(kind)
+        if entry is None:
+            return SalvagedTrace(
+                rank,
+                events,
+                complete=False,
+                error=f"unknown record kind {kind} at offset {offset}",
+                bytes_decoded=offset,
+                bytes_total=bytes_total,
+                open_regions=depth,
+            )
+        stride, unpack_from, _iter_unpack, factory = entry
+        if offset + stride > size:
+            return SalvagedTrace(
+                rank,
+                events,
+                complete=False,
+                error=f"truncated {EventKind(kind).name} record at offset {offset}",
+                bytes_decoded=offset,
+                bytes_total=bytes_total,
+                open_regions=depth,
+            )
+        append(factory(unpack_from(data, offset)))
+        if kind == 1:
+            depth += 1
+        elif kind == 2:
+            depth -= 1
+        offset += stride
+    return SalvagedTrace(
+        rank,
+        events,
+        complete=True,
+        bytes_decoded=offset,
+        bytes_total=bytes_total,
+        open_regions=depth,
+    )

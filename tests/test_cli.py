@@ -30,6 +30,7 @@ class TestCli:
             "figure4",
             "figure6",
             "figure7",
+            "faults",
         }
 
     def test_figure1(self, capsys):

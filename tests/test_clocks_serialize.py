@@ -54,6 +54,19 @@ class TestRoundTrip:
                     recovered.to_master(node, 5.0)
                 )
 
+    def test_failures_round_trip(self, sync_data):
+        # Absent failures must not appear in the document at all (keeps
+        # fault-free archives byte-identical to pre-fault-injection ones).
+        assert "failures" not in sync_data_to_dict(sync_data)
+        import copy
+
+        damaged = copy.deepcopy(sync_data)
+        damaged.failures.append("flat@start: all pings lost")
+        payload = sync_data_to_dict(damaged)
+        assert payload["failures"] == ["flat@start: all pings lost"]
+        restored = sync_data_from_dict(payload)
+        assert restored.failures == damaged.failures
+
     def test_malformed_inputs_raise(self):
         with pytest.raises(ClockError):
             sync_data_from_dict({"master_node": [0, 0]})

@@ -224,6 +224,48 @@ class TestSchemeErrors:
         with pytest.raises(ClockError):
             HierarchicalInterpolation().converters(data)
 
+    def test_non_strict_schemes_degrade_to_identity(self):
+        """The fallback ladder's last rung: no measurements at all."""
+        from repro.clocks.sync import NodeSyncRecord
+
+        data = SyncData(master_node=NodeId(0, 0), local_masters={0: NodeId(0, 0)})
+        node = NodeId(0, 1)
+        data.records[node] = NodeSyncRecord(node=node, machine=0)
+        for scheme in (
+            FlatSingleOffset(strict=False),
+            FlatInterpolation(strict=False),
+            HierarchicalInterpolation(strict=False),
+        ):
+            converters = scheme.converters(data)
+            assert converters[node].convert(42.0) == 42.0
+
+    def test_non_strict_hierarchical_uses_partial_measurements(self, sync_fixture):
+        """Dropping a remote machine's meta measurements must not destroy
+        the *local* alignment the surviving measurements still provide."""
+        import copy
+
+        fx = sync_fixture
+        data = copy.deepcopy(fx.data)
+        remote_master = data.local_masters[1]
+        rec = data.records[remote_master]
+        rec.meta_start = rec.meta_end = None
+        scheme = HierarchicalInterpolation(strict=False)
+        converters = scheme.converters(data)
+        # Every node still gets a converter and intra-metahost differences
+        # on the damaged machine stay at internal-link precision.
+        for node in fx.nodes[1]:
+            assert node in converters
+        synchronized = scheme.convert_all(data)
+        t = 30.0
+        a, b = fx.nodes[1][1], fx.nodes[1][2]
+        local_a = fx.clocks.clock(a).local_time(t)
+        local_b = fx.clocks.clock(b).local_time(t)
+        est = synchronized.to_master(a, local_a) - synchronized.to_master(b, local_b)
+        truth = true_master_time(
+            fx.clocks, fx.master, a, local_a
+        ) - true_master_time(fx.clocks, fx.master, b, local_b)
+        assert abs(est - truth) * 1e6 < 50.0  # microseconds, internal scale
+
     def test_scheme_names_are_table2_rows(self):
         assert [s.name for s in SCHEMES] == [
             "single-flat-offset",

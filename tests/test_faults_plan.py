@@ -1,0 +1,271 @@
+"""Unit tests for fault plans and the fault injector."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CommunicationTimeoutError, ConfigurationError
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    FileSystemFault,
+    LinkDegradation,
+    LinkOutage,
+    MessageLoss,
+    PingFault,
+    TraceCorruption,
+    TraceTruncation,
+    build_injector,
+    link_matches,
+)
+from repro.sim.transfer import RetryPolicy
+from repro.topology.network import LinkClass, LinkSpec
+from repro.trace.encoding import HEADER_SIZE, encode_events, salvage_events
+from repro.trace.events import EnterEvent, ExitEvent
+
+EXTERNAL = LinkSpec(
+    latency_s=1e-3,
+    jitter_s=1e-4,
+    bandwidth_bps=1e8,
+    link_class=LinkClass.EXTERNAL,
+    name="A<->B",
+)
+INTERNAL = LinkSpec(
+    latency_s=1e-5,
+    jitter_s=1e-6,
+    bandwidth_bps=1e9,
+    link_class=LinkClass.INTERNAL,
+    name="A-internal",
+)
+
+POLICY = RetryPolicy()
+
+
+class TestFaultPlan:
+    def test_empty_plan_builds_no_injector(self):
+        assert build_injector(None) is None
+        assert build_injector(FaultPlan()) is None
+        assert FaultPlan().is_empty
+
+    def test_non_empty_plan_builds_injector(self):
+        injector = build_injector(FaultPlan(specs=(MessageLoss("*", 0.1),)))
+        assert isinstance(injector, FaultInjector)
+
+    def test_link_pattern_matching(self):
+        assert link_matches("*", EXTERNAL)
+        assert link_matches("A<->B", EXTERNAL)
+        assert link_matches("external", EXTERNAL)
+        assert not link_matches("external", INTERNAL)
+        assert not link_matches("A<->B", INTERNAL)
+
+    def test_of_type_filters(self):
+        plan = FaultPlan(
+            specs=(MessageLoss("*", 0.1), PingFault("*", drop_prob=0.5))
+        )
+        assert len(plan.of_type(MessageLoss)) == 1
+        assert len(plan.of_type(LinkOutage)) == 0
+
+    def test_describe_names_every_spec(self):
+        plan = FaultPlan(specs=(MessageLoss("*", 0.1), TraceTruncation(3, 0.5)))
+        text = plan.describe()
+        assert "MessageLoss" in text and "TraceTruncation" in text
+        assert FaultPlan().describe() == "(no faults)"
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            lambda: MessageLoss("*", 1.5),
+            lambda: MessageLoss("", 0.5),
+            lambda: LinkOutage("*", 2.0, 1.0),
+            lambda: LinkOutage("*", -1.0, 1.0),
+            lambda: LinkDegradation("*", 0.0, 1.0, latency_factor=0.5),
+            lambda: PingFault("*", drop_prob=-0.1),
+            lambda: PingFault("*", asymmetry_s=-1e-3),
+            lambda: FileSystemFault("", fail_count=1),
+            lambda: FileSystemFault("m", fail_count=0),
+            lambda: TraceTruncation(-1, 0.5),
+            lambda: TraceTruncation(0, 1.5),
+            lambda: TraceCorruption(0, at_fraction=2.0),
+            lambda: TraceCorruption(0, length=0),
+        ],
+    )
+    def test_invalid_specs_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            bad()
+
+    def test_non_spec_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(specs=("not a spec",))
+
+
+class TestMessageDelivery:
+    def test_no_relevant_specs_is_free_and_drawless(self):
+        injector = FaultInjector(FaultPlan(specs=(FileSystemFault("*"),), seed=5))
+        for _ in range(3):
+            assert injector.message_delivery(EXTERNAL, 0.0, POLICY) == 0.0
+        # The fast path must not have consumed any fault randomness.
+        assert injector.rng.random() == np.random.default_rng(5).random()
+
+    def test_loss_recovered_by_retransmission(self):
+        plan = FaultPlan(specs=(MessageLoss("external", 0.2),), seed=1)
+        injector = FaultInjector(plan)
+        delays = [injector.message_delivery(EXTERNAL, 0.0, POLICY) for _ in range(200)]
+        assert injector.counters.retransmits > 0
+        assert injector.counters.messages_dropped == injector.counters.retransmits
+        # Every failed attempt costs its backoff, so delays are sums of
+        # the policy's backoff sequence.
+        assert all(d >= 0.0 for d in delays)
+        assert any(d > 0.0 for d in delays)
+
+    def test_internal_links_untouched(self):
+        plan = FaultPlan(specs=(MessageLoss("external", 1.0),), seed=1)
+        injector = FaultInjector(plan)
+        assert injector.message_delivery(INTERNAL, 0.0, POLICY) == 0.0
+
+    def test_deterministic_across_instances(self):
+        plan = FaultPlan(specs=(MessageLoss("*", 0.4),), seed=9)
+        a, b = FaultInjector(plan), FaultInjector(plan)
+        for _ in range(100):
+            assert a.message_delivery(EXTERNAL, 0.0, POLICY) == b.message_delivery(
+                EXTERNAL, 0.0, POLICY
+            )
+        assert a.counters.as_dict() == b.counters.as_dict()
+
+    def test_short_outage_ridden_out_by_backoff(self):
+        # Backoff budget: 200us + 400us + 800us + 1.6ms = 3 ms total.
+        plan = FaultPlan(specs=(LinkOutage("*", 0.010, 0.011),), seed=0)
+        injector = FaultInjector(plan)
+        delay = injector.message_delivery(EXTERNAL, 0.010, POLICY)
+        assert 0.001 <= delay <= POLICY.timeout_s
+        assert injector.counters.retransmits > 0
+        assert injector.counters.timeouts == 0
+
+    def test_long_outage_times_out(self):
+        plan = FaultPlan(specs=(LinkOutage("*", 0.0, 10.0),), seed=0)
+        injector = FaultInjector(plan)
+        with pytest.raises(CommunicationTimeoutError) as info:
+            injector.message_delivery(EXTERNAL, 1.0, POLICY)
+        assert info.value.attempts == POLICY.max_attempts
+        assert info.value.link == "A<->B"
+        assert injector.counters.timeouts == 1
+
+    def test_outage_outside_window_is_free(self):
+        plan = FaultPlan(specs=(LinkOutage("*", 5.0, 6.0),), seed=0)
+        injector = FaultInjector(plan)
+        assert injector.message_delivery(EXTERNAL, 1.0, POLICY) == 0.0
+
+    def test_degradation_latency_factor_windowed(self):
+        plan = FaultPlan(
+            specs=(LinkDegradation("*", 1.0, 2.0, latency_factor=3.0),), seed=0
+        )
+        injector = FaultInjector(plan)
+        assert injector.latency_factor(EXTERNAL, 1.5) == 3.0
+        assert injector.latency_factor(EXTERNAL, 2.5) == 1.0
+
+
+class TestPingFaults:
+    def test_drop_and_asymmetry(self):
+        plan = FaultPlan(
+            specs=(PingFault("external", drop_prob=1.0, asymmetry_s=2e-3),), seed=0
+        )
+        injector = FaultInjector(plan)
+        assert injector.touches_measurement
+        assert injector.ping_dropped(EXTERNAL)
+        assert not injector.ping_dropped(INTERNAL)
+        assert injector.ping_asymmetry_s(EXTERNAL) == 2e-3
+        assert injector.ping_asymmetry_s(INTERNAL) == 0.0
+        assert injector.counters.pings_dropped == 1
+
+
+class TestFileSystemFaults:
+    def test_transient_budget_counts_down(self):
+        plan = FaultPlan(specs=(FileSystemFault("m0", fail_count=2),), seed=0)
+        injector = FaultInjector(plan)
+        assert injector.fs_create_fails("m0")
+        assert injector.fs_create_fails("m0")
+        assert not injector.fs_create_fails("m0")
+        assert not injector.fs_create_fails("m1")
+        assert injector.counters.fs_failures_injected == 2
+
+    def test_permanent_failure_never_heals(self):
+        plan = FaultPlan(specs=(FileSystemFault("m0", permanent=True),), seed=0)
+        injector = FaultInjector(plan)
+        for _ in range(10):
+            assert injector.fs_create_fails("m0")
+
+    def test_star_matches_every_machine(self):
+        plan = FaultPlan(specs=(FileSystemFault("*", fail_count=1),), seed=0)
+        injector = FaultInjector(plan)
+        assert injector.fs_create_fails("anything")
+        assert not injector.fs_create_fails("anything")
+
+
+def _blob(n_events=20, rank=3):
+    events = []
+    for i in range(n_events // 2):
+        events.append(EnterEvent(time=float(i), region=i))
+        events.append(ExitEvent(time=float(i) + 0.5, region=i))
+    return encode_events(rank, events), events
+
+
+class TestTraceMangling:
+    def test_truncation_leaves_salvageable_prefix(self):
+        blob, events = _blob()
+        # 0.53 of the payload lands mid-record (uniform stride), so the
+        # salvage must stop at the last whole record before the cut.
+        plan = FaultPlan(specs=(TraceTruncation(3, keep_fraction=0.53),), seed=0)
+        mangled = FaultInjector(plan).mangle_trace(3, blob)
+        assert len(mangled) < len(blob)
+        salvaged = salvage_events(mangled)
+        assert salvaged.rank == 3
+        assert not salvaged.complete
+        assert 0 < len(salvaged.events) < len(events)
+        assert salvaged.events == events[: len(salvaged.events)]
+
+    def test_other_ranks_untouched(self):
+        blob, _ = _blob()
+        plan = FaultPlan(specs=(TraceTruncation(7, keep_fraction=0.5),), seed=0)
+        assert FaultInjector(plan).mangle_trace(3, blob) == blob
+
+    def test_full_keep_fraction_is_identity(self):
+        blob, _ = _blob()
+        plan = FaultPlan(specs=(TraceTruncation(3, keep_fraction=1.0),), seed=0)
+        assert FaultInjector(plan).mangle_trace(3, blob) == blob
+
+    def test_corruption_stops_salvage_at_boundary(self):
+        blob, events = _blob()
+        plan = FaultPlan(
+            specs=(TraceCorruption(3, at_fraction=0.5, length=4),), seed=0
+        )
+        injector = FaultInjector(plan)
+        mangled = injector.mangle_trace(3, blob)
+        assert len(mangled) == len(blob)
+        assert injector.counters.traces_corrupted == 1
+        salvaged = salvage_events(mangled)
+        assert not salvaged.complete
+        # The corruption landed on a record boundary, so every salvaged
+        # event is genuine — a clean prefix of the original stream.
+        assert salvaged.events == events[: len(salvaged.events)]
+        assert len(salvaged.events) >= len(events) // 3
+
+    def test_header_survives_truncation(self):
+        blob, _ = _blob()
+        plan = FaultPlan(specs=(TraceTruncation(3, keep_fraction=0.0),), seed=0)
+        mangled = FaultInjector(plan).mangle_trace(3, blob)
+        assert len(mangled) == HEADER_SIZE
+        salvaged = salvage_events(mangled)
+        assert salvaged.rank == 3
+        assert salvaged.events == []
+
+    def test_boundary_cut_decodes_complete_but_unbalanced(self):
+        blob, events = _blob()
+        whole = salvage_events(blob)
+        assert whole.complete and whole.balanced
+        # Cut after an odd number of records: the blob is a valid shorter
+        # trace (complete=True) but its last ENTER has lost its EXIT —
+        # only the region balance betrays the truncation.
+        record = (len(blob) - HEADER_SIZE) // len(events)
+        cut = blob[: HEADER_SIZE + record]
+        salvaged = salvage_events(cut)
+        assert salvaged.complete
+        assert not salvaged.balanced
+        assert salvaged.open_regions == 1

@@ -158,3 +158,107 @@ class TestArchiveProtocol:
         namespaces, ranks = self._setup()
         with pytest.raises(FileSystemError):
             ensure_archives(namespaces, "/work/exp", ranks, root_rank=99)
+
+
+class TestArchiveProtocolUnderFaults:
+    """The abort and retry paths, driven by injected file-system faults."""
+
+    NAMES = {0: "m0", 1: "m1", 2: "m2"}
+
+    def _setup(self, specs, shared=False, seed=0):
+        from repro.faults import FaultInjector, FaultPlan
+
+        names = list(self.NAMES.values())
+        namespaces = shared_namespace(names) if shared else private_namespaces(names)
+        ranks = {0: [0, 1], 1: [2, 3], 2: [4, 5]}
+        injector = FaultInjector(FaultPlan(specs=tuple(specs), seed=seed))
+        return namespaces, ranks, injector
+
+    def _ensure(self, namespaces, ranks, injector):
+        return ensure_archives(
+            namespaces,
+            "/work/exp",
+            ranks,
+            injector=injector,
+            machine_names=self.NAMES,
+        )
+
+    def test_transient_failure_retried_then_succeeds(self):
+        from repro.faults import FileSystemFault
+
+        namespaces, ranks, injector = self._setup(
+            [FileSystemFault("m1", fail_count=2)]
+        )
+        outcome = self._ensure(namespaces, ranks, injector)
+        # Still exactly one successful creation per distinct file system.
+        assert outcome.partial_archive_count == 3
+        assert outcome.creation_attempts == 3
+        assert outcome.retries == 2
+        actions = [s.action for s in outcome.steps]
+        assert actions.count("create-failed") == 2
+        # The failure was absorbed before the all-reduce: everyone sees an
+        # archive, so the protocol ends in ok=True.
+        assert outcome.steps[-1].action == "allreduce"
+        assert outcome.steps[-1].detail == "ok=True"
+
+    def test_permanent_local_failure_aborts_with_culprits(self):
+        from repro.errors import ArchiveCreationAborted
+        from repro.faults import FileSystemFault
+
+        namespaces, ranks, injector = self._setup(
+            [FileSystemFault("m2", permanent=True)]
+        )
+        with pytest.raises(ArchiveCreationAborted) as info:
+            self._ensure(namespaces, ranks, injector)
+        assert info.value.failing_ranks == (4, 5)
+        assert info.value.failing_machines == ("m2",)
+        assert info.value.path == "/work/exp"
+
+    def test_permanent_root_failure_aborts_immediately(self):
+        from repro.errors import ArchiveCreationAborted
+        from repro.faults import FileSystemFault
+
+        namespaces, ranks, injector = self._setup(
+            [FileSystemFault("m0", permanent=True)]
+        )
+        with pytest.raises(ArchiveCreationAborted) as info:
+            self._ensure(namespaces, ranks, injector)
+        assert info.value.failing_ranks == (0,)
+        assert info.value.failing_machines == ("m0",)
+
+    def test_shared_storage_single_transient_failure_recovers(self):
+        from repro.faults import FileSystemFault
+
+        namespaces, ranks, injector = self._setup(
+            [FileSystemFault("*", fail_count=1)], shared=True
+        )
+        outcome = self._ensure(namespaces, ranks, injector)
+        assert outcome.partial_archive_count == 1
+        assert outcome.creation_attempts == 1
+        assert outcome.retries == 1
+
+    def test_partial_archive_count_correct_under_faults(self):
+        from repro.faults import FileSystemFault
+
+        namespaces, ranks, injector = self._setup(
+            [FileSystemFault("m1", fail_count=1), FileSystemFault("m2", fail_count=2)]
+        )
+        outcome = self._ensure(namespaces, ranks, injector)
+        assert outcome.partial_archive_count == 3
+        assert set(outcome.archive_fs_of_machine.values()) == {
+            "fs-m0",
+            "fs-m1",
+            "fs-m2",
+        }
+
+    def test_genuine_errors_are_not_retried(self):
+        """A pre-existing directory aborts without burning retry attempts."""
+        from repro.errors import ArchiveCreationAborted
+        from repro.faults import FileSystemFault
+
+        namespaces, ranks, injector = self._setup(
+            [FileSystemFault("m1", fail_count=1)]
+        )
+        namespaces[0].create_dir("/work/exp")
+        with pytest.raises(ArchiveCreationAborted):
+            self._ensure(namespaces, ranks, injector)

@@ -1,0 +1,121 @@
+"""Property-based tests for degraded-mode replay under trace damage.
+
+For *any* truncation point in any rank's trace file, the degraded replay
+must (a) never raise, in particular never surface an
+:class:`~repro.errors.EncodingError`, (b) analyze every rank whose trace
+still decodes completely, and (c) report the damaged rank's salvage
+fraction honestly.
+"""
+
+import warnings
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.replay import ReplayAnalyzer
+from repro.errors import PartialTraceWarning
+from repro.fs.filesystem import MountNamespace, SimFileSystem
+from repro.sim.runtime import MetaMPIRuntime
+from repro.topology.metacomputer import Placement
+from repro.topology.presets import uniform_metacomputer
+from repro.trace.archive import ArchiveReader, trace_filename
+from repro.trace.encoding import salvage_events
+
+NPROCS = 4
+_CACHE = {}
+
+
+def _app(ctx):
+    with ctx.region("main"):
+        for round_index in range(2):
+            with ctx.region("step"):
+                yield ctx.compute(0.001 * (1 + ctx.rank))
+                if ctx.rank == 0:
+                    yield ctx.comm.send(1, 10_000, tag=round_index)
+                elif ctx.rank == 1:
+                    yield ctx.comm.recv(0, tag=round_index)
+            yield ctx.comm.barrier()
+
+
+def _base_run():
+    """One shared clean run; every example re-archives its files."""
+    if "run" not in _CACHE:
+        mc = uniform_metacomputer(metahost_count=2, node_count=2, cpus_per_node=1)
+        placement = Placement.block(mc, NPROCS)
+        run = MetaMPIRuntime(mc, placement, seed=7).run(_app)
+        files = {}
+        for machine in run.machines_used:
+            ns = run.namespaces[machine]
+            files[machine] = {
+                name: ns.read_file(f"{run.archive_path}/{name}")
+                for name in ns.list_dir(run.archive_path)
+            }
+        _CACHE["run"] = run
+        _CACHE["files"] = files
+    return _CACHE["run"], _CACHE["files"]
+
+
+def _rebuilt_readers(files, path, victim, cut):
+    """Fresh per-machine archives with the victim's trace cut at *cut* bytes."""
+    readers = {}
+    truncated = None
+    for machine, contents in files.items():
+        ns = MountNamespace({"/": SimFileSystem(f"fs-{machine}")})
+        ns.create_dir(path)
+        for name, blob in contents.items():
+            if name == trace_filename(victim):
+                blob = blob[: min(cut, len(blob))]
+                truncated = blob
+            ns.write_file(f"{path}/{name}", blob)
+        readers[machine] = ArchiveReader(ns, path)
+    return readers, truncated
+
+
+class TestTruncationSalvage:
+    @given(
+        victim=st.integers(min_value=0, max_value=NPROCS - 1),
+        cut=st.integers(min_value=0, max_value=20_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_degraded_replay_survives_any_truncation(self, victim, cut):
+        run, files = _base_run()
+        readers, truncated = _rebuilt_readers(
+            files, run.archive_path, victim, cut
+        )
+        assert truncated is not None
+
+        salvaged = salvage_events(truncated)  # must never raise
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", PartialTraceWarning)
+            result = ReplayAnalyzer(readers, degraded=True).analyze()
+
+        intact = [r for r in range(NPROCS) if r != victim]
+        # A cut on an exact record boundary decodes cleanly but leaves
+        # regions open — such a trace must be excluded, not analyzed.
+        victim_usable = (
+            salvaged.complete and salvaged.rank == victim and salvaged.balanced
+        )
+        expected = sorted(intact + [victim]) if victim_usable else intact
+        assert result.analyzed_ranks == expected
+        assert result.degraded
+
+        record = result.completeness[victim]
+        assert record.analyzed == victim_usable
+        assert 0.0 <= record.completeness <= 1.0
+        if not victim_usable:
+            assert result.completeness[victim].error
+            # Salvaged events are a clean prefix: count matches the salvage.
+            assert record.events == len(salvaged.events)
+
+    @given(cut=st.integers(min_value=0, max_value=20_000))
+    @settings(max_examples=30, deadline=None)
+    def test_salvage_never_raises_and_is_prefix(self, cut):
+        run, files = _base_run()
+        machine = run.machines_used[0]
+        rank = run.placement.slots[0].rank
+        blob = files[machine][trace_filename(rank)]
+        whole = salvage_events(blob)
+        assert whole.complete and whole.rank == rank
+        part = salvage_events(blob[: min(cut, len(blob))])
+        assert part.events == whole.events[: len(part.events)]
+        assert part.bytes_decoded <= len(blob)

