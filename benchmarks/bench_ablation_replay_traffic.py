@@ -30,7 +30,7 @@ def _synthetic_traffic(iterations: int):
 
 def test_ablation_replay_traffic(benchmark, artifact_dir):
     def workload():
-        outcome = run_metatrace_experiment(1, seed=11, coupling_intervals=3)
+        outcome = run_metatrace_experiment(figure=1, seed=11, coupling_intervals=3)
         sweep = {n: _synthetic_traffic(n) for n in (10, 50, 200)}
         return outcome.result.traffic, sweep
 

@@ -25,7 +25,7 @@ PAPER_GRID_WAIT_AT_BARRIER_PCT = 23.1
 
 def test_figure6_three_metahost_metatrace(benchmark, artifact_dir):
     outcome = benchmark.pedantic(
-        lambda: run_metatrace_experiment(1, seed=11), rounds=1, iterations=1
+        lambda: run_metatrace_experiment(figure=1, seed=11), rounds=1, iterations=1
     )
     result = outcome.result
     text = "\n".join(

@@ -17,8 +17,8 @@ from benchmarks.conftest import write_artifact
 def test_figure7_one_metahost_metatrace(benchmark, artifact_dir):
     def workload():
         return (
-            run_metatrace_experiment(1, seed=11),
-            run_metatrace_experiment(2, seed=11),
+            run_metatrace_experiment(figure=1, seed=11),
+            run_metatrace_experiment(figure=2, seed=11),
         )
 
     exp1, exp2 = benchmark.pedantic(workload, rounds=1, iterations=1)

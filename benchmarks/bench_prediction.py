@@ -28,8 +28,8 @@ from benchmarks.conftest import write_artifact
 
 def test_prediction_fidelity(benchmark, artifact_dir):
     def workload():
-        exp1 = run_metatrace_experiment(1, seed=11)
-        exp2 = run_metatrace_experiment(2, seed=11)
+        exp1 = run_metatrace_experiment(figure=1, seed=11)
+        exp2 = run_metatrace_experiment(figure=2, seed=11)
         skeleton = skeleton_from_run(exp1.run, exp1.result)
         mc1, placement1, _ = experiment1()
         self_pred = predict_run(skeleton, mc1, placement1, seed=6)

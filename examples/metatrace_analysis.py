@@ -38,9 +38,9 @@ def describe(outcome) -> None:
 
 def main() -> None:
     print("running Experiment 1 (CAESAR + FH-BRS + FZJ-XD1)...")
-    exp1 = run_metatrace_experiment(1, seed=11)
+    exp1 = run_metatrace_experiment(figure=1, seed=11)
     print("running Experiment 2 (IBM AIX POWER)...\n")
-    exp2 = run_metatrace_experiment(2, seed=11)
+    exp2 = run_metatrace_experiment(figure=2, seed=11)
 
     describe(exp1)
     describe(exp2)

@@ -74,6 +74,13 @@ from repro.analysis import (
     render_statistics,
 )
 from repro.analysis.patterns import METRICS, metric_tree
+# The stable facade (imported after the subsystems it fronts).
+from repro.api import (
+    analyze,
+    resolve_jobs,
+    run_experiment,
+    simulate,
+)
 from repro.predict import predict_run, skeleton_from_run
 from repro.report import (
     render_result_timeline,
@@ -126,6 +133,10 @@ __all__ = [
     "AnalysisResult",
     "ReplayAnalyzer",
     "analyze_run",
+    "simulate",
+    "analyze",
+    "run_experiment",
+    "resolve_jobs",
     "statistics_of",
     "render_statistics",
     "predict_run",

@@ -1,0 +1,13 @@
+"""``python -m repro`` — the package's command-line entry point.
+
+Delegates to :func:`repro.cli.main`, so ``python -m repro figure6 --seed 1
+--jobs 4`` and ``python -m repro.cli figure6 --seed 1 --jobs 4`` are the
+same command.
+"""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

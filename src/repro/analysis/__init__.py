@@ -21,6 +21,13 @@ from repro.analysis.replay import (
     ReplayTraffic,
     analyze_run,
 )
+from repro.analysis.parallel import (
+    ParallelReplayAnalyzer,
+    PartialAnalysis,
+    merge_partials,
+    plan_shards,
+    resolve_jobs,
+)
 from repro.analysis.patterns import metric_tree, Metric, METRICS
 from repro.analysis.stats import (
     TraceStatistics,
@@ -40,6 +47,11 @@ __all__ = [
     "MatchedPair",
     "CollectiveInstance",
     "ReplayAnalyzer",
+    "ParallelReplayAnalyzer",
+    "PartialAnalysis",
+    "merge_partials",
+    "plan_shards",
+    "resolve_jobs",
     "AnalysisResult",
     "ReplayTraffic",
     "analyze_run",

@@ -511,10 +511,27 @@ class ReplayAnalyzer:
 
 
 def analyze_run(
-    run_result, scheme: Optional[SyncScheme] = None, degraded: bool = False
+    run_result,
+    scheme: Optional[SyncScheme] = None,
+    degraded: bool = False,
+    jobs: Optional[int] = None,
 ) -> AnalysisResult:
-    """Analyze a :class:`~repro.sim.runtime.RunResult` end to end."""
+    """Analyze a :class:`~repro.sim.runtime.RunResult` end to end.
+
+    ``jobs`` selects the execution model: ``None`` or ``1`` runs the serial
+    :class:`ReplayAnalyzer`; ``N >= 2`` shards the replay across *N*
+    worker processes (``0`` = one per available core).  Both paths produce
+    bit-identical results — see :mod:`repro.analysis.parallel`.
+    """
+    # Imported lazily: repro.analysis.parallel imports this module.
+    from repro.analysis.parallel import ParallelReplayAnalyzer, resolve_jobs
+
     readers = {
         machine: run_result.reader(machine) for machine in run_result.machines_used
     }
-    return ReplayAnalyzer(readers, scheme=scheme, degraded=degraded).analyze()
+    effective = resolve_jobs(jobs)
+    if effective <= 1:
+        return ReplayAnalyzer(readers, scheme=scheme, degraded=degraded).analyze()
+    return ParallelReplayAnalyzer(
+        readers, scheme=scheme, degraded=degraded, jobs=effective
+    ).analyze()

@@ -1,0 +1,256 @@
+"""The stable public API of :mod:`repro`.
+
+Everything a user of this package needs lives behind four names:
+
+* :func:`simulate` — run one traced experiment on a simulated metacomputer
+  and return its :class:`~repro.sim.runtime.RunResult`;
+* :func:`analyze` — replay a run's trace archive into an
+  :class:`~repro.analysis.replay.AnalysisResult`, serially (``jobs=1``) or
+  sharded across worker processes (``jobs>=2`` / ``jobs=0`` for one per
+  core) with bit-identical output;
+* :func:`run_experiment` — regenerate one of the paper's tables or figures
+  by name and return its rendered text;
+* the topology presets (:func:`~repro.topology.presets.viola_testbed` and
+  friends) for building machines to simulate on.
+
+Keyword conventions are uniform across the surface: ``seed=`` selects the
+deterministic random seed, ``scheme=`` the clock-synchronization scheme,
+``degraded=`` the salvage-and-continue replay mode, and ``jobs=`` the
+analysis process count.
+
+This module's ``__all__`` is the compatibility contract: names listed here
+are stable; anything imported from deeper modules may move between
+releases.  ``repro.cli`` and the experiment drivers consume the package
+exclusively through this facade.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.analysis.parallel import resolve_jobs
+from repro.analysis.replay import AnalysisResult, analyze_run
+from repro.clocks.sync import SyncScheme
+from repro.errors import ExperimentError
+from repro.report.render import render_analysis
+from repro.sim.process import AppGenerator
+from repro.sim.runtime import MetaMPIRuntime, RunResult
+from repro.topology.metacomputer import Metacomputer, Placement
+from repro.topology.presets import (
+    ibm_aix_power,
+    single_cluster,
+    uniform_metacomputer,
+    viola_testbed,
+)
+
+__all__ = [
+    "simulate",
+    "analyze",
+    "run_experiment",
+    "resolve_jobs",
+    "AnalysisResult",
+    "RunResult",
+    "Metacomputer",
+    "Placement",
+    "render_analysis",
+    "EXPERIMENTS",
+    "DEFAULT_SEEDS",
+    "viola_testbed",
+    "single_cluster",
+    "uniform_metacomputer",
+    "ibm_aix_power",
+]
+
+
+# -- core verbs ---------------------------------------------------------------
+
+
+def simulate(
+    app: Callable[..., AppGenerator],
+    metacomputer: Metacomputer,
+    placement: Placement,
+    *,
+    seed: int = 0,
+    **runtime_options,
+) -> RunResult:
+    """Run *app* traced on *metacomputer* under *placement*.
+
+    Thin veneer over :class:`~repro.sim.runtime.MetaMPIRuntime`: any
+    further keyword (``params=``, ``clocks=``, ``namespaces=``,
+    ``subcomms=``, ``fault_plan=``, ...) is forwarded to its constructor.
+    """
+    runtime = MetaMPIRuntime(metacomputer, placement, seed=seed, **runtime_options)
+    return runtime.run(app)
+
+
+def analyze(
+    run: RunResult,
+    *,
+    scheme: Optional[SyncScheme] = None,
+    degraded: bool = False,
+    jobs: Optional[int] = None,
+) -> AnalysisResult:
+    """Replay-analyze a traced run's archive.
+
+    ``jobs=None``/``1`` runs the serial analyzer; ``jobs>=2`` shards the
+    replay across that many worker processes (``0`` = one per available
+    core).  Every value of ``jobs`` produces a bit-identical
+    :class:`AnalysisResult` — see :mod:`repro.analysis.parallel` for the
+    merge model that guarantees it.
+    """
+    return analyze_run(run, scheme=scheme, degraded=degraded, jobs=jobs)
+
+
+# -- named experiments --------------------------------------------------------
+
+#: Experiment name → default seed (the seeds the committed outputs use).
+DEFAULT_SEEDS: Dict[str, int] = {
+    "table1": 0,
+    "table2": 7,
+    "table3": 0,
+    "figure1": 0,
+    "figure3": 7,
+    "figure4": 3,
+    "figure6": 11,
+    "figure7": 11,
+    "faults": 11,
+}
+
+# The experiment runners import their drivers lazily: the drivers
+# themselves import through this facade, and deferring the other
+# direction keeps the cycle open at module-import time.
+
+
+def _run_table1(seed: int, jobs: Optional[int]) -> str:
+    from repro.experiments.table1 import run_table1, table1_text
+
+    return table1_text(run_table1(seed=seed))
+
+
+def _run_table2(seed: int, jobs: Optional[int]) -> str:
+    from repro.experiments.table2 import run_table2, table2_text
+
+    rows, _run, _analyses = run_table2(seed=seed, jobs=jobs)
+    return table2_text(rows)
+
+
+def _run_table3(seed: int, jobs: Optional[int]) -> str:
+    from repro.experiments.configs import table3_text
+
+    return table3_text()
+
+
+def _run_figure1(seed: int, jobs: Optional[int]) -> str:
+    from repro.experiments.figures import run_figure1
+
+    rows = run_figure1()
+    lines = ["Figure 1: clocks with initial offset and different drifts", ""]
+    for t, a, b, offset in rows:
+        lines.append(
+            f"t={t:7.1f}s  A={a:12.6f}  B={b:12.6f}  A-B={offset * 1e3:8.4f} ms"
+        )
+    return "\n".join(lines)
+
+
+def _run_figure3(seed: int, jobs: Optional[int]) -> str:
+    import numpy as np
+
+    from repro.experiments.figures import run_figure3
+    from repro.experiments.table2 import run_table2
+
+    _rows, run, _analyses = run_table2(seed=seed, jobs=jobs)
+    outcome = run_figure3(run)
+    lines = ["Figure 3: intra-metahost pairwise synchronization error", ""]
+    for scheme, errors in outcome.pair_errors_us.items():
+        abs_err = [abs(e) for e in errors]
+        lines.append(
+            f"{scheme:28s} mean |err| {np.mean(abs_err):8.3f} us   "
+            f"max {max(abs_err):8.3f} us"
+        )
+    return "\n".join(lines)
+
+
+def _run_figure4(seed: int, jobs: Optional[int]) -> str:
+    from repro.analysis.patterns import LATE_SENDER, WAIT_AT_NXN
+    from repro.experiments.figures import run_figure4
+
+    analyses = run_figure4(seed=seed, jobs=jobs)
+    ls = analyses["late_sender"]
+    nxn = analyses["wait_at_nxn"]
+    return "\n".join(
+        [
+            "Figure 4: pattern semantics on micro-workloads",
+            f"(a) Late Sender: {ls.pct(LATE_SENDER):.1f} % of time",
+            f"(b) Wait at NxN: {nxn.pct(WAIT_AT_NXN):.1f} % of time",
+        ]
+    )
+
+
+def _metatrace_text(figure: int, seed: int, jobs: Optional[int]) -> str:
+    from repro.analysis.patterns import (
+        GRID_LATE_SENDER,
+        GRID_WAIT_AT_BARRIER,
+        LATE_SENDER,
+    )
+    from repro.experiments.figures import run_metatrace_experiment
+
+    outcome = run_metatrace_experiment(figure=figure, seed=seed, jobs=jobs)
+    header = [
+        outcome.label,
+        f"grid late sender:     {outcome.grid_late_sender_pct:6.2f} % of time",
+        f"grid wait at barrier: {outcome.grid_wait_at_barrier_pct:6.2f} % of time",
+        f"grid late-sender by metahost pair (causer -> waiter): "
+        f"{ {f'{c}->{w}': round(v, 2) for (c, w), v in outcome.result.grid_pair_breakdown(GRID_LATE_SENDER).items()} }",
+        f"grid barrier-wait by metahost pair: "
+        f"{ {f'{c}->{w}': round(v, 2) for (c, w), v in outcome.result.grid_pair_breakdown(GRID_WAIT_AT_BARRIER).items()} }",
+        "",
+    ]
+    return "\n".join(header) + render_analysis(
+        outcome.result, metric=LATE_SENDER, min_pct=0.5
+    )
+
+
+def _run_figure6(seed: int, jobs: Optional[int]) -> str:
+    return _metatrace_text(1, seed, jobs)
+
+
+def _run_figure7(seed: int, jobs: Optional[int]) -> str:
+    return _metatrace_text(2, seed, jobs)
+
+
+def _run_faults(seed: int, jobs: Optional[int]) -> str:
+    from repro.experiments.faults import run_fault_experiment
+
+    return run_fault_experiment(seed=seed, jobs=jobs).text()
+
+
+#: Experiment name → runner(seed, jobs) producing the rendered text.
+EXPERIMENTS: Dict[str, Callable[[int, Optional[int]], str]] = {
+    "table1": _run_table1,
+    "table2": _run_table2,
+    "table3": _run_table3,
+    "figure1": _run_figure1,
+    "figure3": _run_figure3,
+    "figure4": _run_figure4,
+    "figure6": _run_figure6,
+    "figure7": _run_figure7,
+    "faults": _run_faults,
+}
+
+
+def run_experiment(
+    name: str, *, seed: Optional[int] = None, jobs: Optional[int] = None
+) -> str:
+    """Regenerate one paper artifact by name; returns its rendered text.
+
+    ``name`` is one of :data:`EXPERIMENTS` (``table1`` ... ``faults``).
+    ``seed=None`` uses the artifact's committed default seed; ``jobs``
+    selects the analysis process count as in :func:`analyze`.
+    """
+    runner = EXPERIMENTS.get(name)
+    if runner is None:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise ExperimentError(f"unknown experiment {name!r}; choose from: {known}")
+    if seed is None:
+        seed = DEFAULT_SEEDS[name]
+    return runner(seed, jobs)

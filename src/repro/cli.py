@@ -1,15 +1,21 @@
 """Command-line interface: regenerate the paper's tables and figures.
 
+A thin wrapper over :mod:`repro.api` — every command resolves to one
+:func:`repro.api.run_experiment` call.
+
 Usage::
 
-    python -m repro.cli table1            # VIOLA network latencies
-    python -m repro.cli table2            # clock-condition violations
-    python -m repro.cli table3            # experiment configurations
-    python -m repro.cli figure6           # 3-metahost MetaTrace analysis
-    python -m repro.cli figure7           # 1-metahost MetaTrace analysis
-    python -m repro.cli faults            # escalating fault-injection ladder
-    python -m repro.cli all               # everything above
-    python -m repro.cli figure6 --seed 3  # different random seed
+    python -m repro table1              # VIOLA network latencies
+    python -m repro table2              # clock-condition violations
+    python -m repro table3              # experiment configurations
+    python -m repro figure6             # 3-metahost MetaTrace analysis
+    python -m repro figure7             # 1-metahost MetaTrace analysis
+    python -m repro faults              # escalating fault-injection ladder
+    python -m repro all                 # everything above
+    python -m repro figure6 --seed 3    # different random seed
+    python -m repro figure6 --jobs 4    # sharded parallel analysis
+
+(``python -m repro.cli`` keeps working as an alias.)
 """
 
 from __future__ import annotations
@@ -18,112 +24,21 @@ import argparse
 import sys
 from typing import Callable, Dict, List, Optional
 
-from repro.analysis.patterns import GRID_LATE_SENDER, GRID_WAIT_AT_BARRIER, LATE_SENDER
-from repro.experiments.configs import table3_text
-from repro.experiments.figures import run_metatrace_experiment
-from repro.experiments.table1 import run_table1, table1_text
-from repro.experiments.table2 import run_table2, table2_text
-from repro.report.render import render_analysis
+from repro.api import DEFAULT_SEEDS, EXPERIMENTS, run_experiment
 
 
-def _cmd_table1(seed: int) -> str:
-    return table1_text(run_table1(seed=seed))
+def _command(name: str) -> Callable[[int], str]:
+    def run(seed: int, jobs: Optional[int] = None) -> str:
+        return run_experiment(name, seed=seed, jobs=jobs)
+
+    run.__name__ = f"_cmd_{name}"
+    return run
 
 
-def _cmd_table2(seed: int) -> str:
-    rows, _run, _analyses = run_table2(seed=seed)
-    return table2_text(rows)
-
-
-def _cmd_table3(_seed: int) -> str:
-    return table3_text()
-
-
-def _metatrace(which: int, seed: int) -> str:
-    outcome = run_metatrace_experiment(which, seed=seed)
-    header = [
-        outcome.label,
-        f"grid late sender:     {outcome.grid_late_sender_pct:6.2f} % of time",
-        f"grid wait at barrier: {outcome.grid_wait_at_barrier_pct:6.2f} % of time",
-        f"grid late-sender by metahost pair (causer -> waiter): "
-        f"{ {f'{c}->{w}': round(v, 2) for (c, w), v in outcome.result.grid_pair_breakdown(GRID_LATE_SENDER).items()} }",
-        f"grid barrier-wait by metahost pair: "
-        f"{ {f'{c}->{w}': round(v, 2) for (c, w), v in outcome.result.grid_pair_breakdown(GRID_WAIT_AT_BARRIER).items()} }",
-        "",
-    ]
-    return "\n".join(header) + render_analysis(
-        outcome.result, metric=LATE_SENDER, min_pct=0.5
-    )
-
-
-def _cmd_figure1(_seed: int) -> str:
-    from repro.experiments.figures import run_figure1
-
-    rows = run_figure1()
-    lines = ["Figure 1: clocks with initial offset and different drifts", ""]
-    for t, a, b, offset in rows:
-        lines.append(f"t={t:7.1f}s  A={a:12.6f}  B={b:12.6f}  A-B={offset * 1e3:8.4f} ms")
-    return "\n".join(lines)
-
-
-def _cmd_figure3(seed: int) -> str:
-    import numpy as np
-
-    from repro.experiments.figures import run_figure3
-    from repro.experiments.table2 import run_table2
-
-    _rows, run, _analyses = run_table2(seed=seed)
-    outcome = run_figure3(run)
-    lines = ["Figure 3: intra-metahost pairwise synchronization error", ""]
-    for scheme, errors in outcome.pair_errors_us.items():
-        abs_err = [abs(e) for e in errors]
-        lines.append(
-            f"{scheme:28s} mean |err| {np.mean(abs_err):8.3f} us   "
-            f"max {max(abs_err):8.3f} us"
-        )
-    return "\n".join(lines)
-
-
-def _cmd_figure4(seed: int) -> str:
-    from repro.experiments.figures import run_figure4
-    from repro.analysis.patterns import WAIT_AT_NXN
-
-    analyses = run_figure4(seed=seed)
-    ls = analyses["late_sender"]
-    nxn = analyses["wait_at_nxn"]
-    return "\n".join(
-        [
-            "Figure 4: pattern semantics on micro-workloads",
-            f"(a) Late Sender: {ls.pct(LATE_SENDER):.1f} % of time",
-            f"(b) Wait at NxN: {nxn.pct(WAIT_AT_NXN):.1f} % of time",
-        ]
-    )
-
-
-def _cmd_faults(seed: int) -> str:
-    from repro.experiments.faults import run_fault_experiment
-
-    return run_fault_experiment(seed=seed).text()
-
-
-def _cmd_figure6(seed: int) -> str:
-    return _metatrace(1, seed)
-
-
-def _cmd_figure7(seed: int) -> str:
-    return _metatrace(2, seed)
-
-
+#: Command name → runner(seed[, jobs]) — the CLI's registry, one entry per
+#: facade experiment.
 COMMANDS: Dict[str, Callable[[int], str]] = {
-    "table1": _cmd_table1,
-    "table2": _cmd_table2,
-    "table3": _cmd_table3,
-    "figure1": _cmd_figure1,
-    "figure3": _cmd_figure3,
-    "figure4": _cmd_figure4,
-    "figure6": _cmd_figure6,
-    "figure7": _cmd_figure7,
-    "faults": _cmd_faults,
+    name: _command(name) for name in EXPERIMENTS
 }
 
 
@@ -141,24 +56,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--seed", type=int, default=None, help="random seed (default: per-artifact)"
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="analysis worker processes (1=serial, 0=one per core; "
+        "default: serial)",
+    )
     args = parser.parse_args(argv)
 
-    defaults = {
-        "table1": 0,
-        "table2": 7,
-        "table3": 0,
-        "figure1": 0,
-        "figure3": 7,
-        "figure4": 3,
-        "figure6": 11,
-        "figure7": 11,
-        "faults": 11,
-    }
     targets = sorted(COMMANDS) if args.what == "all" else [args.what]
     for name in targets:
-        seed = args.seed if args.seed is not None else defaults[name]
+        seed = args.seed if args.seed is not None else DEFAULT_SEEDS[name]
         print(f"==== {name} (seed {seed}) ====")
-        print(COMMANDS[name](seed))
+        print(COMMANDS[name](seed, args.jobs))
         print()
     return 0
 

@@ -27,7 +27,7 @@ from repro.analysis.patterns import (
     WAIT_AT_BARRIER,
     WAIT_AT_NXN,
 )
-from repro.analysis.replay import analyze_run
+from repro.api import analyze
 from repro.apps.metatrace import make_metatrace_app
 from repro.errors import (
     ArchiveCreationAborted,
@@ -199,11 +199,11 @@ class DegradationReport:
         return "\n".join(lines).rstrip() + "\n"
 
 
-def _analyze(run, degraded: bool) -> tuple:
+def _analyze(run, degraded: bool, jobs: Optional[int] = None) -> tuple:
     """Run the (possibly degraded) replay, counting partial-trace warnings."""
     with warnings.catch_warnings(record=True) as caught:
         warnings.simplefilter("always", PartialTraceWarning)
-        result = analyze_run(run, degraded=degraded)
+        result = analyze(run, degraded=degraded, jobs=jobs)
     partial = sum(
         1 for w in caught if issubclass(w.category, PartialTraceWarning)
     )
@@ -214,6 +214,7 @@ def run_fault_experiment(
     seed: int = 11,
     plans: Optional[List[FaultPlan]] = None,
     coupling_intervals: Optional[int] = None,
+    jobs: Optional[int] = None,
 ) -> DegradationReport:
     """Execute the MetaTrace workload once per fault plan.
 
@@ -246,7 +247,9 @@ def run_fault_experiment(
         entry.archive_retries = run.archive_outcome.retries
         entry.sync_failures = len(run.sync_data.failures)
         entry.degraded = not plan.is_empty
-        result, entry.partial_warnings = _analyze(run, degraded=entry.degraded)
+        result, entry.partial_warnings = _analyze(
+            run, degraded=entry.degraded, jobs=jobs
+        )
         entry.analyzed_ranks = len(result.analyzed_ranks)
         entry.excluded_ranks = len(result.excluded_ranks)
         entry.patterns = {

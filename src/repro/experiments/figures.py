@@ -15,6 +15,7 @@ corresponding benchmark.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -28,7 +29,9 @@ from repro.analysis.patterns import (
     WAIT_AT_BARRIER,
     WAIT_AT_NXN,
 )
-from repro.analysis.replay import AnalysisResult, analyze_run
+# Analysis is consumed through the stable facade (safe: repro.api defers
+# its own experiment imports until run_experiment() is called).
+from repro.api import AnalysisResult, analyze
 from repro.apps.imbalance import make_imbalance_app, make_nxn_imbalance_app
 from repro.apps.metatrace import make_metatrace_app
 from repro.clocks.clock import LinearClock
@@ -122,7 +125,7 @@ def run_figure3(run: RunResult, at_fraction: float = 0.5) -> Figure3Outcome:
 # -- Figure 4 -----------------------------------------------------------------
 
 
-def run_figure4(seed: int = 3) -> Dict[str, AnalysisResult]:
+def run_figure4(seed: int = 3, jobs: Optional[int] = None) -> Dict[str, AnalysisResult]:
     """Pattern-semantics micro-experiments.
 
     ``late_sender``: a two-phase ring where rank 1 computes much longer, so
@@ -141,8 +144,8 @@ def run_figure4(seed: int = 3) -> Dict[str, AnalysisResult]:
     nxn_run = runtime2.run(make_nxn_imbalance_app(work, iterations=4))
 
     return {
-        "late_sender": analyze_run(ls_run),
-        "wait_at_nxn": analyze_run(nxn_run),
+        "late_sender": analyze(ls_run, jobs=jobs),
+        "wait_at_nxn": analyze(nxn_run, jobs=jobs),
     }
 
 
@@ -201,9 +204,38 @@ class MetaTraceOutcome:
 
 
 def run_metatrace_experiment(
-    which: int, seed: int = 11, coupling_intervals: Optional[int] = None
+    which: Optional[int] = None,
+    seed: int = 11,
+    coupling_intervals: Optional[int] = None,
+    *,
+    figure: Optional[int] = None,
+    jobs: Optional[int] = None,
 ) -> MetaTraceOutcome:
-    """Run and analyze MetaTrace Experiment 1 (Figure 6) or 2 (Figure 7)."""
+    """Run and analyze MetaTrace Experiment 1 (Figure 6) or 2 (Figure 7).
+
+    ``figure=`` is the canonical way to select the experiment (1 → the
+    three-metahost analysis of Figure 6, 2 → the one-metahost analysis of
+    Figure 7); the positional form ``run_metatrace_experiment(1)`` still
+    works but emits a :class:`DeprecationWarning`.  ``jobs`` selects the
+    analysis process count as in :func:`repro.api.analyze`.
+    """
+    if figure is not None:
+        if which is not None:
+            raise ExperimentError(
+                "pass either figure= or the deprecated positional experiment "
+                "number, not both"
+            )
+        which = figure
+    elif which is None:
+        raise ExperimentError("run_metatrace_experiment requires figure=1 or figure=2")
+    else:
+        warnings.warn(
+            "passing the experiment number positionally "
+            "(run_metatrace_experiment(1)) is deprecated; use the figure= "
+            "keyword (run_metatrace_experiment(figure=1))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
     if which == 1:
         metacomputer, placement, config = experiment1()
         label = "Experiment 1 (three metahosts)"
@@ -220,5 +252,5 @@ def run_metatrace_experiment(
         metacomputer, placement, seed=seed, subcomms=config.subcomms()
     )
     run = runtime.run(make_metatrace_app(config))
-    result = analyze_run(run)
+    result = analyze(run, jobs=jobs)
     return MetaTraceOutcome(run=run, result=result, label=label)

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.analysis.replay import AnalysisResult, analyze_run
+from repro.api import AnalysisResult, analyze
 from repro.apps.clockbench import ClockBenchConfig, make_clockbench_app
 from repro.clocks.sync import SCHEMES
 from repro.sim.runtime import MetaMPIRuntime, RunResult
@@ -55,6 +55,7 @@ def run_table2(
     config: Optional[ClockBenchConfig] = None,
     nodes_per_metahost: int = 4,
     clock_drift_scale: float = 3e-6,
+    jobs: Optional[int] = None,
 ) -> Tuple[List[Table2Row], RunResult, Dict[str, AnalysisResult]]:
     """Regenerate Table 2.
 
@@ -82,7 +83,7 @@ def run_table2(
     rows: List[Table2Row] = []
     analyses: Dict[str, AnalysisResult] = {}
     for scheme in SCHEMES:
-        result = analyze_run(run, scheme=scheme)
+        result = analyze(run, scheme=scheme, jobs=jobs)
         analyses[scheme.name] = result
         summary = result.violations.summary()
         rows.append(

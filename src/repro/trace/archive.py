@@ -101,6 +101,23 @@ class Definitions:
             raise ArchiveError(f"malformed definitions document: {exc}") from exc
 
 
+@dataclass
+class TraceShard:
+    """A picklable snapshot of one shard's raw trace files.
+
+    This is the unit of work shipped to a parallel analysis worker: plain
+    bytes keyed by rank, detached from any mount namespace, so it crosses a
+    ``multiprocessing`` boundary under both fork and spawn without dragging
+    the simulated file system along.  Ranks whose trace is absent are
+    recorded in ``missing`` with the same reason string the serial
+    degraded-mode analyzer uses.
+    """
+
+    ranks: Tuple[int, ...]
+    blobs: Dict[int, bytes] = field(default_factory=dict)
+    missing: Dict[int, str] = field(default_factory=dict)
+
+
 class ArchiveWriter:
     """Writes one metahost's partial archive through its mount namespace."""
 
@@ -198,6 +215,24 @@ class ArchiveReader:
                 f"trace file {trace_filename(rank)} claims rank {file_rank}"
             )
         return len(blob), records
+
+    def shard_snapshot(self, ranks: Sequence[int]) -> TraceShard:
+        """Raw trace blobs for *ranks*, detached from the namespace.
+
+        The shard-addressable read used by the parallel analyzer: the
+        parent process snapshots each shard's bytes through the owning
+        metahost's namespace, then ships the self-contained
+        :class:`TraceShard` to a worker.
+        """
+        shard = TraceShard(ranks=tuple(ranks))
+        for rank in shard.ranks:
+            if self.has_trace(rank):
+                shard.blobs[rank] = self.read_trace_blob(rank)
+            else:
+                shard.missing[rank] = (
+                    f"{trace_filename(rank)} missing from its metahost's archive"
+                )
+        return shard
 
     def available_ranks(self) -> List[int]:
         ranks = []

@@ -43,13 +43,13 @@ def run_app(metacomputer, nprocs, app, seed=0, **runtime_kwargs):
 @pytest.fixture(scope="session")
 def metatrace_exp1():
     """One shared Experiment-1 (Figure 6) run + analysis."""
-    return run_metatrace_experiment(1, seed=11)
+    return run_metatrace_experiment(figure=1, seed=11)
 
 
 @pytest.fixture(scope="session")
 def metatrace_exp2():
     """One shared Experiment-2 (Figure 7) run + analysis."""
-    return run_metatrace_experiment(2, seed=11)
+    return run_metatrace_experiment(figure=2, seed=11)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,159 @@
+"""The stable ``repro.api`` facade: surface snapshot, verbs, deprecations."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import warnings
+
+import pytest
+
+import repro
+import repro.api as api
+from repro.apps.imbalance import make_imbalance_app
+from repro.errors import ExperimentError
+from repro.topology.metacomputer import Placement
+from repro.topology.presets import uniform_metacomputer
+
+#: The compatibility contract.  A failure here means the public surface
+#: changed — that must be a deliberate, documented decision (docs/API.md),
+#: not a side effect.  Update this snapshot only together with the docs.
+API_SURFACE_SNAPSHOT = [
+    "AnalysisResult",
+    "DEFAULT_SEEDS",
+    "EXPERIMENTS",
+    "Metacomputer",
+    "Placement",
+    "RunResult",
+    "analyze",
+    "ibm_aix_power",
+    "render_analysis",
+    "resolve_jobs",
+    "run_experiment",
+    "simulate",
+    "single_cluster",
+    "uniform_metacomputer",
+    "viola_testbed",
+]
+
+
+class TestSurface:
+    def test_all_matches_snapshot(self):
+        assert sorted(api.__all__) == API_SURFACE_SNAPSHOT
+
+    def test_every_name_importable(self):
+        for name in api.__all__:
+            assert getattr(api, name) is not None
+
+    def test_reexported_from_package_root(self):
+        for name in ("simulate", "analyze", "run_experiment", "resolve_jobs"):
+            assert getattr(repro, name) is getattr(api, name)
+
+    def test_experiments_and_seeds_agree(self):
+        assert set(api.EXPERIMENTS) == set(api.DEFAULT_SEEDS)
+
+
+class TestVerbs:
+    @pytest.fixture(scope="class")
+    def small_run(self):
+        mc = uniform_metacomputer(metahost_count=2, node_count=2, cpus_per_node=1)
+        work = {0: 0.01, 1: 0.02, 2: 0.01, 3: 0.01}
+        return api.simulate(
+            make_imbalance_app(work, iterations=2),
+            mc,
+            Placement.block(mc, 4),
+            seed=9,
+        )
+
+    def test_simulate_returns_run_result(self, small_run):
+        assert isinstance(small_run, api.RunResult)
+        assert small_run.definitions.world_size == 4
+
+    def test_analyze_serial_and_parallel_agree(self, small_run):
+        serial = api.analyze(small_run)
+        parallel = api.analyze(small_run, jobs=2)
+        assert isinstance(serial, api.AnalysisResult)
+        assert serial.cube.data == parallel.cube.data
+
+    def test_run_experiment_unknown_name(self):
+        with pytest.raises(ExperimentError, match="unknown experiment"):
+            api.run_experiment("figure99")
+
+    def test_run_experiment_table3(self):
+        text = api.run_experiment("table3")
+        assert "Experiment 1" in text and "Experiment 2" in text
+
+    def test_run_experiment_figure4_with_jobs(self):
+        assert api.run_experiment("figure4", seed=3, jobs=2) == api.run_experiment(
+            "figure4", seed=3, jobs=1
+        )
+
+
+class TestDeprecations:
+    def test_positional_experiment_number_warns(self):
+        from repro.experiments.figures import run_metatrace_experiment
+
+        with pytest.warns(DeprecationWarning, match="figure= keyword"):
+            with pytest.raises(ExperimentError):
+                # Invalid experiment number: warns on the calling style
+                # first, then rejects the value — no simulation runs.
+                run_metatrace_experiment(99)
+
+    def test_figure_keyword_does_not_warn(self):
+        from repro.experiments.figures import run_metatrace_experiment
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            with pytest.raises(ExperimentError):
+                run_metatrace_experiment(figure=99)
+
+    def test_both_forms_rejected(self):
+        from repro.experiments.figures import run_metatrace_experiment
+
+        with pytest.raises(ExperimentError, match="not both"):
+            run_metatrace_experiment(1, figure=1)
+
+    def test_neither_form_rejected(self):
+        from repro.experiments.figures import run_metatrace_experiment
+
+        with pytest.raises(ExperimentError, match="figure=1 or figure=2"):
+            run_metatrace_experiment()
+
+
+class TestPythonDashM:
+    def _run(self, *argv: str) -> subprocess.CompletedProcess:
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        return subprocess.run(
+            [sys.executable, "-m", "repro", *argv],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=300,
+        )
+
+    def test_module_entry_point(self):
+        proc = self._run("table3")
+        assert proc.returncode == 0, proc.stderr
+        assert "Experiment 1" in proc.stdout
+
+    def test_jobs_flag_accepted(self):
+        proc = self._run("figure4", "--seed", "3", "--jobs", "2")
+        assert proc.returncode == 0, proc.stderr
+        assert "Late Sender" in proc.stdout
+
+    def test_cli_module_alias_still_works(self):
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "table3"],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "Experiment 1" in proc.stdout

@@ -1,0 +1,96 @@
+"""Tier-1 smoke test for the parallel-analysis benchmark harness.
+
+Runs the real harness at reduced scale (one coupling interval, one
+repetition) and validates the ``BENCH_parallel.json`` schema, so schema or
+harness regressions are caught by the fast suite without the full 64-rank
+benchmark (``pytest -m perf benchmarks/``).
+"""
+
+import importlib.util
+import json
+import pathlib
+import sys
+
+import pytest
+
+_BENCH_PATH = (
+    pathlib.Path(__file__).resolve().parents[1]
+    / "benchmarks"
+    / "bench_parallel_analysis.py"
+)
+
+
+def _load_harness():
+    spec = importlib.util.spec_from_file_location(
+        "bench_parallel_analysis", _BENCH_PATH
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("bench_parallel_analysis", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+bench = _load_harness()
+
+
+@pytest.fixture(scope="module")
+def tiny_doc():
+    return bench.run_parallel_benchmark(
+        factor=1, jobs_list=[1, 2], reps=1, coupling_intervals=1, cg_iterations=4
+    )
+
+
+@pytest.mark.perf
+class TestParallelBenchSmoke:
+    def test_document_matches_schema(self, tiny_doc):
+        bench.validate_document(tiny_doc)
+        assert tiny_doc["schema"] == bench.SCHEMA
+        assert tiny_doc["workload"] == "scaled-experiment1"
+        assert tiny_doc["ranks"] == 32
+        assert tiny_doc["cpu_count"] >= 1
+        assert tiny_doc["trace_bytes"] > 0
+        jobs_seen = [row["jobs"] for row in tiny_doc["results"]]
+        assert jobs_seen == [1, 2]
+        serial = tiny_doc["results"][0]
+        assert serial["speedup_vs_serial"] == 1.0
+        for row in tiny_doc["results"]:
+            assert row["analyze_s"] > 0.0
+            assert row["speedup_vs_serial"] > 0.0
+
+    def test_json_round_trips_through_disk(self, tiny_doc, tmp_path):
+        out = tmp_path / "BENCH_parallel.json"
+        bench.write_document(tiny_doc, out)
+        reloaded = json.loads(out.read_text(encoding="utf-8"))
+        bench.validate_document(reloaded)
+        assert reloaded == json.loads(json.dumps(tiny_doc))
+
+    def test_validation_rejects_bad_documents(self, tiny_doc):
+        with pytest.raises(ValueError, match="schema"):
+            bench.validate_document({"schema": "something-else", "results": []})
+        no_baseline = json.loads(json.dumps(tiny_doc))
+        no_baseline["results"] = [
+            row for row in no_baseline["results"] if row["jobs"] != 1
+        ]
+        with pytest.raises(ValueError, match="jobs=1 baseline"):
+            bench.validate_document(no_baseline)
+        negative = json.loads(json.dumps(tiny_doc))
+        negative["results"][0]["analyze_s"] = -1.0
+        with pytest.raises(ValueError, match="analyze_s"):
+            bench.validate_document(negative)
+
+    def test_cli_writes_artifact(self, tmp_path):
+        out = tmp_path / "from_cli.json"
+        code = bench.main(
+            [
+                "--factor", "1",
+                "--jobs", "2",
+                "--reps", "1",
+                "--intervals", "1",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        doc = json.loads(out.read_text(encoding="utf-8"))
+        bench.validate_document(doc)
+        # main() force-includes the serial baseline even when --jobs omits it.
+        assert [row["jobs"] for row in doc["results"]] == [1, 2]

@@ -150,4 +150,4 @@ class TestDriverErrors:
         from repro.experiments.figures import run_metatrace_experiment
 
         with pytest.raises(ExperimentError):
-            run_metatrace_experiment(3)
+            run_metatrace_experiment(figure=3)

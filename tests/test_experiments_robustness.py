@@ -17,13 +17,13 @@ pytestmark = pytest.mark.slow
 class TestSeedRobustness:
     @pytest.mark.parametrize("seed", [3, 77])
     def test_figure6_bands_hold_across_seeds(self, seed):
-        outcome = run_metatrace_experiment(1, seed=seed, coupling_intervals=3)
+        outcome = run_metatrace_experiment(figure=1, seed=seed, coupling_intervals=3)
         assert 5.0 <= outcome.grid_late_sender_pct <= 15.0
         assert 15.0 <= outcome.grid_wait_at_barrier_pct <= 32.0
 
     @pytest.mark.parametrize("seed", [1, 99])
     def test_figure7_shape_holds_across_seeds(self, seed):
-        outcome = run_metatrace_experiment(2, seed=seed, coupling_intervals=3)
+        outcome = run_metatrace_experiment(figure=2, seed=seed, coupling_intervals=3)
         assert outcome.result.metric_total(GRID_LATE_SENDER) == 0.0
         assert outcome.result.metric_total(GRID_WAIT_AT_BARRIER) == 0.0
         assert outcome.wait_at_barrier_pct < 5.0

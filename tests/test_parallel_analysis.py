@@ -1,0 +1,188 @@
+"""Serial/parallel analysis equivalence and the sharding machinery.
+
+The contract under test: for every ``jobs`` value, ``analyze`` produces a
+result *bit-identical* to the serial analyzer — same severity cube (float
+for float), same call-path ids, same clock-condition stamps, same rendered
+report bytes — in both strict and degraded mode.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.analysis.parallel import plan_shards, resolve_jobs
+from repro.api import analyze
+from repro.apps.imbalance import make_imbalance_app
+from repro.apps.metatrace import make_metatrace_app
+from repro.errors import AnalysisError, PartialTraceWarning
+from repro.experiments.configs import experiment1
+from repro.faults import FaultPlan, TraceCorruption, TraceTruncation
+from repro.report import render_analysis
+from repro.sim.runtime import MetaMPIRuntime
+from repro.topology.metacomputer import Placement
+from repro.topology.presets import uniform_metacomputer
+
+from tests.conftest import run_app
+
+
+def assert_identical(serial, parallel):
+    """Every observable facet of the two results must be bit-identical."""
+    assert serial.cube.data == parallel.cube.data
+    assert [
+        (p.cpid, p.parent, p.region, p.depth) for p in serial.callpaths.all_paths()
+    ] == [
+        (p.cpid, p.parent, p.region, p.depth) for p in parallel.callpaths.all_paths()
+    ]
+    assert serial.violations.stamps == parallel.violations.stamps
+    assert vars(serial.traffic) == vars(parallel.traffic)
+    assert serial.total_time == parallel.total_time
+    assert serial.scheme_name == parallel.scheme_name
+    assert serial.grid_pairs.__dict__ == parallel.grid_pairs.__dict__
+    assert list(serial.timelines) == list(parallel.timelines)
+    assert serial.completeness == parallel.completeness
+    assert render_analysis(serial) == render_analysis(parallel)
+
+
+class TestResolveJobs:
+    def test_none_and_one_are_serial(self):
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(1) == 1
+
+    def test_explicit_count_passes_through(self):
+        assert resolve_jobs(5) == 5
+
+    def test_zero_means_all_cores(self):
+        assert resolve_jobs(0) >= 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(AnalysisError):
+            resolve_jobs(-2)
+
+
+class TestPlanShards:
+    def test_contiguous_cover(self):
+        ranks = list(range(10))
+        machine_of = {r: 0 for r in ranks}
+        shards = plan_shards(ranks, machine_of, 3)
+        assert 1 < len(shards) <= 3
+        flat = [r for shard in shards for r in shard]
+        assert flat == ranks  # every rank exactly once, ascending
+
+    def test_single_job_single_shard(self):
+        shards = plan_shards([3, 1, 2], {1: 0, 2: 0, 3: 0}, 1)
+        assert shards == [(1, 2, 3)]
+
+    def test_empty_world(self):
+        assert plan_shards([], {}, 4) == []
+
+    def test_more_jobs_than_ranks(self):
+        shards = plan_shards([0, 1, 2], {0: 0, 1: 0, 2: 1}, 8)
+        assert [r for shard in shards for r in shard] == [0, 1, 2]
+        assert all(shard for shard in shards)
+
+    def test_cut_snaps_to_machine_boundary(self):
+        # Machine boundary at rank 7, ideal midpoint cut at 5: the planner
+        # prefers the boundary so each shard reads one metahost's traces.
+        machine_of = {r: (0 if r < 7 else 1) for r in range(10)}
+        shards = plan_shards(list(range(10)), machine_of, 2)
+        assert shards == [tuple(range(7)), (7, 8, 9)]
+
+    def test_deterministic(self):
+        ranks = list(range(32))
+        machine_of = {r: r // 11 for r in ranks}
+        assert plan_shards(ranks, machine_of, 4) == plan_shards(
+            ranks, machine_of, 4
+        )
+
+
+class TestStrictEquivalence:
+    @pytest.fixture(scope="class")
+    def small_run(self):
+        mc = uniform_metacomputer(metahost_count=2, node_count=2, cpus_per_node=2)
+        work = {r: 0.005 * (1 + r % 3) for r in range(8)}
+        return run_app(mc, 8, make_imbalance_app(work, iterations=3), seed=5)
+
+    @pytest.mark.parametrize("jobs", [2, 3, 4, 8])
+    def test_bit_identical_to_serial(self, small_run, jobs):
+        serial = analyze(small_run)
+        parallel = analyze(small_run, jobs=jobs)
+        assert_identical(serial, parallel)
+
+    def test_jobs_one_uses_serial_path(self, small_run):
+        assert_identical(analyze(small_run), analyze(small_run, jobs=1))
+
+
+@pytest.mark.slow
+class TestGoldenFigure6:
+    def test_figure6_seed1_jobs4_byte_identical(self):
+        """The acceptance criterion: figure6 --seed 1, jobs 1 vs jobs 4."""
+        metacomputer, placement, config = experiment1()
+        runtime = MetaMPIRuntime(
+            metacomputer, placement, seed=1, subcomms=config.subcomms()
+        )
+        run = runtime.run(make_metatrace_app(config))
+        serial = analyze(run, jobs=1)
+        parallel = analyze(run, jobs=4)
+        assert_identical(serial, parallel)
+        assert render_analysis(serial).encode() == render_analysis(parallel).encode()
+
+
+class TestDegradedEquivalence:
+    @pytest.fixture(scope="class")
+    def damaged_run(self):
+        """A run whose upper ranks lose trace data (truncation + corruption)."""
+        mc = uniform_metacomputer(metahost_count=2, node_count=2, cpus_per_node=2)
+        work = {r: 0.005 * (1 + r % 3) for r in range(8)}
+        plan = FaultPlan(
+            name="damage",
+            seed=3,
+            specs=(
+                TraceTruncation(rank=6, keep_fraction=0.5),
+                TraceCorruption(rank=3, at_fraction=0.5, length=8),
+            ),
+        )
+        return run_app(
+            mc, 8, make_imbalance_app(work, iterations=3), seed=3, fault_plan=plan
+        )
+
+    def _analyze_with_warnings(self, run, jobs):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            result = analyze(run, degraded=True, jobs=jobs)
+        return result, [(w.category, str(w.message)) for w in caught]
+
+    @pytest.mark.parametrize("jobs", [2, 4])
+    def test_degraded_bit_identical(self, damaged_run, jobs):
+        serial, serial_warnings = self._analyze_with_warnings(damaged_run, None)
+        parallel, parallel_warnings = self._analyze_with_warnings(damaged_run, jobs)
+        assert_identical(serial, parallel)
+        assert serial.excluded_ranks == parallel.excluded_ranks
+
+    @pytest.mark.parametrize("jobs", [2, 4])
+    def test_worker_warnings_reach_parent(self, damaged_run, jobs):
+        """PartialTraceWarnings raised inside workers must surface in the
+        parent process, in the serial analyzer's order (the fault
+        experiment counts them)."""
+        serial, serial_warnings = self._analyze_with_warnings(damaged_run, None)
+        parallel, parallel_warnings = self._analyze_with_warnings(damaged_run, jobs)
+        assert serial_warnings == parallel_warnings
+        assert any(
+            issubclass(cat, PartialTraceWarning) for cat, _ in parallel_warnings
+        )
+
+
+class TestShardAddressableReads:
+    def test_trace_shard_snapshot(self):
+        mc = uniform_metacomputer(metahost_count=2, node_count=2, cpus_per_node=2)
+        work = {r: 0.004 for r in range(8)}
+        run = run_app(mc, 8, make_imbalance_app(work, iterations=2), seed=2)
+        shard = run.trace_shard([1, 5, 6])
+        assert shard.ranks == (1, 5, 6)
+        assert sorted(shard.blobs) == [1, 5, 6]
+        assert shard.missing == {}
+        # Blobs are the on-archive bytes, byte for byte.
+        for rank in shard.ranks:
+            machine = run.definitions.machine_of(rank)
+            assert shard.blobs[rank] == run.reader(machine).read_trace_blob(rank)
