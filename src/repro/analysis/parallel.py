@@ -28,7 +28,6 @@ dispatches here for ``N != 1``.
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 import warnings
 from dataclasses import dataclass, field
@@ -58,8 +57,15 @@ from repro.clocks.condition import ClockConditionChecker, MessageStamp
 from repro.clocks.sync import HierarchicalInterpolation, LinearConverter, SyncScheme
 from repro.errors import AnalysisError, ArchiveError, PartialTraceWarning
 from repro.ids import NodeId, node_of
-from repro.trace.archive import ArchiveReader, Definitions, TraceShard, trace_filename
-from repro.trace.encoding import iter_events, salvage_events
+from repro.resilience.pool import PoolConfig, SupervisedPool
+from repro.trace.archive import (
+    ArchiveReader,
+    Definitions,
+    TraceShard,
+    salvage_checked,
+    trace_filename,
+)
+from repro.trace.encoding import iter_events
 
 #: A point-to-point channel: (sender rank, receiver rank, tag, communicator).
 ChannelKey = Tuple[int, int, int, int]
@@ -188,7 +194,7 @@ def _load_rank_degraded(
         exclude(reason)
         return None
     blob = task.traces.blobs[rank]
-    salvaged = salvage_events(blob)
+    salvaged = salvage_checked(blob, task.traces.manifests.get(rank))
     if salvaged.rank is not None and salvaged.rank != rank:
         exclude(f"trace file claims rank {salvaged.rank}")
         return None
@@ -526,6 +532,7 @@ class ParallelReplayAnalyzer:
         scheme: Optional[SyncScheme] = None,
         degraded: bool = False,
         jobs: int = 2,
+        pool_config: Optional[PoolConfig] = None,
     ) -> None:
         if not readers:
             raise AnalysisError("no archive readers supplied")
@@ -537,6 +544,7 @@ class ParallelReplayAnalyzer:
             scheme = HierarchicalInterpolation(strict=not degraded)
         self.scheme = scheme
         self.jobs = jobs
+        self.pool_config = pool_config or PoolConfig()
 
     # -- task construction -----------------------------------------------------
 
@@ -591,6 +599,7 @@ class ParallelReplayAnalyzer:
             snapshot = reader.shard_snapshot(machine_ranks)
             shard.blobs.update(snapshot.blobs)
             shard.missing.update(snapshot.missing)
+            shard.manifests.update(snapshot.manifests)
         shard_converters = {
             node: converters.get(node)
             for node in {node_of(definitions.locations[rank]) for rank in ranks}
@@ -624,12 +633,19 @@ class ParallelReplayAnalyzer:
 
         if len(tasks) <= 1:
             partials = [analyze_shard(task) for task in tasks]
+            execution = None
         else:
-            ctx = multiprocessing.get_context()
-            with ctx.Pool(processes=min(self.jobs, len(tasks))) as pool:
-                # imap (not map): exceptions surface in shard order, so the
-                # lowest-ranked failure wins, matching the serial analyzer.
-                partials = list(pool.imap(analyze_shard, tasks))
-        return merge_partials(
+            # The supervised pool keeps the serial analyzer's semantics —
+            # results in shard order, the lowest-ranked shard's exception
+            # wins — while surviving worker crashes, hangs, and kills that
+            # would deadlock a bare Pool.map forever.
+            pool = SupervisedPool(
+                analyze_shard,
+                self.pool_config.with_workers(min(self.jobs, len(tasks))),
+            )
+            partials, execution = pool.run(tasks)
+        result = merge_partials(
             partials, definitions, self.scheme.name, self.degraded
         )
+        result.execution = execution
+        return result

@@ -46,8 +46,13 @@ from repro.clocks.condition import ClockConditionChecker, MessageStamp
 from repro.clocks.sync import HierarchicalInterpolation, LinearConverter, SyncScheme
 from repro.errors import AnalysisError, PartialTraceWarning
 from repro.ids import node_of
-from repro.trace.archive import ArchiveReader, Definitions, trace_filename
-from repro.trace.encoding import salvage_events
+from repro.resilience.pool import ExecutionReport
+from repro.trace.archive import (
+    ArchiveReader,
+    Definitions,
+    salvage_checked,
+    trace_filename,
+)
 
 
 @dataclass(frozen=True)
@@ -98,6 +103,10 @@ class AnalysisResult:
     degraded: bool = False
     #: Per-rank completeness record (degraded mode; empty otherwise).
     completeness: Dict[int, RankCompleteness] = field(default_factory=dict)
+    #: Supervised-pool account of a parallel run (None for serial runs).
+    #: Deliberately outside the equality contract of the result: the same
+    #: analysis recovered after a worker crash is the same analysis.
+    execution: Optional[ExecutionReport] = field(default=None, compare=False)
 
     # Lazily built query indexes.  The cube and call-path registry are
     # frozen once analyze() returns, so caching is safe; before these,
@@ -309,7 +318,7 @@ class ReplayAnalyzer:
             exclude(f"{trace_filename(rank)} missing from its metahost's archive")
             return None
         blob = reader.read_trace_blob(rank)
-        salvaged = salvage_events(blob)
+        salvaged = salvage_checked(blob, reader.manifest_entry(rank))
         if salvaged.rank is not None and salvaged.rank != rank:
             exclude(f"trace file claims rank {salvaged.rank}")
             return None
@@ -515,6 +524,8 @@ def analyze_run(
     scheme: Optional[SyncScheme] = None,
     degraded: bool = False,
     jobs: Optional[int] = None,
+    timeout: Optional[float] = None,
+    max_retries: Optional[int] = None,
 ) -> AnalysisResult:
     """Analyze a :class:`~repro.sim.runtime.RunResult` end to end.
 
@@ -522,9 +533,15 @@ def analyze_run(
     :class:`ReplayAnalyzer`; ``N >= 2`` shards the replay across *N*
     worker processes (``0`` = one per available core).  Both paths produce
     bit-identical results — see :mod:`repro.analysis.parallel`.
+
+    ``timeout`` and ``max_retries`` tune the supervised pool backing the
+    parallel path (per-shard deadline in seconds; re-dispatches allowed
+    after a worker crash/hang); they have no effect on serial runs.
     """
     # Imported lazily: repro.analysis.parallel imports this module.
     from repro.analysis.parallel import ParallelReplayAnalyzer, resolve_jobs
+    from repro.resilience.pool import PoolConfig
+    from dataclasses import replace as _replace
 
     readers = {
         machine: run_result.reader(machine) for machine in run_result.machines_used
@@ -532,6 +549,15 @@ def analyze_run(
     effective = resolve_jobs(jobs)
     if effective <= 1:
         return ReplayAnalyzer(readers, scheme=scheme, degraded=degraded).analyze()
+    pool_config = PoolConfig()
+    if timeout is not None:
+        pool_config = _replace(pool_config, timeout_s=float(timeout))
+    if max_retries is not None:
+        pool_config = _replace(pool_config, max_retries=int(max_retries))
     return ParallelReplayAnalyzer(
-        readers, scheme=scheme, degraded=degraded, jobs=effective
+        readers,
+        scheme=scheme,
+        degraded=degraded,
+        jobs=effective,
+        pool_config=pool_config,
     ).analyze()

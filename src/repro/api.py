@@ -33,6 +33,7 @@ from repro.analysis.replay import AnalysisResult, analyze_run
 from repro.clocks.sync import SyncScheme
 from repro.errors import ExperimentError
 from repro.report.render import render_analysis
+from repro.resilience import CheckpointJournal, ExecutionReport
 from repro.sim.process import AppGenerator
 from repro.sim.runtime import MetaMPIRuntime, RunResult
 from repro.topology.metacomputer import Metacomputer, Placement
@@ -42,16 +43,20 @@ from repro.topology.presets import (
     uniform_metacomputer,
     viola_testbed,
 )
+from repro.trace.archive import RunVerification
 
 __all__ = [
     "simulate",
     "analyze",
     "run_experiment",
+    "verify_archives",
     "resolve_jobs",
     "AnalysisResult",
     "RunResult",
     "Metacomputer",
     "Placement",
+    "CheckpointJournal",
+    "ExecutionReport",
     "render_analysis",
     "EXPERIMENTS",
     "DEFAULT_SEEDS",
@@ -89,6 +94,8 @@ def analyze(
     scheme: Optional[SyncScheme] = None,
     degraded: bool = False,
     jobs: Optional[int] = None,
+    timeout: Optional[float] = None,
+    max_retries: Optional[int] = None,
 ) -> AnalysisResult:
     """Replay-analyze a traced run's archive.
 
@@ -97,8 +104,34 @@ def analyze(
     core).  Every value of ``jobs`` produces a bit-identical
     :class:`AnalysisResult` — see :mod:`repro.analysis.parallel` for the
     merge model that guarantees it.
+
+    ``timeout`` (per-shard deadline, seconds) and ``max_retries``
+    (re-dispatches after a worker crash or hang) tune the supervised pool
+    behind the parallel path; a parallel result carries the pool's
+    :class:`ExecutionReport` in ``result.execution``.
     """
-    return analyze_run(run, scheme=scheme, degraded=degraded, jobs=jobs)
+    return analyze_run(
+        run,
+        scheme=scheme,
+        degraded=degraded,
+        jobs=jobs,
+        timeout=timeout,
+        max_retries=max_retries,
+    )
+
+
+def verify_archives(run: RunResult) -> RunVerification:
+    """Checksum-verify every partial archive of a traced run.
+
+    Walks each metahost's archive through its own reader and checks all
+    manifest-covered traces block by block, localizing any damage; see
+    :class:`~repro.trace.archive.RunVerification`.  Never raises on
+    corruption — the verdict is the return value.
+    """
+    verification = RunVerification()
+    for machine in run.machines_used:
+        verification.archives.append(run.reader(machine).verify())
+    return verification
 
 
 # -- named experiments --------------------------------------------------------
@@ -119,28 +152,42 @@ DEFAULT_SEEDS: Dict[str, int] = {
 # The experiment runners import their drivers lazily: the drivers
 # themselves import through this facade, and deferring the other
 # direction keeps the cycle open at module-import time.
+#
+# Every runner takes ``(seed, jobs, **opts)``; the resilience options in
+# ``opts`` (``timeout``, ``max_retries``, ``journal``, ``verify_archive``)
+# are forwarded to the drivers that have an analysis phase and ignored by
+# the purely computational ones.
+
+_ANALYSIS_OPTS = ("timeout", "max_retries", "verify_archive")
 
 
-def _run_table1(seed: int, jobs: Optional[int]) -> str:
+def _analysis_opts(opts: Dict, *extra: str) -> Dict:
+    wanted = _ANALYSIS_OPTS + extra
+    return {key: opts[key] for key in wanted if opts.get(key) is not None}
+
+
+def _run_table1(seed: int, jobs: Optional[int], **opts) -> str:
     from repro.experiments.table1 import run_table1, table1_text
 
     return table1_text(run_table1(seed=seed))
 
 
-def _run_table2(seed: int, jobs: Optional[int]) -> str:
+def _run_table2(seed: int, jobs: Optional[int], **opts) -> str:
     from repro.experiments.table2 import run_table2, table2_text
 
-    rows, _run, _analyses = run_table2(seed=seed, jobs=jobs)
+    rows, _run, _analyses = run_table2(
+        seed=seed, jobs=jobs, **_analysis_opts(opts, "journal")
+    )
     return table2_text(rows)
 
 
-def _run_table3(seed: int, jobs: Optional[int]) -> str:
+def _run_table3(seed: int, jobs: Optional[int], **opts) -> str:
     from repro.experiments.configs import table3_text
 
     return table3_text()
 
 
-def _run_figure1(seed: int, jobs: Optional[int]) -> str:
+def _run_figure1(seed: int, jobs: Optional[int], **opts) -> str:
     from repro.experiments.figures import run_figure1
 
     rows = run_figure1()
@@ -152,13 +199,15 @@ def _run_figure1(seed: int, jobs: Optional[int]) -> str:
     return "\n".join(lines)
 
 
-def _run_figure3(seed: int, jobs: Optional[int]) -> str:
+def _run_figure3(seed: int, jobs: Optional[int], **opts) -> str:
     import numpy as np
 
     from repro.experiments.figures import run_figure3
     from repro.experiments.table2 import run_table2
 
-    _rows, run, _analyses = run_table2(seed=seed, jobs=jobs)
+    # No journal here: figure3 needs the live RunResult, which a
+    # journal-satisfied table2 cell would not recompute.
+    _rows, run, _analyses = run_table2(seed=seed, jobs=jobs, **_analysis_opts(opts))
     outcome = run_figure3(run)
     lines = ["Figure 3: intra-metahost pairwise synchronization error", ""]
     for scheme, errors in outcome.pair_errors_us.items():
@@ -170,11 +219,11 @@ def _run_figure3(seed: int, jobs: Optional[int]) -> str:
     return "\n".join(lines)
 
 
-def _run_figure4(seed: int, jobs: Optional[int]) -> str:
+def _run_figure4(seed: int, jobs: Optional[int], **opts) -> str:
     from repro.analysis.patterns import LATE_SENDER, WAIT_AT_NXN
     from repro.experiments.figures import run_figure4
 
-    analyses = run_figure4(seed=seed, jobs=jobs)
+    analyses = run_figure4(seed=seed, jobs=jobs, **_analysis_opts(opts))
     ls = analyses["late_sender"]
     nxn = analyses["wait_at_nxn"]
     return "\n".join(
@@ -186,7 +235,7 @@ def _run_figure4(seed: int, jobs: Optional[int]) -> str:
     )
 
 
-def _metatrace_text(figure: int, seed: int, jobs: Optional[int]) -> str:
+def _metatrace_text(figure: int, seed: int, jobs: Optional[int], **opts) -> str:
     from repro.analysis.patterns import (
         GRID_LATE_SENDER,
         GRID_WAIT_AT_BARRIER,
@@ -194,7 +243,9 @@ def _metatrace_text(figure: int, seed: int, jobs: Optional[int]) -> str:
     )
     from repro.experiments.figures import run_metatrace_experiment
 
-    outcome = run_metatrace_experiment(figure=figure, seed=seed, jobs=jobs)
+    outcome = run_metatrace_experiment(
+        figure=figure, seed=seed, jobs=jobs, **_analysis_opts(opts)
+    )
     header = [
         outcome.label,
         f"grid late sender:     {outcome.grid_late_sender_pct:6.2f} % of time",
@@ -210,22 +261,24 @@ def _metatrace_text(figure: int, seed: int, jobs: Optional[int]) -> str:
     )
 
 
-def _run_figure6(seed: int, jobs: Optional[int]) -> str:
-    return _metatrace_text(1, seed, jobs)
+def _run_figure6(seed: int, jobs: Optional[int], **opts) -> str:
+    return _metatrace_text(1, seed, jobs, **opts)
 
 
-def _run_figure7(seed: int, jobs: Optional[int]) -> str:
-    return _metatrace_text(2, seed, jobs)
+def _run_figure7(seed: int, jobs: Optional[int], **opts) -> str:
+    return _metatrace_text(2, seed, jobs, **opts)
 
 
-def _run_faults(seed: int, jobs: Optional[int]) -> str:
+def _run_faults(seed: int, jobs: Optional[int], **opts) -> str:
     from repro.experiments.faults import run_fault_experiment
 
-    return run_fault_experiment(seed=seed, jobs=jobs).text()
+    return run_fault_experiment(
+        seed=seed, jobs=jobs, **_analysis_opts(opts, "journal")
+    ).text()
 
 
-#: Experiment name → runner(seed, jobs) producing the rendered text.
-EXPERIMENTS: Dict[str, Callable[[int, Optional[int]], str]] = {
+#: Experiment name → runner(seed, jobs, **opts) producing the rendered text.
+EXPERIMENTS: Dict[str, Callable[..., str]] = {
     "table1": _run_table1,
     "table2": _run_table2,
     "table3": _run_table3,
@@ -239,13 +292,29 @@ EXPERIMENTS: Dict[str, Callable[[int, Optional[int]], str]] = {
 
 
 def run_experiment(
-    name: str, *, seed: Optional[int] = None, jobs: Optional[int] = None
+    name: str,
+    *,
+    seed: Optional[int] = None,
+    jobs: Optional[int] = None,
+    timeout: Optional[float] = None,
+    max_retries: Optional[int] = None,
+    journal: Optional[CheckpointJournal] = None,
+    verify_archive: bool = False,
 ) -> str:
     """Regenerate one paper artifact by name; returns its rendered text.
 
     ``name`` is one of :data:`EXPERIMENTS` (``table1`` ... ``faults``).
     ``seed=None`` uses the artifact's committed default seed; ``jobs``
-    selects the analysis process count as in :func:`analyze`.
+    selects the analysis process count as in :func:`analyze`, and
+    ``timeout``/``max_retries`` tune its supervised pool.
+
+    ``journal`` makes the run resumable: each completed (experiment, seed)
+    cell — and, inside ``table2`` and ``faults``, each completed
+    per-scheme/per-plan sub-cell — is persisted, and a rerun with the same
+    journal skips straight to the cached result.  ``verify_archive``
+    checksum-verifies the trace archives before analysis; the strict
+    experiments raise :class:`~repro.errors.ArchiveError` on damage, the
+    fault ladder records the verdict in its report instead.
     """
     runner = EXPERIMENTS.get(name)
     if runner is None:
@@ -253,4 +322,19 @@ def run_experiment(
         raise ExperimentError(f"unknown experiment {name!r}; choose from: {known}")
     if seed is None:
         seed = DEFAULT_SEEDS[name]
-    return runner(seed, jobs)
+    cell = {"experiment": name, "seed": seed}
+    if journal is not None:
+        cached = journal.get(cell)
+        if cached is not None:
+            return cached["text"]
+    text = runner(
+        seed,
+        jobs,
+        timeout=timeout,
+        max_retries=max_retries,
+        journal=journal,
+        verify_archive=verify_archive,
+    )
+    if journal is not None:
+        journal.record(cell, {"text": text})
+    return text

@@ -14,6 +14,8 @@ Usage::
     python -m repro all                 # everything above
     python -m repro figure6 --seed 3    # different random seed
     python -m repro figure6 --jobs 4    # sharded parallel analysis
+    python -m repro faults --resume     # journal cells, skip finished ones
+    python -m repro table2 --verify-archive   # checksum archives first
 
 (``python -m repro.cli`` keeps working as an alias.)
 """
@@ -24,20 +26,23 @@ import argparse
 import sys
 from typing import Callable, Dict, List, Optional
 
-from repro.api import DEFAULT_SEEDS, EXPERIMENTS, run_experiment
+from repro.api import CheckpointJournal, DEFAULT_SEEDS, EXPERIMENTS, run_experiment
+
+#: Default on-disk location of the ``--resume`` checkpoint journal.
+DEFAULT_JOURNAL = ".repro-checkpoint.jsonl"
 
 
-def _command(name: str) -> Callable[[int], str]:
-    def run(seed: int, jobs: Optional[int] = None) -> str:
-        return run_experiment(name, seed=seed, jobs=jobs)
+def _command(name: str) -> Callable[..., str]:
+    def run(seed: int, jobs: Optional[int] = None, **options) -> str:
+        return run_experiment(name, seed=seed, jobs=jobs, **options)
 
     run.__name__ = f"_cmd_{name}"
     return run
 
 
-#: Command name → runner(seed[, jobs]) — the CLI's registry, one entry per
-#: facade experiment.
-COMMANDS: Dict[str, Callable[[int], str]] = {
+#: Command name → runner(seed[, jobs, **options]) — the CLI's registry, one
+#: entry per facade experiment.
+COMMANDS: Dict[str, Callable[..., str]] = {
     name: _command(name) for name in EXPERIMENTS
 }
 
@@ -63,13 +68,52 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="analysis worker processes (1=serial, 0=one per core; "
         "default: serial)",
     )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-shard deadline for parallel analysis workers "
+        "(default: 300)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="re-dispatches allowed after a worker crash/hang (default: 2)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="record completed experiment cells in a journal and skip them "
+        "on rerun",
+    )
+    parser.add_argument(
+        "--journal",
+        default=DEFAULT_JOURNAL,
+        metavar="PATH",
+        help=f"checkpoint journal used by --resume (default: {DEFAULT_JOURNAL})",
+    )
+    parser.add_argument(
+        "--verify-archive",
+        action="store_true",
+        help="checksum-verify trace archives before analysis",
+    )
     args = parser.parse_args(argv)
 
+    journal = CheckpointJournal(args.journal) if args.resume else None
+    options = {
+        "timeout": args.timeout,
+        "max_retries": args.max_retries,
+        "journal": journal,
+        "verify_archive": args.verify_archive,
+    }
     targets = sorted(COMMANDS) if args.what == "all" else [args.what]
     for name in targets:
         seed = args.seed if args.seed is not None else DEFAULT_SEEDS[name]
         print(f"==== {name} (seed {seed}) ====")
-        print(COMMANDS[name](seed, args.jobs))
+        print(COMMANDS[name](seed, args.jobs, **options))
         print()
     return 0
 

@@ -140,3 +140,7 @@ class ExperimentError(ReproError):
 
 class ConfigurationError(ReproError):
     """Runtime configuration problem (missing metahost env vars, ...)."""
+
+
+class CheckpointError(ReproError):
+    """The checkpoint journal could not be read or written."""

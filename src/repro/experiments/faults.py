@@ -27,7 +27,7 @@ from repro.analysis.patterns import (
     WAIT_AT_BARRIER,
     WAIT_AT_NXN,
 )
-from repro.api import analyze
+from repro.api import analyze, verify_archives
 from repro.apps.metatrace import make_metatrace_app
 from repro.errors import (
     ArchiveCreationAborted,
@@ -46,6 +46,7 @@ from repro.faults import (
     TraceCorruption,
     TraceTruncation,
 )
+from repro.resilience import CheckpointJournal
 from repro.sim.runtime import MetaMPIRuntime
 
 #: Wait-state metrics the degradation report checks for survival.
@@ -133,11 +134,44 @@ class FaultRunReport:
     degraded: bool = False
     #: Wait-state metric → percent of total time (only metrics > 0).
     patterns: Dict[str, float] = field(default_factory=dict)
+    #: Archive checksum verdict (None = not checked; False = damage found —
+    #: expected whenever the plan injects trace damage).
+    integrity_ok: Optional[bool] = None
 
     @property
     def recovered(self) -> bool:
         """Faults were injected and the pipeline still produced an analysis."""
         return self.completed and self.counters is not None
+
+    _PAYLOAD_FIELDS = (
+        "completed",
+        "error",
+        "archive_retries",
+        "sync_failures",
+        "partial_warnings",
+        "analyzed_ranks",
+        "excluded_ranks",
+        "degraded",
+        "patterns",
+        "integrity_ok",
+    )
+
+    def to_payload(self) -> Dict:
+        """JSON-serializable journal payload (the plan is the cell's key)."""
+        payload = {name: getattr(self, name) for name in self._PAYLOAD_FIELDS}
+        payload["counters"] = (
+            None if self.counters is None else self.counters.as_dict()
+        )
+        return payload
+
+    @classmethod
+    def from_payload(cls, plan: FaultPlan, payload: Dict) -> "FaultRunReport":
+        counters = payload.get("counters")
+        return cls(
+            plan=plan,
+            counters=None if counters is None else FaultCounters(**counters),
+            **{name: payload[name] for name in cls._PAYLOAD_FIELDS},
+        )
 
 
 @dataclass
@@ -183,6 +217,9 @@ class DegradationReport:
                     f"  traces: {c.traces_truncated} truncated, "
                     f"{c.traces_corrupted} corrupted"
                 )
+            if report.integrity_ok is not None:
+                verdict = "OK" if report.integrity_ok else "damage localized"
+                lines.append(f"  archive checksums: {verdict}")
             mode = "degraded" if report.degraded else "strict"
             lines.append(
                 f"  analysis ({mode}): {report.analyzed_ranks} ranks analyzed, "
@@ -199,11 +236,23 @@ class DegradationReport:
         return "\n".join(lines).rstrip() + "\n"
 
 
-def _analyze(run, degraded: bool, jobs: Optional[int] = None) -> tuple:
+def _analyze(
+    run,
+    degraded: bool,
+    jobs: Optional[int] = None,
+    timeout: Optional[float] = None,
+    max_retries: Optional[int] = None,
+) -> tuple:
     """Run the (possibly degraded) replay, counting partial-trace warnings."""
     with warnings.catch_warnings(record=True) as caught:
         warnings.simplefilter("always", PartialTraceWarning)
-        result = analyze(run, degraded=degraded, jobs=jobs)
+        result = analyze(
+            run,
+            degraded=degraded,
+            jobs=jobs,
+            timeout=timeout,
+            max_retries=max_retries,
+        )
     partial = sum(
         1 for w in caught if issubclass(w.category, PartialTraceWarning)
     )
@@ -215,14 +264,39 @@ def run_fault_experiment(
     plans: Optional[List[FaultPlan]] = None,
     coupling_intervals: Optional[int] = None,
     jobs: Optional[int] = None,
+    timeout: Optional[float] = None,
+    max_retries: Optional[int] = None,
+    journal: Optional[CheckpointJournal] = None,
+    verify_archive: bool = False,
 ) -> DegradationReport:
     """Execute the MetaTrace workload once per fault plan.
 
     ``coupling_intervals`` shrinks the workload for smoke tests (CI runs
     the matrix with 1 interval); None keeps the paper's configuration.
+
+    With a ``journal``, every settled plan — including the deterministic
+    aborts of the link-death rung — is a resumable cell; an interrupted
+    ladder rerun with the same journal replays the finished rungs from
+    their recorded payloads.  ``verify_archive`` runs a checksum pass over
+    each completed run's archives and records the verdict in the report
+    (plans that injected trace damage are *expected* to fail it — the
+    ladder never raises on corruption).
     """
     report = DegradationReport(seed=seed)
     for plan in plans if plans is not None else escalating_fault_plans(seed):
+        cell = {
+            "experiment": "faults",
+            "plan": plan.name,
+            "seed": seed,
+            "coupling_intervals": coupling_intervals,
+            "specs": len(plan.specs),
+            "verify_archive": bool(verify_archive),
+        }
+        if journal is not None:
+            cached = journal.get(cell)
+            if cached is not None:
+                report.runs.append(FaultRunReport.from_payload(plan, cached))
+                continue
         metacomputer, placement, config = experiment1()
         if coupling_intervals is not None:
             config = replace(config, coupling_intervals=coupling_intervals)
@@ -241,14 +315,24 @@ def run_fault_experiment(
             entry.error = f"{type(exc).__name__}: {exc}"
             if runtime.fault_injector is not None:
                 entry.counters = runtime.fault_injector.counters
+            # A deterministic abort is a settled outcome: journal it so a
+            # resumed ladder does not redo the doomed run.
+            if journal is not None:
+                journal.record(cell, entry.to_payload())
             continue
         entry.completed = True
         entry.counters = run.fault_counters
         entry.archive_retries = run.archive_outcome.retries
         entry.sync_failures = len(run.sync_data.failures)
         entry.degraded = not plan.is_empty
+        if verify_archive:
+            entry.integrity_ok = verify_archives(run).ok
         result, entry.partial_warnings = _analyze(
-            run, degraded=entry.degraded, jobs=jobs
+            run,
+            degraded=entry.degraded,
+            jobs=jobs,
+            timeout=timeout,
+            max_retries=max_retries,
         )
         entry.analyzed_ranks = len(result.analyzed_ranks)
         entry.excluded_ranks = len(result.excluded_ranks)
@@ -257,4 +341,6 @@ def run_fault_experiment(
             for metric in WAIT_METRICS
             if (pct := result.pct(metric)) > 0.0
         }
+        if journal is not None:
+            journal.record(cell, entry.to_payload())
     return report

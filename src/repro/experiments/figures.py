@@ -31,7 +31,7 @@ from repro.analysis.patterns import (
 )
 # Analysis is consumed through the stable facade (safe: repro.api defers
 # its own experiment imports until run_experiment() is called).
-from repro.api import AnalysisResult, analyze
+from repro.api import AnalysisResult, analyze, verify_archives
 from repro.apps.imbalance import make_imbalance_app, make_nxn_imbalance_app
 from repro.apps.metatrace import make_metatrace_app
 from repro.clocks.clock import LinearClock
@@ -41,7 +41,7 @@ from repro.clocks.sync import (
     SyncScheme,
     true_master_time,
 )
-from repro.errors import ExperimentError
+from repro.errors import ArchiveError, ExperimentError
 from repro.experiments.configs import experiment1, experiment2
 from repro.ids import NodeId
 from repro.sim.runtime import MetaMPIRuntime, RunResult
@@ -122,10 +122,26 @@ def run_figure3(run: RunResult, at_fraction: float = 0.5) -> Figure3Outcome:
     return outcome
 
 
+def _verify_or_raise(label: str, *runs: RunResult) -> None:
+    """Strict archive verification for the figure drivers."""
+    for run in runs:
+        verification = verify_archives(run)
+        if not verification.ok:
+            raise ArchiveError(
+                f"{label} archive verification failed:\n{verification.text()}"
+            )
+
+
 # -- Figure 4 -----------------------------------------------------------------
 
 
-def run_figure4(seed: int = 3, jobs: Optional[int] = None) -> Dict[str, AnalysisResult]:
+def run_figure4(
+    seed: int = 3,
+    jobs: Optional[int] = None,
+    timeout: Optional[float] = None,
+    max_retries: Optional[int] = None,
+    verify_archive: bool = False,
+) -> Dict[str, AnalysisResult]:
     """Pattern-semantics micro-experiments.
 
     ``late_sender``: a two-phase ring where rank 1 computes much longer, so
@@ -143,9 +159,16 @@ def run_figure4(seed: int = 3, jobs: Optional[int] = None) -> Dict[str, Analysis
     runtime2 = MetaMPIRuntime(metacomputer, placement, seed=seed + 1)
     nxn_run = runtime2.run(make_nxn_imbalance_app(work, iterations=4))
 
+    if verify_archive:
+        _verify_or_raise("figure4", ls_run, nxn_run)
+
     return {
-        "late_sender": analyze(ls_run, jobs=jobs),
-        "wait_at_nxn": analyze(nxn_run, jobs=jobs),
+        "late_sender": analyze(
+            ls_run, jobs=jobs, timeout=timeout, max_retries=max_retries
+        ),
+        "wait_at_nxn": analyze(
+            nxn_run, jobs=jobs, timeout=timeout, max_retries=max_retries
+        ),
     }
 
 
@@ -210,6 +233,9 @@ def run_metatrace_experiment(
     *,
     figure: Optional[int] = None,
     jobs: Optional[int] = None,
+    timeout: Optional[float] = None,
+    max_retries: Optional[int] = None,
+    verify_archive: bool = False,
 ) -> MetaTraceOutcome:
     """Run and analyze MetaTrace Experiment 1 (Figure 6) or 2 (Figure 7).
 
@@ -252,5 +278,7 @@ def run_metatrace_experiment(
         metacomputer, placement, seed=seed, subcomms=config.subcomms()
     )
     run = runtime.run(make_metatrace_app(config))
-    result = analyze(run, jobs=jobs)
+    if verify_archive:
+        _verify_or_raise(f"figure{5 + which}", run)
+    result = analyze(run, jobs=jobs, timeout=timeout, max_retries=max_retries)
     return MetaTraceOutcome(run=run, result=result, label=label)

@@ -15,12 +15,14 @@ produces none.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.api import AnalysisResult, analyze
+from repro.api import AnalysisResult, analyze, verify_archives
 from repro.apps.clockbench import ClockBenchConfig, make_clockbench_app
 from repro.clocks.sync import SCHEMES
+from repro.errors import ArchiveError
+from repro.resilience import CheckpointJournal
 from repro.sim.runtime import MetaMPIRuntime, RunResult
 from repro.topology.metacomputer import Placement
 from repro.topology.presets import CAESAR, FH_BRS, FZJ_XD1, viola_testbed
@@ -56,11 +58,22 @@ def run_table2(
     nodes_per_metahost: int = 4,
     clock_drift_scale: float = 3e-6,
     jobs: Optional[int] = None,
+    timeout: Optional[float] = None,
+    max_retries: Optional[int] = None,
+    journal: Optional[CheckpointJournal] = None,
+    verify_archive: bool = False,
 ) -> Tuple[List[Table2Row], RunResult, Dict[str, AnalysisResult]]:
     """Regenerate Table 2.
 
     One traced run; three analyses of its archive, one per scheme — exactly
     how the paper's comparison works.
+
+    With a ``journal``, each per-scheme analysis is a resumable cell: an
+    interrupted sweep rerun with the same journal skips the schemes it
+    already finished (their rows are rebuilt from the journal; ``analyses``
+    then lacks those schemes).  ``verify_archive`` checksum-verifies the
+    run's archives first and raises :class:`~repro.errors.ArchiveError` on
+    damage.
     """
     config = config or default_benchmark()
     metacomputer = viola_testbed()
@@ -79,23 +92,45 @@ def run_table2(
         clock_drift_scale=clock_drift_scale,
     )
     run = runtime.run(make_clockbench_app(config))
+    if verify_archive:
+        verification = verify_archives(run)
+        if not verification.ok:
+            raise ArchiveError(
+                f"table2 archive verification failed:\n{verification.text()}"
+            )
 
     rows: List[Table2Row] = []
     analyses: Dict[str, AnalysisResult] = {}
     for scheme in SCHEMES:
-        result = analyze(run, scheme=scheme, jobs=jobs)
+        cell = {
+            "experiment": "table2",
+            "scheme": scheme.name,
+            "seed": seed,
+            "nodes_per_metahost": nodes_per_metahost,
+            "clock_drift_scale": clock_drift_scale,
+            "config": asdict(config),
+        }
+        if journal is not None:
+            cached = journal.get(cell)
+            if cached is not None:
+                rows.append(Table2Row(**cached))
+                continue
+        result = analyze(
+            run, scheme=scheme, jobs=jobs, timeout=timeout, max_retries=max_retries
+        )
         analyses[scheme.name] = result
         summary = result.violations.summary()
-        rows.append(
-            Table2Row(
-                scheme=scheme.name,
-                violations=summary["violations"],
-                messages=summary["messages"],
-                internal_violations=summary["internal_violations"],
-                external_violations=summary["external_violations"],
-                paper_violations=PAPER_TABLE2[scheme.name],
-            )
+        row = Table2Row(
+            scheme=scheme.name,
+            violations=summary["violations"],
+            messages=summary["messages"],
+            internal_violations=summary["internal_violations"],
+            external_violations=summary["external_violations"],
+            paper_violations=PAPER_TABLE2[scheme.name],
         )
+        rows.append(row)
+        if journal is not None:
+            journal.record(cell, asdict(row))
     return rows, run, analyses
 
 

@@ -68,6 +68,24 @@ class SimFileSystem:
     def is_file(self, path: str) -> bool:
         return _normalize(path) in self._files
 
+    def replace(self, src: str, dst: str) -> None:
+        """Atomically rename *src* over *dst* (``os.replace`` semantics).
+
+        Within one file system the move is a single dictionary update:
+        observers see either the old *dst* content or the complete new one,
+        never a partial write — the primitive atomic archive writes build on.
+        """
+        src = _normalize(src)
+        dst = _normalize(dst)
+        if src not in self._files:
+            raise FileSystemError(f"{self.name}: no file {src}")
+        if dst in self._dirs:
+            raise FileSystemError(f"{self.name}: {dst} is a directory")
+        parent = posixpath.dirname(dst)
+        if parent not in self._dirs:
+            raise FileSystemError(f"{self.name}: no directory {parent} for {dst}")
+        self._files[dst] = self._files.pop(src)
+
     def list_dir(self, path: str) -> List[str]:
         path = _normalize(path)
         if path not in self._dirs:
@@ -139,6 +157,27 @@ class MountNamespace:
             return self.resolve(path).is_file(path)
         except FileSystemError:
             return False
+
+    def replace(self, src: str, dst: str) -> None:
+        """Atomic rename; *src* and *dst* must live on the same file system."""
+        src_fs = self.resolve(src)
+        dst_fs = self.resolve(dst)
+        if src_fs is not dst_fs:
+            raise FileSystemError(
+                f"cannot replace across file systems ({src_fs.name} → {dst_fs.name})"
+            )
+        src_fs.replace(src, dst)
+
+    def write_file_atomic(self, path: str, data: bytes) -> None:
+        """Write *data* to *path* through a same-directory temp file + replace.
+
+        A crash between the two steps leaves at worst an orphaned ``*.tmp``;
+        *path* itself either keeps its previous content or holds the full
+        new content.
+        """
+        tmp = f"{path}.tmp"
+        self.write_file(tmp, data, overwrite=True)
+        self.replace(tmp, path)
 
     def list_dir(self, path: str) -> List[str]:
         return self.resolve(path).list_dir(path)

@@ -1,0 +1,25 @@
+"""Resilient execution layer: supervised workers and resumable sweeps.
+
+``repro.resilience`` owns the machinery that keeps long analyses alive on
+unreliable infrastructure: a supervised process pool with crash/hang
+detection, retry, and serial fallback (:mod:`repro.resilience.pool`), and
+a checkpoint journal that lets interrupted experiment sweeps resume
+without redoing completed cells (:mod:`repro.resilience.checkpoint`).
+"""
+
+from repro.resilience.checkpoint import CheckpointJournal, open_journal
+from repro.resilience.pool import (
+    ExecutionReport,
+    PoolConfig,
+    SupervisedPool,
+    TaskExecution,
+)
+
+__all__ = [
+    "CheckpointJournal",
+    "ExecutionReport",
+    "PoolConfig",
+    "SupervisedPool",
+    "TaskExecution",
+    "open_journal",
+]

@@ -1,0 +1,135 @@
+"""Checkpoint journal: resumable (config, seed) cells for long sweeps.
+
+An experiment sweep — three schemes of Table 2, five rungs of the fault
+ladder, a seed matrix — is a list of independent *cells*.  The journal
+persists each completed cell's payload to real disk so an interrupted
+sweep, rerun with ``--resume``, skips straight past the work it already
+finished and reproduces the same outputs (every cell is deterministic in
+its configuration and seed, so a cached payload and a recomputed one are
+interchangeable).
+
+Write discipline: the journal is rewritten through a temporary file in the
+same directory, fsync'd, then moved over the old journal with
+:func:`os.replace` — an interrupted run can lose at most the cell being
+recorded, never corrupt the cells already recorded, and a resume can
+therefore always trust what it reads.  The on-disk format is one JSON
+object per line (``{"cell": {...}, "payload": ...}``); unparsable lines
+are skipped on load, so even a journal damaged by external means degrades
+to recomputing a few cells instead of failing the sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any, Dict, Mapping, Optional
+
+from repro.errors import CheckpointError
+
+__all__ = ["CheckpointJournal"]
+
+_FORMAT_VERSION = 1
+
+
+def _canonical(cell: Mapping[str, Any]) -> str:
+    """Stable identity of one cell: canonical-JSON of its config mapping."""
+    try:
+        return json.dumps(cell, sort_keys=True, separators=(",", ":"))
+    except (TypeError, ValueError) as exc:
+        raise CheckpointError(f"cell is not JSON-serializable: {exc}") from exc
+
+
+class CheckpointJournal:
+    """Persistent map of completed cells → payloads, with atomic writes."""
+
+    def __init__(self, path: str) -> None:
+        self.path = os.fspath(path)
+        self._cells: Dict[str, Any] = {}
+        self._load()
+
+    def _load(self) -> None:
+        if not os.path.exists(self.path):
+            return
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                lines = handle.readlines()
+        except OSError as exc:
+            raise CheckpointError(f"cannot read journal {self.path}: {exc}") from exc
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                cell = record["cell"]
+                payload = record["payload"]
+            except (json.JSONDecodeError, KeyError, TypeError):
+                # A torn tail from an interrupted append or external
+                # damage: skip the line — the cell is simply recomputed.
+                continue
+            if not isinstance(cell, dict):
+                continue
+            self._cells[_canonical(cell)] = payload
+
+    # -- queries ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def has(self, cell: Mapping[str, Any]) -> bool:
+        return _canonical(cell) in self._cells
+
+    def get(self, cell: Mapping[str, Any], default: Any = None) -> Any:
+        """Payload of a completed cell, or *default* when not recorded."""
+        return self._cells.get(_canonical(cell), default)
+
+    def cells(self) -> Dict[str, Any]:
+        """Snapshot of every recorded cell (canonical key → payload)."""
+        return dict(self._cells)
+
+    # -- recording ---------------------------------------------------------------
+
+    def record(self, cell: Mapping[str, Any], payload: Any) -> None:
+        """Mark a cell completed and persist the journal atomically."""
+        key = _canonical(cell)
+        try:
+            json.dumps(payload)
+        except (TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"payload for cell {key} is not JSON-serializable: {exc}"
+            ) from exc
+        self._cells[key] = payload
+        self._flush()
+
+    def _flush(self) -> None:
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        lines = [
+            json.dumps(
+                {"version": _FORMAT_VERSION, "cell": json.loads(key), "payload": value},
+                sort_keys=True,
+            )
+            for key, value in self._cells.items()
+        ]
+        data = ("\n".join(lines) + "\n").encode("utf-8")
+        fd, tmp_path = tempfile.mkstemp(
+            dir=directory, prefix=os.path.basename(self.path) + ".", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, self.path)
+        except OSError as exc:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise CheckpointError(f"cannot write journal {self.path}: {exc}") from exc
+
+
+def open_journal(path: Optional[str]) -> Optional[CheckpointJournal]:
+    """``None``-propagating constructor for optional-journal call sites."""
+    return CheckpointJournal(path) if path else None

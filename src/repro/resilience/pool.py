@@ -1,0 +1,399 @@
+"""A supervised worker pool for re-runnable analysis tasks.
+
+``multiprocessing.Pool`` gives no recourse when a worker dies: ``map``
+blocks forever waiting for a result that will never arrive, and the caller
+learns nothing about which task was lost.  On a metacomputer — the paper's
+operating assumption — *no* component may be trusted that far, least of
+all the analysis processes themselves (they are the first victims of node
+OOM kills and batch-system preemption).
+
+:class:`SupervisedPool` dispatches each task to a dedicated worker process
+and actively supervises it:
+
+* **crash detection** — a worker that exits without delivering a result
+  (segfault, SIGKILL, OOM) is noticed within one poll interval;
+* **hang detection** — each task has a wall-clock *deadline*, and each
+  worker carries a heartbeat thread; a worker whose heartbeat goes stale
+  (process alive but wedged, e.g. SIGSTOP or a hung syscall) is killed
+  before its deadline expires;
+* **bounded retry** — an infrastructure failure re-dispatches the task to
+  a *fresh* worker after exponential backoff, up to ``max_retries`` times
+  (safe because shard analysis is pure and deterministically re-runnable —
+  the replay-clock property);
+* **quarantine** — a task that keeps killing workers is declared poisoned
+  and executed serially in the supervising process as a last resort;
+* **determinism** — results are returned in task order, application
+  exceptions are re-raised for the lowest-indexed failing task, and a
+  run with zero infrastructure failures is observably identical to a
+  plain ``Pool.map``.
+
+Every dispatch, failure, retry, and fallback is recorded in an
+:class:`ExecutionReport` so callers can attach the recovery story to their
+results instead of silently absorbing it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+
+__all__ = [
+    "PoolConfig",
+    "TaskExecution",
+    "ExecutionReport",
+    "SupervisedPool",
+]
+
+
+@dataclass(frozen=True)
+class PoolConfig:
+    """Supervision parameters of a :class:`SupervisedPool`.
+
+    The defaults suit shard replay analysis: shards finish in seconds, so
+    a five-minute deadline only ever fires on a genuinely wedged worker,
+    and two retries absorb transient kills without stalling a poisoned
+    shard for long.
+    """
+
+    #: Maximum concurrently running worker processes.
+    max_workers: int = 2
+    #: Per-task wall-clock deadline (seconds) before the worker is killed.
+    timeout_s: float = 300.0
+    #: Re-dispatches allowed after an infrastructure failure, per task.
+    max_retries: int = 2
+    #: First retry backoff; doubles (``backoff_factor``) per further retry.
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    #: Worker heartbeat period.
+    heartbeat_interval_s: float = 0.5
+    #: Stale-heartbeat window after which a live worker counts as wedged.
+    heartbeat_grace_s: float = 30.0
+    #: Supervisor poll period.
+    poll_interval_s: float = 0.02
+    #: Test-only fault hook, run inside the worker before the task function
+    #: (chaos harnesses use it to SIGKILL/SIGSTOP/stall the worker).
+    chaos_hook: Optional[Callable[[Any], None]] = None
+
+    def with_workers(self, max_workers: int) -> "PoolConfig":
+        return replace(self, max_workers=max(1, max_workers))
+
+
+@dataclass
+class TaskExecution:
+    """How one task was executed: every dispatch, failure, and recovery."""
+
+    index: int
+    #: Worker dispatches (1 for a clean run; retries add one each).
+    attempts: int = 0
+    #: The task exhausted its retries and ran serially in the supervisor.
+    fallback: bool = False
+    #: One human-readable entry per infrastructure failure.
+    failures: List[str] = field(default_factory=list)
+    #: First dispatch → final settlement, wall seconds.
+    wall_time_s: float = 0.0
+
+    @property
+    def retries(self) -> int:
+        """Re-dispatches to a fresh worker after a failure."""
+        return max(0, self.attempts - 1)
+
+    @property
+    def clean(self) -> bool:
+        return not self.failures and not self.fallback
+
+
+@dataclass
+class ExecutionReport:
+    """Aggregate account of one supervised pool run.
+
+    Attached to :class:`~repro.analysis.replay.AnalysisResult` by the
+    parallel analyzer so a recovered analysis carries the evidence of its
+    recovery.
+    """
+
+    tasks: List[TaskExecution] = field(default_factory=list)
+    workers: int = 0
+    wall_time_s: float = 0.0
+
+    @property
+    def attempts(self) -> int:
+        return sum(t.attempts for t in self.tasks)
+
+    @property
+    def retries(self) -> int:
+        return sum(t.retries for t in self.tasks)
+
+    @property
+    def fallbacks(self) -> int:
+        return sum(1 for t in self.tasks if t.fallback)
+
+    @property
+    def failures(self) -> List[str]:
+        """All infrastructure failures, in task order."""
+        return [msg for t in self.tasks for msg in t.failures]
+
+    @property
+    def clean(self) -> bool:
+        """True when no worker failed — the execution was uneventful."""
+        return all(t.clean for t in self.tasks)
+
+    def summary(self) -> str:
+        slowest = max((t.wall_time_s for t in self.tasks), default=0.0)
+        return (
+            f"{len(self.tasks)} task(s) on {self.workers} worker(s): "
+            f"{self.attempts} attempt(s), {self.retries} retr{'y' if self.retries == 1 else 'ies'}, "
+            f"{self.fallbacks} serial fallback(s); "
+            f"wall {self.wall_time_s:.2f}s (slowest task {slowest:.2f}s)"
+        )
+
+
+def _heartbeat_loop(beat, interval_s: float, stop: threading.Event) -> None:
+    """Worker-side daemon thread: bump the shared counter until told to stop."""
+    while not stop.wait(interval_s):
+        with beat.get_lock():
+            beat.value += 1
+
+
+def _worker_main(fn, task, conn, beat, interval_s, chaos_hook) -> None:
+    """Worker entry point: run one task, send back ("ok"|"error", value).
+
+    Application exceptions travel back over the pipe as values — only the
+    *infrastructure* (process death, deadline, heartbeat loss) is the
+    supervisor's business.  The heartbeat thread is a daemon: it dies with
+    the process, which is exactly the signal the supervisor listens for.
+    """
+    stop = threading.Event()
+    threading.Thread(
+        target=_heartbeat_loop, args=(beat, interval_s, stop), daemon=True
+    ).start()
+    try:
+        if chaos_hook is not None:
+            chaos_hook(task)
+        payload = ("ok", fn(task))
+    except BaseException as exc:  # noqa: BLE001 - forwarded, not swallowed
+        payload = ("error", exc)
+    try:
+        conn.send(payload)
+    except Exception as exc:  # unpicklable result/exception
+        conn.send(("error", ReproError(f"task payload not picklable: {exc!r}")))
+    finally:
+        stop.set()
+        conn.close()
+
+
+@dataclass
+class _Attempt:
+    """Supervisor-side state of one running worker."""
+
+    process: Any
+    conn: Any
+    beat: Any
+    started: float
+    last_beat_value: int = 0
+    last_beat_seen: float = 0.0
+
+
+class SupervisedPool:
+    """Run ``fn`` over tasks with crash/hang supervision and bounded retry.
+
+    ``fn`` must be a module-level callable (it crosses the process
+    boundary) and pure with respect to each task: a retry re-runs it from
+    scratch and must produce the same result.
+    """
+
+    def __init__(self, fn: Callable[[Any], Any], config: Optional[PoolConfig] = None):
+        self.fn = fn
+        self.config = config or PoolConfig()
+
+    # -- worker lifecycle ------------------------------------------------------
+
+    def _launch(self, ctx, task: Any, now: float) -> _Attempt:
+        recv_conn, send_conn = ctx.Pipe(duplex=False)
+        beat = ctx.Value("Q", 0)
+        process = ctx.Process(
+            target=_worker_main,
+            args=(
+                self.fn,
+                task,
+                send_conn,
+                beat,
+                self.config.heartbeat_interval_s,
+                self.config.chaos_hook,
+            ),
+            daemon=True,
+        )
+        process.start()
+        send_conn.close()
+        return _Attempt(
+            process=process, conn=recv_conn, beat=beat, started=now, last_beat_seen=now
+        )
+
+    @staticmethod
+    def _dispose(attempt: _Attempt, kill: bool = False) -> None:
+        if kill and attempt.process.is_alive():
+            attempt.process.kill()
+        attempt.process.join(timeout=5.0)
+        attempt.conn.close()
+
+    def _receive(self, attempt: _Attempt) -> Tuple[str, Any]:
+        """Drain the worker's result pipe; pipe damage is a failure."""
+        try:
+            kind, value = attempt.conn.recv()
+        except EOFError:
+            # A dead worker's closed pipe reads as EOF before is_alive()
+            # notices the exit: this *is* the crash signal.
+            attempt.process.join(timeout=5.0)
+            return ("failed", self._death_reason(attempt))
+        except (OSError, ValueError, ImportError, AttributeError) as exc:
+            return ("failed", f"worker result unreadable: {exc!r}")
+        return (kind, value)
+
+    @staticmethod
+    def _death_reason(attempt: _Attempt) -> str:
+        code = attempt.process.exitcode
+        death = f"signal {-code}" if code is not None and code < 0 else f"exit code {code}"
+        return f"worker died before returning a result ({death})"
+
+    def _poll(self, attempt: _Attempt, now: float) -> Optional[Tuple[str, Any]]:
+        """One supervision pass over a running worker.
+
+        Returns None while the worker is healthy and still running, else
+        ``("ok", result)``, ``("error", exception)``, or
+        ``("failed", reason)`` for an infrastructure failure.
+        """
+        if attempt.conn.poll():
+            return self._receive(attempt)
+        if not attempt.process.is_alive():
+            # The result may have raced the exit notification.
+            if attempt.conn.poll():
+                return self._receive(attempt)
+            return ("failed", self._death_reason(attempt))
+        if now - attempt.started > self.config.timeout_s:
+            return (
+                "failed",
+                f"deadline of {self.config.timeout_s:g}s exceeded "
+                f"(worker killed after {now - attempt.started:.1f}s)",
+            )
+        beat_value = attempt.beat.value
+        if beat_value != attempt.last_beat_value:
+            attempt.last_beat_value = beat_value
+            attempt.last_beat_seen = now
+        elif now - attempt.last_beat_seen > self.config.heartbeat_grace_s:
+            return (
+                "failed",
+                f"heartbeat lost for {now - attempt.last_beat_seen:.1f}s "
+                "(worker presumed wedged)",
+            )
+        return None
+
+    # -- the supervisor loop ---------------------------------------------------
+
+    def run(self, tasks: Sequence[Any]) -> Tuple[List[Any], ExecutionReport]:
+        """Execute every task; returns ``(results in task order, report)``.
+
+        Application exceptions (raised by ``fn``) abort the run once every
+        lower-indexed task has settled, re-raising the lowest-indexed one —
+        the serial executor's semantics.  Infrastructure failures never
+        raise; they are retried, then quarantined to a serial fallback.
+        """
+        tasks = list(tasks)
+        config = self.config
+        began = time.monotonic()
+        report = ExecutionReport(
+            tasks=[TaskExecution(index=i) for i in range(len(tasks))],
+            workers=min(config.max_workers, len(tasks)),
+        )
+        if not tasks:
+            return [], report
+
+        ctx = multiprocessing.get_context()
+        results: Dict[int, Any] = {}
+        errors: Dict[int, BaseException] = {}
+        first_dispatch: Dict[int, float] = {}
+        #: (not-before time, task index) — failed tasks re-enter with backoff.
+        pending: List[Tuple[float, int]] = [(began, i) for i in range(len(tasks))]
+        running: Dict[int, _Attempt] = {}
+
+        def settle(index: int) -> None:
+            report.tasks[index].wall_time_s = time.monotonic() - first_dispatch[index]
+
+        def run_fallback(index: int) -> None:
+            """Quarantine: the task poisoned its workers; run it here."""
+            record = report.tasks[index]
+            record.fallback = True
+            try:
+                results[index] = self.fn(tasks[index])
+            except BaseException as exc:  # noqa: BLE001 - application error
+                errors[index] = exc
+            settle(index)
+
+        def on_failure(index: int, reason: str, attempt: _Attempt) -> None:
+            self._dispose(attempt, kill=True)
+            record = report.tasks[index]
+            record.failures.append(reason)
+            if record.retries < config.max_retries:
+                delay = config.backoff_base_s * (
+                    config.backoff_factor ** (record.attempts - 1)
+                )
+                pending.append((time.monotonic() + delay, index))
+            else:
+                run_fallback(index)
+
+        try:
+            while len(results) + len(errors) < len(tasks):
+                now = time.monotonic()
+                # Dispatch ready pending tasks into free worker slots.
+                while pending and len(running) < config.max_workers:
+                    ready = [p for p in pending if p[0] <= now]
+                    if not ready:
+                        break
+                    entry = min(ready)
+                    pending.remove(entry)
+                    index = entry[1]
+                    report.tasks[index].attempts += 1
+                    first_dispatch.setdefault(index, now)
+                    running[index] = self._launch(ctx, tasks[index], now)
+
+                progressed = False
+                for index in list(running):
+                    attempt = running[index]
+                    outcome = self._poll(attempt, now)
+                    if outcome is None:
+                        continue
+                    progressed = True
+                    kind, value = outcome
+                    if kind == "failed":
+                        del running[index]
+                        on_failure(index, value, attempt)
+                        continue
+                    del running[index]
+                    self._dispose(attempt)
+                    if kind == "ok":
+                        results[index] = value
+                    else:
+                        errors[index] = value
+                    settle(index)
+
+                if errors:
+                    lowest = min(errors)
+                    if all(
+                        i in results or i in errors for i in range(lowest)
+                    ):
+                        # Everything that could preempt this error has
+                        # settled: cancel the rest and raise it.
+                        break
+                if not progressed:
+                    time.sleep(config.poll_interval_s)
+        finally:
+            for attempt in running.values():
+                self._dispose(attempt, kill=True)
+            report.wall_time_s = time.monotonic() - began
+
+        if errors:
+            raise errors[min(errors)]
+        return [results[i] for i in range(len(tasks))], report

@@ -297,8 +297,15 @@ class MetaMPIRuntime:
                 if injector is None:
                     trace_bytes[rank] = writer.write_trace(rank, events)
                 else:
-                    blob = injector.mangle_trace(rank, encode_events(rank, events))
-                    trace_bytes[rank] = writer.write_trace_blob(rank, blob)
+                    # Checksums cover the pristine encoding; the injector's
+                    # damage models storage corrupting the bytes *after*
+                    # they were checksummed, so verify() can catch it.
+                    clean = encode_events(rank, events)
+                    blob = injector.mangle_trace(rank, clean)
+                    trace_bytes[rank] = writer.write_trace_blob(
+                        rank, blob, checksums_of=clean
+                    )
+            writer.write_manifest()
 
         return RunResult(
             metacomputer=self.metacomputer,

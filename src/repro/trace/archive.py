@@ -12,25 +12,42 @@ Layout inside an archive directory::
     <path>/definitions.json     region table, system tree, communicators
     <path>/sync.json            offset-measurement records
     <path>/trace.<rank>.dat     binary event stream of one rank
+    <path>/manifest.json        per-rank sizes + record-block CRC32 checksums
+
+Every file is written atomically (same-directory ``*.tmp`` then an atomic
+replace), so an interrupted run never leaves a half-written file that a
+later resume would trust.  The manifest carries record-aligned CRC32
+block checksums of each trace as it left the encoder, which is what lets
+:meth:`ArchiveReader.verify` localize on-storage corruption to a block
+and lets degraded-mode replay distinguish a clean trace from one whose
+damage happens to decode.
 """
 
 from __future__ import annotations
 
 import json
+import zlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.clocks.serialize import sync_data_from_dict, sync_data_to_dict
 from repro.clocks.sync import SyncData
-from repro.errors import ArchiveError
+from repro.errors import ArchiveError, FileSystemError
 from repro.fs.filesystem import MountNamespace
 from repro.ids import Location
-from repro.trace.encoding import encode_events, iter_events
+from repro.trace.encoding import (
+    SalvagedTrace,
+    block_table,
+    encode_events,
+    iter_events,
+    salvage_events,
+)
 from repro.trace.events import Event
 from repro.trace.regions import RegionRegistry
 
 DEFINITIONS_FILE = "definitions.json"
 SYNC_FILE = "sync.json"
+MANIFEST_FILE = "manifest.json"
 
 
 def trace_filename(rank: int) -> str:
@@ -101,6 +118,256 @@ class Definitions:
             raise ArchiveError(f"malformed definitions document: {exc}") from exc
 
 
+@dataclass(frozen=True)
+class TraceManifestEntry:
+    """Integrity metadata of one rank's trace as it left the encoder.
+
+    ``blocks`` is the record-aligned checksum table of
+    :func:`~repro.trace.encoding.block_table`: ``(offset, length, crc32)``
+    triples covering every byte of the pristine file exactly once.
+    """
+
+    rank: int
+    size: int
+    blocks: Tuple[Tuple[int, int, int], ...]
+
+    @classmethod
+    def for_blob(cls, rank: int, blob: bytes) -> "TraceManifestEntry":
+        return cls(
+            rank=rank,
+            size=len(blob),
+            blocks=tuple(block_table(blob)),
+        )
+
+
+@dataclass
+class ArchiveManifest:
+    """The per-archive integrity manifest: rank → trace checksums."""
+
+    entries: Dict[int, TraceManifestEntry] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        payload = {
+            "version": 1,
+            "traces": {
+                str(rank): {
+                    "size": entry.size,
+                    "blocks": [list(block) for block in entry.blocks],
+                }
+                for rank, entry in sorted(self.entries.items())
+            },
+        }
+        return json.dumps(payload, indent=1, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ArchiveManifest":
+        try:
+            payload = json.loads(text)
+            entries = {
+                int(rank): TraceManifestEntry(
+                    rank=int(rank),
+                    size=int(doc["size"]),
+                    blocks=tuple(
+                        (int(o), int(n), int(c)) for o, n, c in doc["blocks"]
+                    ),
+                )
+                for rank, doc in payload["traces"].items()
+            }
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+            raise ArchiveError(f"malformed archive manifest: {exc}") from exc
+        return cls(entries=entries)
+
+
+@dataclass(frozen=True)
+class BlockCorruption:
+    """One checksum block of one trace that failed verification."""
+
+    rank: int
+    #: Index of the block in the manifest's table.
+    block: int
+    offset: int
+    length: int
+    expected_crc32: int
+    #: CRC of the bytes actually on storage; ``None`` when they are absent
+    #: (truncation) rather than altered.
+    actual_crc32: Optional[int]
+    reason: str
+
+
+@dataclass
+class TraceVerification:
+    """Verification verdict of one rank's trace against its manifest entry."""
+
+    rank: int
+    size_expected: int
+    size_actual: int
+    corruptions: Tuple[BlockCorruption, ...] = ()
+    #: Set when the trace could not be checked at all (file missing).
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return not self.corruptions and not self.error
+
+    @property
+    def trusted_prefix(self) -> int:
+        """Bytes from offset 0 known good: up to the first failed block."""
+        if self.error:
+            return 0
+        if not self.corruptions:
+            return min(self.size_expected, self.size_actual)
+        return min(c.offset for c in self.corruptions)
+
+
+@dataclass
+class ArchiveVerification:
+    """Typed corruption report for one (partial) archive directory."""
+
+    path: str
+    traces: Dict[int, TraceVerification] = field(default_factory=dict)
+    #: Ranks with a trace file but no manifest entry (unverifiable).
+    unverified: Tuple[int, ...] = ()
+    #: The archive predates integrity manifests; nothing could be checked.
+    missing_manifest: bool = False
+    #: The manifest itself was unreadable.
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return not self.error and all(t.ok for t in self.traces.values())
+
+    @property
+    def corruptions(self) -> List[BlockCorruption]:
+        return [c for t in sorted(self.traces) for c in self.traces[t].corruptions]
+
+    def summary(self) -> str:
+        if self.missing_manifest:
+            return f"{self.path}: no manifest (archive predates integrity checks)"
+        if self.error:
+            return f"{self.path}: manifest unreadable: {self.error}"
+        bad = [t for t in sorted(self.traces) if not self.traces[t].ok]
+        if not bad:
+            return f"{self.path}: {len(self.traces)} trace(s) verified OK"
+        return (
+            f"{self.path}: {len(bad)} of {len(self.traces)} trace(s) damaged "
+            f"(ranks {', '.join(map(str, bad))}; "
+            f"{len(self.corruptions)} bad block(s))"
+        )
+
+
+@dataclass
+class RunVerification:
+    """Integrity verdict across every partial archive of a run."""
+
+    archives: List[ArchiveVerification] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(a.ok for a in self.archives)
+
+    @property
+    def corruptions(self) -> List[BlockCorruption]:
+        return [c for a in self.archives for c in a.corruptions]
+
+    def text(self) -> str:
+        lines = [a.summary() for a in self.archives]
+        verdict = "OK" if self.ok else "CORRUPTION DETECTED"
+        lines.append(f"verdict: {verdict}")
+        return "\n".join(lines)
+
+
+def verify_trace_blob(blob: bytes, entry: TraceManifestEntry) -> TraceVerification:
+    """Check *blob* against its manifest entry, localizing damage to blocks."""
+    corruptions: List[BlockCorruption] = []
+    size_actual = len(blob)
+    for index, (offset, length, expected) in enumerate(entry.blocks):
+        chunk = blob[offset : offset + length]
+        if len(chunk) < length:
+            corruptions.append(
+                BlockCorruption(
+                    rank=entry.rank,
+                    block=index,
+                    offset=offset,
+                    length=length,
+                    expected_crc32=expected,
+                    actual_crc32=None,
+                    reason=(
+                        f"block truncated: {len(chunk)} of {length} bytes present"
+                    ),
+                )
+            )
+            continue
+        actual = zlib.crc32(chunk)
+        if actual != expected:
+            corruptions.append(
+                BlockCorruption(
+                    rank=entry.rank,
+                    block=index,
+                    offset=offset,
+                    length=length,
+                    expected_crc32=expected,
+                    actual_crc32=actual,
+                    reason="checksum mismatch",
+                )
+            )
+    if size_actual > entry.size:
+        corruptions.append(
+            BlockCorruption(
+                rank=entry.rank,
+                block=len(entry.blocks),
+                offset=entry.size,
+                length=size_actual - entry.size,
+                expected_crc32=0,
+                actual_crc32=zlib.crc32(blob[entry.size :]),
+                reason=f"{size_actual - entry.size} trailing byte(s) beyond "
+                "the manifest's coverage",
+            )
+        )
+    return TraceVerification(
+        rank=entry.rank,
+        size_expected=entry.size,
+        size_actual=size_actual,
+        corruptions=tuple(corruptions),
+    )
+
+
+def salvage_checked(
+    blob: bytes, entry: Optional[TraceManifestEntry]
+) -> SalvagedTrace:
+    """Checksum-aware salvage: grammar salvage plus manifest evidence.
+
+    Augments :func:`~repro.trace.encoding.salvage_events` — it never
+    decodes fewer events — with what only the manifest can know:
+
+    * ``bytes_total`` becomes the *original* encoded size, so the
+      completeness fraction of a truncated trace reflects what was lost
+      rather than pretending the shrunken file is the whole story;
+    * damage that the grammar cannot see (a record-boundary truncation, a
+      byte flip that still parses) flips ``complete`` to False with a
+      checksum diagnosis, so degraded-mode replay treats the rank as
+      partial instead of silently analyzing corrupt data.
+
+    With no manifest entry (``entry is None``) this is exactly
+    ``salvage_events(blob)``.
+    """
+    salvaged = salvage_events(blob)
+    if entry is None:
+        return salvaged
+    salvaged.bytes_total = max(salvaged.bytes_total, entry.size)
+    verification = verify_trace_blob(blob, entry)
+    if not verification.ok and salvaged.complete and salvaged.balanced:
+        first = verification.corruptions[0]
+        salvaged.complete = False
+        salvaged.error = (
+            f"checksum: block {first.block} at offset {first.offset} "
+            f"({first.reason})"
+        )
+        salvaged.bytes_decoded = min(
+            salvaged.bytes_decoded, verification.trusted_prefix
+        )
+    return salvaged
+
+
 @dataclass
 class TraceShard:
     """A picklable snapshot of one shard's raw trace files.
@@ -116,10 +383,19 @@ class TraceShard:
     ranks: Tuple[int, ...]
     blobs: Dict[int, bytes] = field(default_factory=dict)
     missing: Dict[int, str] = field(default_factory=dict)
+    #: Manifest entries for the snapshotted ranks, when the archive has a
+    #: manifest — workers use them for checksum-aware degraded salvage.
+    manifests: Dict[int, TraceManifestEntry] = field(default_factory=dict)
 
 
 class ArchiveWriter:
-    """Writes one metahost's partial archive through its mount namespace."""
+    """Writes one metahost's partial archive through its mount namespace.
+
+    Every file goes through an atomic same-directory temp-file + replace,
+    and each trace write accumulates a manifest entry;
+    :meth:`write_manifest` seals the archive with the integrity manifest
+    once all local traces are down.
+    """
 
     def __init__(self, namespace: MountNamespace, path: str) -> None:
         self.namespace = namespace
@@ -129,32 +405,49 @@ class ArchiveWriter:
                 f"archive directory {self.path} does not exist; run the "
                 "archive-management protocol first"
             )
+        self._manifest = ArchiveManifest()
 
     def _file(self, name: str) -> str:
         return f"{self.path}/{name}"
 
+    def _write_atomic(self, name: str, data: bytes) -> None:
+        self.namespace.write_file_atomic(self._file(name), data)
+
     def write_definitions(self, definitions: Definitions) -> None:
-        self.namespace.write_file(
-            self._file(DEFINITIONS_FILE),
-            definitions.to_json().encode("utf-8"),
-            overwrite=True,
-        )
+        self._write_atomic(DEFINITIONS_FILE, definitions.to_json().encode("utf-8"))
 
     def write_sync_data(self, sync_data: SyncData) -> None:
-        self.namespace.write_file(
-            self._file(SYNC_FILE),
+        self._write_atomic(
+            SYNC_FILE,
             json.dumps(sync_data_to_dict(sync_data), sort_keys=True).encode("utf-8"),
-            overwrite=True,
         )
 
     def write_trace(self, rank: int, events: Sequence[Event]) -> int:
         """Write one rank's local trace; returns the encoded byte count."""
         return self.write_trace_blob(rank, encode_events(rank, events))
 
-    def write_trace_blob(self, rank: int, blob: bytes) -> int:
-        """Write pre-encoded (possibly fault-mangled) trace bytes for *rank*."""
-        self.namespace.write_file(self._file(trace_filename(rank)), blob, overwrite=True)
+    def write_trace_blob(
+        self, rank: int, blob: bytes, checksums_of: Optional[bytes] = None
+    ) -> int:
+        """Write pre-encoded trace bytes for *rank* and record its checksums.
+
+        ``checksums_of`` lets the caller checksum *different* bytes than it
+        stores: fault injection models storage corrupting a trace *after*
+        the encoder checksummed it, so the manifest carries the pristine
+        bytes' CRCs while the damaged bytes hit the (simulated) disk —
+        exactly the situation :meth:`ArchiveReader.verify` exists to catch.
+        """
+        self._manifest.entries[rank] = TraceManifestEntry.for_blob(
+            rank, blob if checksums_of is None else checksums_of
+        )
+        self._write_atomic(trace_filename(rank), blob)
         return len(blob)
+
+    def write_manifest(self) -> int:
+        """Seal the archive: persist the accumulated integrity manifest."""
+        data = self._manifest.to_json().encode("utf-8")
+        self._write_atomic(MANIFEST_FILE, data)
+        return len(self._manifest.entries)
 
 
 class ArchiveReader:
@@ -171,6 +464,8 @@ class ArchiveReader:
         if not namespace.is_dir(self.path):
             raise ArchiveError(f"no archive directory at {self.path}")
         self._definitions: Optional[Definitions] = None
+        self._manifest_loaded = False
+        self._manifest: Optional[ArchiveManifest] = None
 
     def _file(self, name: str) -> str:
         return f"{self.path}/{name}"
@@ -184,6 +479,61 @@ class ArchiveReader:
     def sync_data(self) -> SyncData:
         blob = self.namespace.read_file(self._file(SYNC_FILE))
         return sync_data_from_dict(json.loads(blob.decode("utf-8")))
+
+    def manifest(self) -> Optional[ArchiveManifest]:
+        """The archive's integrity manifest, or ``None`` when it has none.
+
+        A malformed manifest raises :class:`~repro.errors.ArchiveError`
+        (the file exists but cannot be trusted); a manifest-less archive —
+        one written before integrity checks existed — is simply
+        unverifiable, not broken.
+        """
+        if not self._manifest_loaded:
+            self._manifest_loaded = True
+            try:
+                blob = self.namespace.read_file(self._file(MANIFEST_FILE))
+            except FileSystemError:
+                self._manifest = None
+            else:
+                self._manifest = ArchiveManifest.from_json(blob.decode("utf-8"))
+        return self._manifest
+
+    def manifest_entry(self, rank: int) -> Optional[TraceManifestEntry]:
+        """Best-effort manifest entry for *rank* (``None`` when unavailable)."""
+        try:
+            manifest = self.manifest()
+        except ArchiveError:
+            return None
+        if manifest is None:
+            return None
+        return manifest.entries.get(rank)
+
+    def verify(self) -> ArchiveVerification:
+        """Check every manifest-covered trace; localize damage to blocks."""
+        result = ArchiveVerification(path=self.path)
+        try:
+            manifest = self.manifest()
+        except ArchiveError as exc:
+            result.error = str(exc)
+            return result
+        if manifest is None:
+            result.missing_manifest = True
+            return result
+        present = set(self.available_ranks())
+        for rank, entry in sorted(manifest.entries.items()):
+            if rank not in present:
+                result.traces[rank] = TraceVerification(
+                    rank=rank,
+                    size_expected=entry.size,
+                    size_actual=0,
+                    error=f"{trace_filename(rank)} missing from the archive",
+                )
+                continue
+            result.traces[rank] = verify_trace_blob(
+                self.read_trace_blob(rank), entry
+            )
+        result.unverified = tuple(sorted(present - set(manifest.entries)))
+        return result
 
     def has_trace(self, rank: int) -> bool:
         return self.namespace.is_file(self._file(trace_filename(rank)))
@@ -228,6 +578,9 @@ class ArchiveReader:
         for rank in shard.ranks:
             if self.has_trace(rank):
                 shard.blobs[rank] = self.read_trace_blob(rank)
+                entry = self.manifest_entry(rank)
+                if entry is not None:
+                    shard.manifests[rank] = entry
             else:
                 shard.missing[rank] = (
                     f"{trace_filename(rank)} missing from its metahost's archive"

@@ -35,6 +35,7 @@ instead of one ``unpack_from`` per record.
 from __future__ import annotations
 
 import struct
+import zlib
 from dataclasses import dataclass, field
 from itertools import chain
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
@@ -231,6 +232,51 @@ def decode_events(data: bytes) -> Tuple[int, List[Event]]:
     for chunk in _chunk_iter(data):
         extend(chunk)
     return rank, events
+
+
+#: Target checksum-block size.  Small enough that a flipped byte condemns
+#: only a sliver of a large trace, large enough that the manifest stays a
+#: few entries per kilobyte of trace.
+CHECKSUM_BLOCK_BYTES = 4096
+
+
+def block_table(
+    data: bytes, block_bytes: int = CHECKSUM_BLOCK_BYTES
+) -> List[Tuple[int, int, int]]:
+    """Record-aligned checksum blocks of a trace file: ``(offset, length, crc32)``.
+
+    Blocks are cut by walking the record grammar (like
+    :func:`record_boundary`), never mid-record, so a failed checksum
+    condemns whole records and the block boundary doubles as a salvage
+    boundary.  The first block starts at offset 0 and includes the header;
+    each block closes at the first record boundary at or past
+    ``block_bytes``.  Bytes that do not parse as records (a damaged or
+    foreign tail) are folded into the final block — every byte of the file
+    is covered by exactly one block.
+    """
+    size = len(data)
+    if size == 0:
+        return []
+    if block_bytes <= 0:
+        raise ValueError(f"block_bytes must be positive, got {block_bytes}")
+    decoders = _DECODERS
+    table: List[Tuple[int, int, int]] = []
+    start = 0
+    offset = min(_HEADER.size, size)
+    while offset < size:
+        entry = decoders.get(data[offset])
+        if entry is None or offset + entry[0] > size:
+            # Unknown kind or truncated record: the grammar ends here; the
+            # rest of the file belongs to the final block.
+            offset = size
+            break
+        offset += entry[0]
+        if offset - start >= block_bytes:
+            table.append((start, offset - start, zlib.crc32(data[start:offset])))
+            start = offset
+    if start < size or not table:
+        table.append((start, size - start, zlib.crc32(data[start:size])))
+    return table
 
 
 def record_boundary(data: bytes, target_offset: int) -> int:

@@ -21,8 +21,10 @@ from repro.topology.presets import uniform_metacomputer
 #: not a side effect.  Update this snapshot only together with the docs.
 API_SURFACE_SNAPSHOT = [
     "AnalysisResult",
+    "CheckpointJournal",
     "DEFAULT_SEEDS",
     "EXPERIMENTS",
+    "ExecutionReport",
     "Metacomputer",
     "Placement",
     "RunResult",
@@ -34,6 +36,7 @@ API_SURFACE_SNAPSHOT = [
     "simulate",
     "single_cluster",
     "uniform_metacomputer",
+    "verify_archives",
     "viola_testbed",
 ]
 

@@ -1,0 +1,274 @@
+"""Checkpoint/resume: the journal, resumable sweeps, and the CLI flag.
+
+The contract: a sweep interrupted at any cell boundary and rerun with the
+same journal (a) never redoes completed cells, and (b) produces outputs
+identical to an uninterrupted run — deterministic cells make cached and
+recomputed payloads interchangeable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.api import CheckpointJournal, run_experiment
+from repro.errors import CheckpointError
+from repro.experiments import faults as faults_module
+from repro.experiments import table2 as table2_module
+from repro.experiments.faults import run_fault_experiment
+from repro.experiments.table2 import run_table2
+from repro.faults import FaultPlan
+from repro.resilience import open_journal
+from repro import cli
+
+
+class TestJournal:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        journal = CheckpointJournal(path)
+        cell = {"experiment": "x", "seed": 3}
+        assert not journal.has(cell)
+        assert journal.get(cell) is None
+        assert journal.get(cell, default="miss") == "miss"
+        journal.record(cell, {"answer": 42})
+        assert journal.has(cell)
+        assert journal.get(cell) == {"answer": 42}
+        assert len(journal) == 1
+        # A fresh instance reads the same state back off disk.
+        reloaded = CheckpointJournal(path)
+        assert reloaded.get(cell) == {"answer": 42}
+        assert reloaded.cells() == journal.cells()
+
+    def test_cell_key_order_is_canonical(self, tmp_path):
+        journal = CheckpointJournal(str(tmp_path / "j.jsonl"))
+        journal.record({"a": 1, "b": 2}, "payload")
+        assert journal.has({"b": 2, "a": 1})
+
+    def test_torn_tail_tolerated(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        CheckpointJournal(path).record({"ok": 1}, "kept")
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"cell": {"torn": 1}, "payl')  # interrupted append
+        journal = CheckpointJournal(path)
+        assert journal.get({"ok": 1}) == "kept"
+        assert not journal.has({"torn": 1})
+
+    def test_garbage_lines_skipped(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("not json at all\n")
+            handle.write('{"cell": "not-a-dict", "payload": 1}\n')
+            handle.write(
+                json.dumps({"cell": {"good": 1}, "payload": "yes"}) + "\n"
+            )
+        journal = CheckpointJournal(path)
+        assert len(journal) == 1
+        assert journal.get({"good": 1}) == "yes"
+
+    def test_writes_are_atomic(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        journal = CheckpointJournal(path)
+        for i in range(5):
+            journal.record({"i": i}, i)
+        leftovers = [n for n in os.listdir(tmp_path) if n.endswith(".tmp")]
+        assert leftovers == []
+        assert len(CheckpointJournal(path)) == 5
+
+    def test_unserializable_cell_rejected(self, tmp_path):
+        journal = CheckpointJournal(str(tmp_path / "j.jsonl"))
+        with pytest.raises(CheckpointError):
+            journal.record({"bad": object()}, "x")
+
+    def test_unserializable_payload_rejected(self, tmp_path):
+        journal = CheckpointJournal(str(tmp_path / "j.jsonl"))
+        with pytest.raises(CheckpointError):
+            journal.record({"ok": 1}, object())
+        # The failed record must not poison the journal.
+        assert not journal.has({"ok": 1})
+
+    def test_open_journal_propagates_none(self, tmp_path):
+        assert open_journal(None) is None
+        assert open_journal("") is None
+        journal = open_journal(str(tmp_path / "j.jsonl"))
+        assert isinstance(journal, CheckpointJournal)
+
+
+def _small_bench():
+    return table2_module.ClockBenchConfig(
+        rounds=12, exchanges_per_round=1, size_bytes=64, inter_round_gap_s=0.05
+    )
+
+
+class TestTable2Resume:
+    def test_completed_schemes_skipped(self, tmp_path, monkeypatch):
+        path = str(tmp_path / "j.jsonl")
+        rows1, _run, analyses1 = run_table2(
+            seed=7,
+            config=_small_bench(),
+            nodes_per_metahost=2,
+            journal=CheckpointJournal(path),
+        )
+        assert len(analyses1) == 3  # all schemes computed the first time
+
+        # Resume must not analyze anything: a bombing analyze() proves it.
+        def bomb(*args, **kwargs):
+            raise AssertionError("resume recomputed a completed cell")
+
+        monkeypatch.setattr(table2_module, "analyze", bomb)
+        rows2, _run, analyses2 = run_table2(
+            seed=7,
+            config=_small_bench(),
+            nodes_per_metahost=2,
+            journal=CheckpointJournal(path),
+        )
+        assert analyses2 == {}
+        assert rows2 == rows1
+
+    def test_interrupted_sweep_matches_uninterrupted(self, tmp_path, monkeypatch):
+        baseline, _run, _a = run_table2(
+            seed=7, config=_small_bench(), nodes_per_metahost=2
+        )
+
+        path = str(tmp_path / "j.jsonl")
+        real_analyze = table2_module.analyze
+        calls = {"n": 0}
+
+        def interrupt_after_one(*args, **kwargs):
+            if calls["n"] >= 1:
+                raise KeyboardInterrupt
+            calls["n"] += 1
+            return real_analyze(*args, **kwargs)
+
+        monkeypatch.setattr(table2_module, "analyze", interrupt_after_one)
+        with pytest.raises(KeyboardInterrupt):
+            run_table2(
+                seed=7,
+                config=_small_bench(),
+                nodes_per_metahost=2,
+                journal=CheckpointJournal(path),
+            )
+        assert len(CheckpointJournal(path)) == 1  # one scheme made it
+
+        monkeypatch.setattr(table2_module, "analyze", real_analyze)
+        resumed, _run, analyses = run_table2(
+            seed=7,
+            config=_small_bench(),
+            nodes_per_metahost=2,
+            journal=CheckpointJournal(path),
+        )
+        assert resumed == baseline
+        assert len(analyses) == 2  # only the remaining schemes ran
+
+    def test_different_config_is_a_different_cell(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        run_table2(
+            seed=7,
+            config=_small_bench(),
+            nodes_per_metahost=2,
+            journal=CheckpointJournal(path),
+        )
+        journal = CheckpointJournal(path)
+        _rows, _run, analyses = run_table2(
+            seed=8,  # different seed → every cell misses
+            config=_small_bench(),
+            nodes_per_metahost=2,
+            journal=journal,
+        )
+        assert len(analyses) == 3
+        assert len(journal) == 6
+
+
+class TestFaultLadderResume:
+    def test_completed_plans_skipped_and_text_identical(
+        self, tmp_path, monkeypatch
+    ):
+        path = str(tmp_path / "j.jsonl")
+        plans = faults_module.escalating_fault_plans(11)[:2]  # clean + lossy
+        report1 = run_fault_experiment(
+            seed=11,
+            plans=plans,
+            coupling_intervals=1,
+            journal=CheckpointJournal(path),
+        )
+        assert len(CheckpointJournal(path)) == 2
+
+        def bomb(*args, **kwargs):
+            raise AssertionError("resume re-ran a completed plan")
+
+        monkeypatch.setattr(faults_module, "MetaMPIRuntime", bomb)
+        report2 = run_fault_experiment(
+            seed=11,
+            plans=plans,
+            coupling_intervals=1,
+            journal=CheckpointJournal(path),
+        )
+        assert report2.text() == report1.text()
+
+    def test_aborted_plan_is_journaled(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        plans = [faults_module.escalating_fault_plans(11)[-1]]  # link-death
+        report = run_fault_experiment(
+            seed=11,
+            plans=plans,
+            coupling_intervals=1,
+            journal=CheckpointJournal(path),
+        )
+        assert not report.runs[0].completed
+        assert report.runs[0].error
+        # The deterministic abort is a settled outcome: resumable.
+        assert len(CheckpointJournal(path)) == 1
+
+
+class TestFacadeResume:
+    def test_run_experiment_serves_cached_text(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        text = run_experiment("table1", journal=CheckpointJournal(path))
+        journal = CheckpointJournal(path)
+        cell = {"experiment": "table1", "seed": 0}
+        assert journal.get(cell) == {"text": text}
+        # Prove the rerun reads the journal: plant a sentinel payload.
+        journal.record(cell, {"text": "sentinel"})
+        assert (
+            run_experiment("table1", journal=CheckpointJournal(path))
+            == "sentinel"
+        )
+
+    def test_no_journal_means_no_cache(self, tmp_path):
+        text1 = run_experiment("table1")
+        text2 = run_experiment("table1")
+        assert text1 == text2  # deterministic, but computed both times
+
+
+class TestCliResume:
+    def test_resume_flag_creates_and_reuses_journal(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        path = str(tmp_path / "cli-journal.jsonl")
+        assert cli.main(["table1", "--resume", "--journal", path]) == 0
+        first = capsys.readouterr().out
+        assert os.path.exists(path)
+        assert len(CheckpointJournal(path)) == 1
+
+        # Second run must come from the journal: sentinel the cached text.
+        journal = CheckpointJournal(path)
+        cell = {"experiment": "table1", "seed": 0}
+        journal.record(cell, {"text": "from-the-journal"})
+        assert cli.main(["table1", "--resume", "--journal", path]) == 0
+        second = capsys.readouterr().out
+        assert "from-the-journal" in second
+        assert first != second
+
+    def test_without_resume_no_journal_is_written(self, tmp_path, capsys):
+        path = str(tmp_path / "cli-journal.jsonl")
+        assert cli.main(["table1", "--journal", path]) == 0
+        capsys.readouterr()
+        assert not os.path.exists(path)
+
+    def test_new_flags_parse(self, capsys):
+        assert (
+            cli.main(["table1", "--timeout", "60", "--max-retries", "1"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "table1" in out
