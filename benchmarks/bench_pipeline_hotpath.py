@@ -48,6 +48,10 @@ DEFAULT_SEED = 1
 DEFAULT_REPS = 3
 DEFAULT_OUT = pathlib.Path(__file__).parent / "out" / "BENCH_pipeline.json"
 
+#: Checked-in perf-smoke budget for the simulate stage (see that file's
+#: ``comment`` field for how the numbers were chosen).
+PERF_BUDGET_PATH = pathlib.Path(__file__).parent / "perf_baseline.json"
+
 #: Stage keys each result carries, in pipeline order.
 STAGE_KEYS = ("simulate_s", "encode_s", "decode_s", "replay_s")
 
@@ -194,6 +198,29 @@ if pytest is not None:
             # Decode must beat simulate by a wide margin: it reads what the
             # simulation took seconds to produce.
             assert row["stages"]["decode_s"] < row["stages"]["simulate_s"]
+
+    @pytest.mark.perf
+    def test_perf_simulate_budget_64_ranks():
+        """The simulate stage at 64 ranks must stay inside the checked-in
+        budget — guards the batched-sampling/timer-coalescing speedup."""
+        budget_doc = json.loads(PERF_BUDGET_PATH.read_text(encoding="utf-8"))
+        budget_s = budget_doc["simulate_s_baseline"] * budget_doc["budget_factor"]
+        metacomputer, placement, config = scaled_experiment1(budget_doc["factor"])
+        runtime = MetaMPIRuntime(
+            metacomputer,
+            placement,
+            seed=budget_doc["seed"],
+            subcomms=config.subcomms(),
+        )
+        t0 = time.perf_counter()
+        runtime.run(make_metatrace_app(config))
+        simulate_s = time.perf_counter() - t0
+        assert simulate_s <= budget_s, (
+            f"simulate stage at {budget_doc['ranks']} ranks took "
+            f"{simulate_s:.3f}s, budget is {budget_s:.3f}s "
+            f"({budget_doc['simulate_s_baseline']}s baseline x "
+            f"{budget_doc['budget_factor']} slack)"
+        )
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

@@ -7,11 +7,16 @@ unsynchronized hardware timer — and appends a record to the process's
 buffer.  Nothing downstream of this point ever sees true time again; the
 analysis must recover a global time base via offset measurements, which is
 the entire point of the paper's synchronization machinery.
+
+Hooks run once per simulated event, so the per-rank state they need — the
+trace buffer and the node clock's bound ``local_time`` — is resolved once
+per rank and cached, not re-looked-up through the location/ensemble tables
+on every event.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.clocks.clock import ClockEnsemble
 from repro.errors import TraceError
@@ -32,6 +37,8 @@ class Tracer:
         self.clocks = clocks
         self.regions = regions if regions is not None else RegionRegistry()
         self._buffers: Dict[int, TraceBuffer] = {}
+        #: rank -> (buffer, node clock's bound local_time) hot-path cache.
+        self._per_rank: Dict[int, Tuple[TraceBuffer, Callable[[float], float]]] = {}
 
     def buffer(self, rank: int) -> TraceBuffer:
         buf = self._buffers.get(rank)
@@ -46,15 +53,25 @@ class Tracer:
     def _stamp(self, slot: ProcessSlot, true_time: float) -> float:
         return self.clocks.clock(node_of(slot.location)).local_time(true_time)
 
+    def _hot(self, slot: ProcessSlot) -> Tuple[TraceBuffer, Callable[[float], float]]:
+        entry = self._per_rank.get(slot.rank)
+        if entry is None:
+            entry = (
+                self.buffer(slot.rank),
+                self.clocks.clock(node_of(slot.location)).local_time,
+            )
+            self._per_rank[slot.rank] = entry
+        return entry
+
     # -- hook interface used by the world -----------------------------------
 
     def enter(self, slot: ProcessSlot, region: str, true_time: float) -> None:
-        rid = self.regions.register(region)
-        self.buffer(slot.rank).enter(self._stamp(slot, true_time), rid)
+        buf, stamp = self._hot(slot)
+        buf.enter(stamp(true_time), self.regions.register(region))
 
     def exit(self, slot: ProcessSlot, region: str, true_time: float) -> None:
-        rid = self.regions.register(region)
-        self.buffer(slot.rank).exit(self._stamp(slot, true_time), rid)
+        buf, stamp = self._hot(slot)
+        buf.exit(stamp(true_time), self.regions.register(region))
 
     def send(
         self,
@@ -65,9 +82,8 @@ class Tracer:
         comm_id: int,
         size: int,
     ) -> None:
-        self.buffer(slot.rank).send(
-            self._stamp(slot, true_time), dest_global, tag, comm_id, size
-        )
+        buf, stamp = self._hot(slot)
+        buf.send(stamp(true_time), dest_global, tag, comm_id, size)
 
     def recv(
         self,
@@ -78,9 +94,8 @@ class Tracer:
         comm_id: int,
         size: int,
     ) -> None:
-        self.buffer(slot.rank).recv(
-            self._stamp(slot, true_time), source_global, tag, comm_id, size
-        )
+        buf, stamp = self._hot(slot)
+        buf.recv(stamp(true_time), source_global, tag, comm_id, size)
 
     def coll_exit(
         self,
@@ -92,9 +107,10 @@ class Tracer:
         sent: int,
         recvd: int,
     ) -> None:
-        rid = self.regions.register(region)
-        self.buffer(slot.rank).coll_exit(
-            self._stamp(slot, true_time), rid, comm_id, root_global, sent, recvd
+        buf, stamp = self._hot(slot)
+        buf.coll_exit(
+            stamp(true_time), self.regions.register(region), comm_id, root_global,
+            sent, recvd,
         )
 
     def omp_region(
@@ -106,9 +122,10 @@ class Tracer:
         busy_sum: float,
         busy_max: float,
     ) -> None:
-        rid = self.regions.register(region)
-        self.buffer(slot.rank).omp_region(
-            self._stamp(slot, true_time), rid, nthreads, busy_sum, busy_max
+        buf, stamp = self._hot(slot)
+        buf.omp_region(
+            stamp(true_time), self.regions.register(region), nthreads, busy_sum,
+            busy_max,
         )
 
     # -- lifecycle -------------------------------------------------------------

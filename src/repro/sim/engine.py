@@ -1,20 +1,35 @@
 """Minimal deterministic discrete-event engine.
 
-A binary heap of plain ``[time, seq, callback]`` list entries.  The sequence
-number breaks ties in insertion order (and is unique, so comparison never
-reaches the callback slot), which — together with seeding every random draw
-from one :class:`numpy.random.Generator` — makes entire simulations
+A binary heap of plain ``[time, seq, callback, pooled]`` list entries.  The
+sequence number breaks ties in insertion order (and is unique, so comparison
+never reaches the callback slot), which — together with seeding every random
+draw from one :class:`numpy.random.Generator` — makes entire simulations
 bit-reproducible from a single seed.
 
 Cancellation flips the callback slot to ``None`` and decrements a live-entry
 counter, so :meth:`Engine.pending_events` and :meth:`Engine.empty` are O(1)
 and cancelled entries cost one heap pop when their time comes instead of a
 full-heap scan on every query.
+
+Two scheduling surfaces exist.  :meth:`Engine.schedule` /
+:meth:`Engine.schedule_at` return an :class:`EventHandle` for callers that
+may cancel.  :meth:`Engine.call_later` / :meth:`Engine.call_at` are the hot
+path: no handle is created, and the entry list itself is recycled through a
+small free pool once its callback has run — per-message scheduling then
+allocates nothing in the steady state.  Only handle-less entries are pooled;
+an entry referenced by an :class:`EventHandle` is never reused, so a stale
+handle can never cancel an unrelated later event.
+
+All four reject non-finite times: ``delay < 0`` is ``False`` for NaN, so the
+old guard let ``NaN``/``inf`` stamps into the heap, where a single NaN
+poisons the heap invariant (every comparison with NaN is ``False``) and
+corrupts event ordering for the rest of the run.
 """
 
 from __future__ import annotations
 
 import heapq
+from math import isfinite
 from typing import Callable, List, Optional
 
 from repro.errors import SimulationError
@@ -24,9 +39,14 @@ from repro.errors import SimulationError
 #: entries (``None``) so a late ``cancel()`` cannot corrupt the counter.
 _DONE = object()
 
-# Entry layout: [time, seq, callback]; callback is None once cancelled and
-# _DONE once consumed by the run loop.
-_TIME, _SEQ, _CALLBACK = 0, 1, 2
+# Entry layout: [time, seq, callback, pooled]; callback is None once
+# cancelled and _DONE once consumed by the run loop.  ``pooled`` marks
+# handle-less entries eligible for recycling.
+_TIME, _SEQ, _CALLBACK, _POOLED = 0, 1, 2, 3
+
+#: Upper bound on recycled entry lists kept around (covers scheduling
+#: bursts; beyond this, entries are simply dropped to the allocator).
+_POOL_MAX = 1024
 
 
 class EventHandle:
@@ -61,6 +81,7 @@ class Engine:
         self._now = 0.0
         self._processed = 0
         self._live = 0  # non-cancelled entries still in the heap
+        self._pool: List[list] = []  # recycled handle-less entries
 
     @property
     def now(self) -> float:
@@ -79,21 +100,55 @@ class Engine:
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
         """Run *callback* ``delay`` seconds from now."""
-        if delay < 0:
-            raise SimulationError(f"cannot schedule into the past: delay={delay}")
+        if delay < 0 or not isfinite(delay):
+            raise SimulationError(
+                f"cannot schedule a negative or non-finite delay: delay={delay}"
+            )
         return self.schedule_at(self._now + delay, callback)
 
     def schedule_at(self, time: float, callback: Callable[[], None]) -> EventHandle:
         """Run *callback* at absolute time *time* (must not precede now)."""
-        if time < self._now:
+        if time < self._now or not isfinite(time):
             raise SimulationError(
-                f"cannot schedule into the past: t={time} < now={self._now}"
+                f"cannot schedule into the past or at a non-finite time: "
+                f"t={time}, now={self._now}"
             )
-        entry = [time, self._seq, callback]
+        entry = [time, self._seq, callback, False]
         self._seq += 1
         heapq.heappush(self._heap, entry)
         self._live += 1
         return EventHandle(entry, self)
+
+    def call_later(self, delay: float, callback: Callable[[], None]) -> None:
+        """Handle-less :meth:`schedule` (hot path; cannot be cancelled)."""
+        if delay < 0 or not isfinite(delay):
+            raise SimulationError(
+                f"cannot schedule a negative or non-finite delay: delay={delay}"
+            )
+        self.call_at(self._now + delay, callback)
+
+    def call_at(self, time: float, callback: Callable[[], None]) -> None:
+        """Handle-less :meth:`schedule_at` (hot path; cannot be cancelled).
+
+        The entry list is drawn from (and eventually returned to) the free
+        pool, so steady-state scheduling performs no allocation.
+        """
+        if time < self._now or not isfinite(time):
+            raise SimulationError(
+                f"cannot schedule into the past or at a non-finite time: "
+                f"t={time}, now={self._now}"
+            )
+        pool = self._pool
+        if pool:
+            entry = pool.pop()
+            entry[_TIME] = time
+            entry[_SEQ] = self._seq
+            entry[_CALLBACK] = callback
+        else:
+            entry = [time, self._seq, callback, True]
+        self._seq += 1
+        heapq.heappush(self._heap, entry)
+        self._live += 1
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Process events in time order.
@@ -102,28 +157,38 @@ class Engine:
         *until*, or after *max_events* callbacks (a runaway-loop backstop).
         In every stop case with *until* set, ``now`` ends up at *until*
         (never beyond it, never stale behind it).
+
+        Same-timestamp wakeups are drained in one batch: ``now`` is written
+        and the stop condition re-checked once per distinct timestamp, not
+        once per callback — timer-heavy workloads schedule many completions
+        at identical times (eager arrivals, collective exits).
         """
         heap = self._heap
+        pool = self._pool
         pop = heapq.heappop
         executed = 0
         while heap:
-            if until is not None and heap[0][_TIME] > until:
+            batch_time = heap[0][_TIME]
+            if until is not None and batch_time > until:
                 self._now = until
                 return
-            entry = pop(heap)
-            callback = entry[_CALLBACK]
-            if callback is None:  # cancelled; stays marked cancelled forever
-                continue
-            entry[_CALLBACK] = _DONE
-            self._live -= 1
-            self._now = entry[_TIME]
-            callback()
-            self._processed += 1
-            executed += 1
-            if max_events is not None and executed >= max_events:
-                raise SimulationError(
-                    f"simulation exceeded {max_events} events — likely livelock"
-                )
+            self._now = batch_time
+            while heap and heap[0][_TIME] == batch_time:
+                entry = pop(heap)
+                callback = entry[_CALLBACK]
+                if callback is None:  # cancelled; stays marked cancelled forever
+                    continue  # (never pooled: only handles can cancel)
+                entry[_CALLBACK] = _DONE
+                self._live -= 1
+                callback()
+                self._processed += 1
+                executed += 1
+                if entry[_POOLED] and len(pool) < _POOL_MAX:
+                    pool.append(entry)
+                if max_events is not None and executed >= max_events:
+                    raise SimulationError(
+                        f"simulation exceeded {max_events} events — likely livelock"
+                    )
         # Heap drained before reaching *until*: idle time still passes.
         if until is not None and until > self._now:
             self._now = until

@@ -25,6 +25,8 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from sys import intern
+
 from repro.errors import DeadlockError, MPIUsageError, SimulationError
 from repro.ids import ANY_SOURCE, ANY_TAG, Location, node_of
 from repro.sim import collectives as coll
@@ -32,20 +34,21 @@ from repro.sim.engine import Engine
 from repro.sim.process import AppGenerator, SimProcess
 from repro.sim.transfer import ChannelClock, SimParams
 from repro.topology.metacomputer import Metacomputer, Placement, ProcessSlot
+from repro.topology.network import ExponentialJitterStream, LatencyModel
 
 # --------------------------------------------------------------------------
 # Requests yielded by application generators
 # --------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ComputeReq:
     """Busy CPU time in *wall* seconds (already speed-scaled)."""
 
     seconds: float
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SendReq:
     comm_id: int
     dest: int  # comm rank
@@ -57,14 +60,14 @@ class SendReq:
     synchronous: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RecvReq:
     comm_id: int
     source: int  # comm rank or ANY_SOURCE
     tag: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class IsendReq:
     comm_id: int
     dest: int
@@ -73,24 +76,24 @@ class IsendReq:
     data: Any = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class IrecvReq:
     comm_id: int
     source: int
     tag: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WaitReq:
     handle: "RequestHandle"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WaitallReq:
     handles: Tuple["RequestHandle", ...]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SendrecvReq:
     comm_id: int
     dest: int
@@ -101,7 +104,7 @@ class SendrecvReq:
     data: Any = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CollectiveReq:
     comm_id: int
     op: str
@@ -110,7 +113,7 @@ class CollectiveReq:
     data: Any = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class OmpParallelReq:
     """A fork-join parallel region: per-thread reference work amounts."""
 
@@ -118,7 +121,7 @@ class OmpParallelReq:
     region: str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SplitReq:
     """MPI_Comm_split: collective creation of sub-communicators."""
 
@@ -135,7 +138,7 @@ Request = Any  # union of the dataclasses above
 # --------------------------------------------------------------------------
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """A matched point-to-point message as seen by the receiver."""
 
@@ -157,6 +160,16 @@ class Message:
 class RequestHandle:
     """Handle returned by ``isend``/``irecv``; completed via ``wait``."""
 
+    __slots__ = (
+        "id",
+        "kind",
+        "owner_rank",
+        "completed",
+        "completion_time",
+        "result",
+        "_waiter",
+    )
+
     _next_id = 0
 
     def __init__(self, kind: str, owner_rank: int) -> None:
@@ -167,6 +180,7 @@ class RequestHandle:
         self.completed = False
         self.completion_time: Optional[float] = None
         self.result: Optional[Message] = None
+        self._waiter: Optional[Callable[[], None]] = None
 
     def __repr__(self) -> str:  # pragma: no cover - diagnostics
         state = "done" if self.completed else "pending"
@@ -456,7 +470,7 @@ class _RegionGuard:
 # --------------------------------------------------------------------------
 
 
-@dataclass
+@dataclass(slots=True)
 class _PendingRecv:
     proc_rank: int
     source: int  # comm rank or ANY_SOURCE
@@ -467,7 +481,7 @@ class _PendingRecv:
     resume: Optional[Callable[[Message, float], None]]  # blocking-recv continuation
 
 
-@dataclass
+@dataclass(slots=True)
 class _InFlight:
     """A message that has 'announced' itself at the receiver.
 
@@ -483,7 +497,7 @@ class _InFlight:
     sender_handle: Optional[RequestHandle]  # rendezvous isend
 
 
-@dataclass
+@dataclass(slots=True)
 class _CollectiveInstance:
     op: str
     root: int  # comm rank
@@ -575,6 +589,27 @@ class World:
         self._coll_next: Dict[Tuple, int] = {}
         self._split_pending: Dict[Tuple, List[Dict]] = {}
 
+        # Hot-path caches.  All three are pure functions of immutable run
+        # state (placement, link topology, communicator membership), so
+        # memoizing them cannot change any sampled value.
+        self._jitter = ExponentialJitterStream(self.rng)
+        self._routes: Dict[Tuple[int, int], Tuple[LatencyModel, str]] = {}
+        self._comm_costs: Dict[int, Tuple[float, float]] = {}
+        self._comm_locations: Dict[int, Dict[int, Location]] = {}
+        self._handlers: Dict[type, Callable[[SimProcess, Any], None]] = {
+            ComputeReq: self._do_compute,
+            SendReq: self._do_blocking_send,
+            RecvReq: self._do_blocking_recv,
+            IsendReq: self._do_isend,
+            IrecvReq: self._do_irecv,
+            WaitReq: self._do_wait_req,
+            WaitallReq: self._do_waitall_req,
+            SendrecvReq: self._do_sendrecv,
+            CollectiveReq: self._do_collective,
+            SplitReq: self._do_split,
+            OmpParallelReq: self._do_omp_parallel,
+        }
+
     # -- setup ------------------------------------------------------------------
 
     def new_communicator(self, name: str, global_ranks: Sequence[int]) -> CommunicatorData:
@@ -634,7 +669,7 @@ class World:
             proc = SimProcess(slot, app(ctx))
             self._procs[slot.rank] = proc
         for proc in self._procs.values():
-            self.engine.schedule(0.0, self._make_starter(proc))
+            self.engine.call_later(0.0, self._make_starter(proc))
 
     def _make_starter(self, proc: SimProcess) -> Callable[[], None]:
         def start() -> None:
@@ -648,7 +683,14 @@ class World:
         """Run the simulation to completion; raises on deadlock or app error."""
         if not self._procs:
             raise SimulationError("nothing launched")
-        self.engine.run(max_events=self.max_events)
+        try:
+            self.engine.run(max_events=self.max_events)
+        finally:
+            # Rewind the shared generator to where scalar draws would have
+            # left it, so post-simulation consumers (clock-offset
+            # measurement) see a byte-identical stream — even if the run
+            # dies (deadlock, fault-injection timeout) mid-block.
+            self._jitter.sync()
         blocked = [p for p in self._procs.values() if not p.done]
         if blocked:
             detail = ", ".join(
@@ -671,34 +713,37 @@ class World:
         self._dispatch(proc, request)
 
     def _dispatch(self, proc: SimProcess, request: Request) -> None:
-        now = self.engine.now
-        if isinstance(request, ComputeReq):
-            proc.blocked_on = "compute"
-            self.engine.schedule(request.seconds, lambda: self._advance(proc, None))
-        elif isinstance(request, SendReq):
-            self._do_send(proc, request, blocking=True)
-        elif isinstance(request, RecvReq):
-            self._do_recv(proc, request, blocking=True)
-        elif isinstance(request, IsendReq):
-            self._do_isend(proc, request)
-        elif isinstance(request, IrecvReq):
-            self._do_irecv(proc, request)
-        elif isinstance(request, WaitReq):
-            self._do_wait(proc, request.handle)
-        elif isinstance(request, WaitallReq):
-            self._do_waitall(proc, request.handles)
-        elif isinstance(request, SendrecvReq):
-            self._do_sendrecv(proc, request)
-        elif isinstance(request, CollectiveReq):
-            self._do_collective(proc, request)
-        elif isinstance(request, SplitReq):
-            self._do_split(proc, request)
-        elif isinstance(request, OmpParallelReq):
-            self._do_omp_parallel(proc, request)
-        else:
-            raise MPIUsageError(
-                f"rank {proc.rank} yielded an unknown request at t={now}: {request!r}"
-            )
+        handler = self._handlers.get(type(request))
+        if handler is None:
+            # Exact-type miss: honour subclasses of the request dataclasses
+            # once, then cache the resolution for their concrete type.
+            for cls, candidate in self._handlers.items():
+                if isinstance(request, cls):
+                    self._handlers[type(request)] = candidate
+                    handler = candidate
+                    break
+            else:
+                raise MPIUsageError(
+                    f"rank {proc.rank} yielded an unknown request at "
+                    f"t={self.engine.now}: {request!r}"
+                )
+        handler(proc, request)
+
+    def _do_compute(self, proc: SimProcess, req: ComputeReq) -> None:
+        proc.blocked_on = "compute"
+        self.engine.call_later(req.seconds, lambda: self._advance(proc, None))
+
+    def _do_blocking_send(self, proc: SimProcess, req: SendReq) -> None:
+        self._do_send(proc, req, blocking=True)
+
+    def _do_blocking_recv(self, proc: SimProcess, req: RecvReq) -> None:
+        self._do_recv(proc, req, blocking=True)
+
+    def _do_wait_req(self, proc: SimProcess, req: WaitReq) -> None:
+        self._do_wait(proc, req.handle)
+
+    def _do_waitall_req(self, proc: SimProcess, req: WaitallReq) -> None:
+        self._do_waitall(proc, req.handles)
 
     # -- tracing hooks ----------------------------------------------------------------
 
@@ -737,16 +782,30 @@ class World:
 
     # -- point-to-point implementation ------------------------------------------------
 
-    def _link_model(self, src_global: int, dst_global: int):
-        a = self.placement.location(src_global)
-        b = self.placement.location(dst_global)
-        return self.metacomputer.latency_model(self.metacomputer.link_between(a, b))
+    def _route(self, src_global: int, dst_global: int) -> Tuple[LatencyModel, str]:
+        """Cached ``(latency model, interned direction key)`` per rank pair.
+
+        Ranks never migrate, so the placement/topology lookups and the
+        direction-string formatting that used to run once per message are
+        paid once per (src, dst) pair for the whole run.
+        """
+        key = (src_global, dst_global)
+        route = self._routes.get(key)
+        if route is None:
+            a = self.placement.location(src_global)
+            b = self.placement.location(dst_global)
+            model = self.metacomputer.latency_model(self.metacomputer.link_between(a, b))
+            direction = intern(f"{node_of(a)}->{node_of(b)}")
+            route = (model, direction)
+            self._routes[key] = route
+        return route
+
+    def _link_model(self, src_global: int, dst_global: int) -> LatencyModel:
+        return self._route(src_global, dst_global)[0]
 
     def _direction(self, src_global: int, dst_global: int) -> str:
         """Directional path key for the congestion model (per node pair)."""
-        a = node_of(self.placement.location(src_global))
-        b = node_of(self.placement.location(dst_global))
-        return f"{a}->{b}"
+        return self._route(src_global, dst_global)[1]
 
     def _faulted(self, link, sampled: float) -> float:
         """Apply fault-plan effects to one sampled network delay.
@@ -767,13 +826,13 @@ class World:
 
     def _transfer_time(self, link, size: int, src_global: int, dst_global: int) -> float:
         return self._faulted(link, link.transfer_time(
-            size, self.rng, when=self.engine.now,
+            size, self._jitter, when=self.engine.now,
             direction=self._direction(src_global, dst_global),
         ))
 
     def _one_way_latency(self, link, src_global: int, dst_global: int) -> float:
         return self._faulted(link, link.sample_latency(
-            self.rng, when=self.engine.now,
+            self._jitter, when=self.engine.now,
             direction=self._direction(src_global, dst_global),
         ))
 
@@ -811,14 +870,14 @@ class World:
             )
             self._trace_send(proc.slot, send_event_t, dst_global, req.tag, req.comm_id, req.size)
             inflight = _InFlight(message, arrival, rendezvous=False, sender_resume=None, sender_handle=None)
-            self.engine.schedule_at(arrival, lambda: self._announce(inflight))
+            self.engine.call_at(arrival, lambda: self._announce(inflight))
             done = now + self.params.eager_send_cost_s(req.size)
 
             def finish_eager() -> None:
                 self.record_exit(proc.slot, region)
                 self._advance(proc, None)
 
-            self.engine.schedule_at(done, finish_eager)
+            self.engine.call_at(done, finish_eager)
         else:
             self.stats.rendezvous_messages += 1
             self._trace_send(proc.slot, send_event_t, dst_global, req.tag, req.comm_id, req.size)
@@ -834,12 +893,12 @@ class World:
                     self.record_exit(proc.slot, region)
                     self._advance(proc, None)
 
-                self.engine.schedule_at(completion, finish)
+                self.engine.call_at(completion, finish)
 
             inflight = _InFlight(
                 message, rts_arrival, rendezvous=True, sender_resume=sender_resume, sender_handle=None
             )
-            self.engine.schedule_at(rts_arrival, lambda: self._announce(inflight))
+            self.engine.call_at(rts_arrival, lambda: self._announce(inflight))
 
     def _do_isend(self, proc: SimProcess, req: IsendReq) -> None:
         comm = self.comm_by_id(req.comm_id)
@@ -875,7 +934,7 @@ class World:
                 departure + self._transfer_time(link, req.size, src_global, dst_global),
             )
             inflight = _InFlight(message, arrival, rendezvous=False, sender_resume=None, sender_handle=None)
-            self.engine.schedule_at(arrival, lambda: self._announce(inflight))
+            self.engine.call_at(arrival, lambda: self._announce(inflight))
             # The eager isend itself completes immediately after the copy.
             self._complete_handle(handle, now + self.params.eager_send_cost_s(req.size), None)
         else:
@@ -889,13 +948,13 @@ class World:
             inflight = _InFlight(
                 message, rts_arrival, rendezvous=True, sender_resume=None, sender_handle=handle
             )
-            self.engine.schedule_at(rts_arrival, lambda: self._announce(inflight))
+            self.engine.call_at(rts_arrival, lambda: self._announce(inflight))
 
         def finish_call() -> None:
             self.record_exit(proc.slot, region)
             self._advance(proc, handle)
 
-        self.engine.schedule(self.params.nonblocking_overhead_s, finish_call)
+        self.engine.call_later(self.params.nonblocking_overhead_s, finish_call)
 
     def _do_recv(self, proc: SimProcess, req: RecvReq, blocking: bool) -> None:
         comm = self.comm_by_id(req.comm_id)
@@ -917,7 +976,7 @@ class World:
                 self.record_exit(proc.slot, region)
                 self._advance(proc, message)
 
-            self.engine.schedule_at(completion, finish)
+            self.engine.call_at(completion, finish)
 
         pending = _PendingRecv(
             proc_rank=proc.rank,
@@ -950,7 +1009,7 @@ class World:
             self.record_exit(proc.slot, region)
             self._advance(proc, handle)
 
-        self.engine.schedule(self.params.nonblocking_overhead_s, finish_call)
+        self.engine.call_later(self.params.nonblocking_overhead_s, finish_call)
 
     def _do_wait(self, proc: SimProcess, handle: RequestHandle) -> None:
         region = "MPI_Wait"
@@ -984,7 +1043,7 @@ class World:
                 self.record_exit(proc.slot, region)
                 self._advance(proc, [])
 
-            self.engine.schedule(0.0, finish_empty)
+            self.engine.call_later(0.0, finish_empty)
             return
 
         results: List[Optional[Message]] = [None] * len(handles)
@@ -1053,7 +1112,7 @@ class World:
                 + self._transfer_time(link, req.send_size, src_global, dst_global),
             )
             inflight = _InFlight(message, arrival, rendezvous=False, sender_resume=None, sender_handle=None)
-            self.engine.schedule_at(arrival, lambda: self._announce(inflight))
+            self.engine.call_at(arrival, lambda: self._announce(inflight))
             self._complete_handle(
                 send_handle, now + self.params.eager_send_cost_s(req.send_size), None
             )
@@ -1068,7 +1127,7 @@ class World:
             inflight = _InFlight(
                 message, rts_arrival, rendezvous=True, sender_resume=None, sender_handle=send_handle
             )
-            self.engine.schedule_at(rts_arrival, lambda: self._announce(inflight))
+            self.engine.call_at(rts_arrival, lambda: self._announce(inflight))
 
         # Receive half.
         recv_handle = RequestHandle("recv", proc.rank)
@@ -1185,11 +1244,11 @@ class World:
                 handle._waiter = None  # type: ignore[attr-defined]
                 waiter()
 
-        self.engine.schedule_at(max(completion_time, self.engine.now), mark)
+        self.engine.call_at(max(completion_time, self.engine.now), mark)
 
     def _when_handle_done(self, handle: RequestHandle, callback: Callable[[], None]) -> None:
         if handle.completed:
-            self.engine.schedule(0.0, callback)
+            self.engine.call_later(0.0, callback)
             return
         existing = getattr(handle, "_waiter", None)
         if existing is not None:
@@ -1293,9 +1352,18 @@ class World:
                 )
 
     def _comm_cost(self, comm: CommunicatorData) -> Tuple[float, float]:
-        """(alpha, 1/bandwidth) of the communicator's slowest spanned link."""
-        locations = [self.placement.location(g) for g in comm.global_ranks]
-        return coll.comm_alpha_beta(self.metacomputer, locations, self.params)
+        """(alpha, 1/bandwidth) of the communicator's slowest spanned link.
+
+        Cached per communicator id: membership is immutable after creation,
+        so the O(size²)-ish link scan ran redundantly on every collective
+        entry of every rank.
+        """
+        cost = self._comm_costs.get(comm.id)
+        if cost is None:
+            locations = [self.placement.location(g) for g in comm.global_ranks]
+            cost = coll.comm_alpha_beta(self.metacomputer, locations, self.params)
+            self._comm_costs[comm.id] = cost
+        return cost
 
     def _schedule_one_to_n_exit(
         self,
@@ -1339,13 +1407,17 @@ class World:
             self.record_exit(proc.slot, op)
             self._advance(proc, result)
 
-        self.engine.schedule_at(max(exit_time, self.engine.now), finish)
+        self.engine.call_at(max(exit_time, self.engine.now), finish)
 
     def _complete_collective(self, comm: CommunicatorData, instance: _CollectiveInstance) -> None:
         self.stats.collectives += 1
-        locations = {
-            comm.comm_rank(g): self.placement.location(g) for g in comm.global_ranks
-        }
+        locations = self._comm_locations.get(comm.id)
+        if locations is None:
+            locations = {
+                comm.comm_rank(g): self.placement.location(g)
+                for g in comm.global_ranks
+            }
+            self._comm_locations[comm.id] = locations
         timing = coll.collective_exit_times(
             instance.op,
             instance.enter_times,
@@ -1381,7 +1453,7 @@ class World:
             self.record_exit(proc.slot, req.region)
             self._advance(proc, None)
 
-        self.engine.schedule(busy_max, finish)
+        self.engine.call_later(busy_max, finish)
 
     # -- communicator splitting -------------------------------------------------
 
@@ -1458,7 +1530,7 @@ class World:
 
                 return finish
 
-            self.engine.schedule_at(max(finish, self.engine.now), make_finish(proc, result))
+            self.engine.call_at(max(finish, self.engine.now), make_finish(proc, result))
 
     @staticmethod
     def _collective_result(instance: _CollectiveInstance, comm_rank: int) -> Any:

@@ -40,7 +40,6 @@ from repro.sim.process import AppGenerator
 from repro.sim.transfer import SimParams
 from repro.topology.metacomputer import Metacomputer, Placement
 from repro.trace.archive import ArchiveReader, ArchiveWriter, Definitions, TraceShard
-from repro.trace.encoding import encode_events
 
 DEFAULT_ARCHIVE_PATH = "/work/epik_experiment"
 
@@ -293,14 +292,20 @@ class MetaMPIRuntime:
             writer.write_definitions(definitions)
             writer.write_sync_data(sync_data)
             for rank in ranks:
-                events = tracer.buffer(rank).events
+                # Buffers hold the already-encoded record stream (encoding
+                # happened incrementally during simulation), so emission is
+                # a byte copy per rank — no event objects, no second
+                # whole-trace encode pass.
+                buf = tracer.buffer(rank)
                 if injector is None:
-                    trace_bytes[rank] = writer.write_trace(rank, events)
+                    trace_bytes[rank] = writer.write_trace_stream(
+                        rank, buf.encoded_chunks()
+                    )
                 else:
                     # Checksums cover the pristine encoding; the injector's
                     # damage models storage corrupting the bytes *after*
                     # they were checksummed, so verify() can catch it.
-                    clean = encode_events(rank, events)
+                    clean = buf.encoded()
                     blob = injector.mangle_trace(rank, clean)
                     trace_bytes[rank] = writer.write_trace_blob(
                         rank, blob, checksums_of=clean

@@ -15,6 +15,7 @@ non-overtaking rule even though individual latency samples are random.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from math import isfinite
 
 from repro.errors import SimulationError
 
@@ -54,6 +55,14 @@ class RetryPolicy:
             raise SimulationError("retry backoff/timeout must be non-negative/positive")
         if self.backoff_multiplier < 1.0:
             raise SimulationError("backoff multiplier must be >= 1")
+        if not (
+            isfinite(self.base_backoff_s)
+            and isfinite(self.backoff_multiplier)
+            and isfinite(self.timeout_s)
+        ):
+            # `x < 0` is False for NaN — without this, a NaN backoff would
+            # pass the range checks and poison every retransmit schedule.
+            raise SimulationError("retry policy parameters must be finite")
 
     def backoff_s(self, attempt: int) -> float:
         """Backoff delay before retransmission number *attempt* (1-based)."""
@@ -104,6 +113,20 @@ class SimParams:
             raise SimulationError("copy bandwidth must be positive")
         if self.measurement_exchanges < 1:
             raise SimulationError("need at least one measurement exchange")
+        if not all(
+            isfinite(v)
+            for v in (
+                self.send_overhead_s,
+                self.recv_overhead_s,
+                self.nonblocking_overhead_s,
+                self.copy_bandwidth_bps,
+                self.collective_alpha_factor,
+            )
+        ):
+            # NaN overheads pass every `< 0` check and would become NaN
+            # event times; the engine now rejects those, so fail at the
+            # source with a message naming the actual misconfiguration.
+            raise SimulationError("timing constants must be finite")
 
     def is_eager(self, size_bytes: int) -> bool:
         return size_bytes <= self.eager_threshold_bytes

@@ -107,29 +107,94 @@ class LinkSpec:
         return max(0.0, self.latency_s - self.jitter_s)
 
 
+class ExponentialJitterStream:
+    """Batched façade over a generator's scalar ``exponential`` draws.
+
+    Pre-draws blocks of *standard* exponential variates with one vectorized
+    numpy call and hands them out one at a time, scaled on demand — the
+    per-message ``Generator.exponential(scale)`` dispatch was the single
+    hottest call in the simulator.  Byte-identity with scalar draws holds
+    because numpy computes ``exponential(scale)`` as
+    ``scale * standard_exponential()`` and a size-``n`` vectorized draw
+    consumes the bit-generator stream exactly like ``n`` scalar draws.
+
+    :meth:`sync` rewinds the underlying generator to the position an
+    all-scalar consumer would have reached (restoring the pre-block state
+    and redrawing only the consumed count), so code that shares the
+    generator *after* the simulation — the clock-offset measurement phase —
+    continues on the byte-identical stream.  Do not draw from the wrapped
+    generator directly while a block is outstanding.
+    """
+
+    __slots__ = ("_rng", "_block", "_buf", "_next", "_state")
+
+    def __init__(self, rng: np.random.Generator, block: int = 1024) -> None:
+        if block < 1:
+            raise TopologyError(f"jitter block size must be positive: {block}")
+        self._rng = rng
+        self._block = block
+        self._buf: list = []
+        self._next = 0
+        self._state = None
+
+    def exponential(self, scale: float) -> float:
+        """One draw from ``Exponential(scale)`` — same stream as the scalar API."""
+        i = self._next
+        buf = self._buf
+        if i >= len(buf):
+            self._state = self._rng.bit_generator.state
+            buf = self._rng.standard_exponential(self._block).tolist()
+            self._buf = buf
+            i = 0
+        self._next = i + 1
+        return scale * buf[i]
+
+    def sync(self) -> None:
+        """Rewind the wrapped generator to the scalar-equivalent position."""
+        consumed = self._next
+        if self._buf and consumed < len(self._buf):
+            self._rng.bit_generator.state = self._state
+            if consumed:
+                self._rng.standard_exponential(consumed)
+        self._buf = []
+        self._next = 0
+        self._state = None
+
+
 class LatencyModel:
     """Samples per-message transfer times for a :class:`LinkSpec`.
 
     The model is ``base + Exp(jitter) [+ congestion(when, direction)]
     + size / bandwidth``.  Sampling is driven by a caller-provided
-    :class:`numpy.random.Generator` so that whole simulations are
-    reproducible from one seed.
+    generator — a :class:`numpy.random.Generator` or the batched
+    :class:`ExponentialJitterStream` over one — so that whole simulations
+    are reproducible from one seed.
 
     The congestion component deliberately does NOT draw from that stream:
     the bias must be a pure function of (link, direction, time block) so
     that every model instance — the simulator's and, independently, any
     cost model or test probing the same link — sees the same episode
     pattern regardless of how many latency samples were drawn in between.
-    Each (direction, block) bias is therefore derived once from a
-    CRC32-keyed generator and cached on the model; the per-call generator
-    construction this replaces was the only repeated off-stream sampling in
-    the simulator (all remaining off-stream randomness is the fault
-    injector's, which owns a single plan-seeded stream).
+    Each (direction, block) bias is derived from a CRC32-keyed generator;
+    the cache keeps only the most recently queried block per direction
+    (simulation time moves forward, so older blocks are dead weight and an
+    unbounded cache grew with run length).  Re-deriving an evicted block is
+    always byte-identical — purity makes eviction free of semantics.
     """
 
     def __init__(self, spec: LinkSpec) -> None:
         self.spec = spec
-        self._bias_cache: Dict[Tuple[str, int], float] = {}
+        #: direction -> (time block, bias); one entry per direction, ever.
+        self._bias_cache: Dict[str, Tuple[int, float]] = {}
+
+    def _derive_bias(self, direction: str, block: int) -> float:
+        """Pure (link, direction, block) -> bias; CRC32-keyed, stream-free."""
+        spec = self.spec
+        seed = zlib.crc32(f"{spec.name}|{direction}|{block}".encode("utf-8"))
+        draw = np.random.Generator(np.random.PCG64(seed))
+        if draw.random() >= spec.congestion_prob:
+            return 0.0
+        return float(draw.exponential(spec.congestion_scale_s))
 
     def congestion_bias(self, when: Optional[float], direction: Optional[str]) -> float:
         """Directional queueing bias active at time *when* (0 if unmodeled)."""
@@ -139,21 +204,16 @@ class LatencyModel:
         if when is None or direction is None:
             return 0.0
         block = int(when // spec.congestion_block_s)
-        key = (direction, block)
-        bias = self._bias_cache.get(key)
-        if bias is None:
-            seed = zlib.crc32(f"{spec.name}|{direction}|{block}".encode("utf-8"))
-            draw = np.random.default_rng(seed)
-            if draw.random() >= spec.congestion_prob:
-                bias = 0.0
-            else:
-                bias = float(draw.exponential(spec.congestion_scale_s))
-            self._bias_cache[key] = bias
+        cached = self._bias_cache.get(direction)
+        if cached is not None and cached[0] == block:
+            return cached[1]
+        bias = self._derive_bias(direction, block)
+        self._bias_cache[direction] = (block, bias)
         return bias
 
     def sample_latency(
         self,
-        rng: np.random.Generator,
+        rng,
         when: Optional[float] = None,
         direction: Optional[str] = None,
     ) -> float:
@@ -167,7 +227,7 @@ class LatencyModel:
     def transfer_time(
         self,
         size_bytes: int,
-        rng: np.random.Generator,
+        rng,
         when: Optional[float] = None,
         direction: Optional[str] = None,
     ) -> float:
@@ -180,10 +240,22 @@ class LatencyModel:
         )
 
     def mean_transfer_time(self, size_bytes: int) -> float:
-        """Expected transfer time (no sampling); useful for cost models."""
+        """Expected transfer time (no sampling); useful for cost models.
+
+        Includes the expected congestion bias
+        ``congestion_prob * congestion_scale_s`` — the sampled
+        :meth:`transfer_time` always carried it, and a mean that silently
+        dropped it skewed cost-model predictions on congested external
+        links (e.g. the ping-drop penalty of offset measurements).
+        """
         if size_bytes < 0:
             raise TopologyError(f"message size must be non-negative: {size_bytes}")
-        return self.spec.latency_s + size_bytes / self.spec.bandwidth_bps
+        spec = self.spec
+        return (
+            spec.latency_s
+            + spec.congestion_prob * spec.congestion_scale_s
+            + size_bytes / spec.bandwidth_bps
+        )
 
 
 def loopback_link(bandwidth_bps: float = 4e9, latency_s: float = 0.5e-6) -> LinkSpec:

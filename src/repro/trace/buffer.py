@@ -3,70 +3,136 @@
 The tracing backend appends events as they happen; the buffer enforces the
 per-process invariants trace consumers rely on: non-decreasing local time
 stamps and balanced ENTER/EXIT nesting (checked on finalize).
+
+Events are *encoded as they arrive*: each hook packs its record straight
+into the binary trace format (:mod:`repro.trace.encoding`) and appends it
+to one growing ``bytearray``.  Memory per buffered event is therefore the
+encoded record size (13–37 bytes) instead of a Python event object
+(~100+ bytes), which is what bounds simulator memory at 1024 ranks, and
+end-of-run archive writing is a plain byte copy instead of a second
+whole-trace encode pass.  :attr:`events` decodes on demand for consumers
+that want event objects (tests, diagnostics); the encoded and decoded
+views are byte-equivalent by construction since both run through the same
+record structs.
 """
 
 from __future__ import annotations
 
+import struct
 from typing import Iterator, List
 
-from repro.errors import TraceError
-from repro.trace.events import (
-    CollExitEvent,
-    OmpRegionEvent,
-    EnterEvent,
-    Event,
-    ExitEvent,
-    RecvEvent,
-    SendEvent,
+from repro.errors import EncodingError, TraceError
+from repro.trace.encoding import (
+    decode_events,
+    encode_header,
+    pack_coll_exit,
+    pack_enter,
+    pack_exit,
+    pack_omp_region,
+    pack_recv,
+    pack_send,
 )
+from repro.trace.events import Event
 
 
 class TraceBuffer:
-    """Append-only event log of one process."""
+    """Append-only event log of one process, encoded on the fly."""
+
+    __slots__ = ("rank", "_buf", "_count", "_last_time", "_depth", "_finalized")
 
     def __init__(self, rank: int) -> None:
         self.rank = rank
-        self._events: List[Event] = []
+        self._buf = bytearray()
+        self._count = 0
         self._last_time = float("-inf")
         self._depth = 0
         self._finalized = False
 
     def __len__(self) -> int:
-        return len(self._events)
+        return self._count
 
     def __iter__(self) -> Iterator[Event]:
-        return iter(self._events)
+        return iter(self.events)
 
     @property
     def events(self) -> List[Event]:
-        return self._events
+        """Decoded event objects (materialized on each access)."""
+        return decode_events(self.encoded())[1]
 
-    def _append(self, event: Event) -> None:
+    def encoded(self) -> bytes:
+        """The trace-file bytes (header + records) encoded so far.
+
+        Identical to ``encode_events(rank, events)`` over the same event
+        sequence; the archive writer stores this directly.
+        """
+        return encode_header(self.rank) + bytes(self._buf)
+
+    def encoded_chunks(self) -> Iterator[bytes]:
+        """Byte chunks forming :meth:`encoded` (header first), copy-free.
+
+        Feed this to :meth:`~repro.trace.archive.ArchiveWriter.write_trace_stream`
+        to emit the trace without materializing event objects.
+        """
+        yield encode_header(self.rank)
+        yield memoryview(self._buf)
+
+    def _check(self, time: float) -> None:
         if self._finalized:
             raise TraceError(f"trace buffer of rank {self.rank} already finalized")
-        if event.time < self._last_time:
+        if time < self._last_time:
             raise TraceError(
                 f"rank {self.rank}: non-monotonic local time stamp "
-                f"{event.time} after {self._last_time}"
+                f"{time} after {self._last_time}"
             )
-        self._last_time = event.time
-        self._events.append(event)
+
+    def _commit(self, time: float, record: bytes) -> None:
+        self._last_time = time
+        self._count += 1
+        self._buf += record
 
     def enter(self, time: float, region: int) -> None:
+        self._check(time)
+        try:
+            record = pack_enter(1, time, region)
+        except struct.error as exc:
+            raise EncodingError(
+                f"rank {self.rank}: cannot encode ENTER event: {exc}"
+            ) from exc
         self._depth += 1
-        self._append(EnterEvent(time, region))
+        self._commit(time, record)
 
     def exit(self, time: float, region: int) -> None:
         if self._depth <= 0:
             raise TraceError(f"rank {self.rank}: EXIT without matching ENTER")
+        self._check(time)
+        try:
+            record = pack_exit(2, time, region)
+        except struct.error as exc:
+            raise EncodingError(
+                f"rank {self.rank}: cannot encode EXIT event: {exc}"
+            ) from exc
         self._depth -= 1
-        self._append(ExitEvent(time, region))
+        self._commit(time, record)
 
     def send(self, time: float, dest: int, tag: int, comm: int, size: int) -> None:
-        self._append(SendEvent(time, dest, tag, comm, size))
+        self._check(time)
+        try:
+            record = pack_send(3, time, dest, tag, comm, size)
+        except struct.error as exc:
+            raise EncodingError(
+                f"rank {self.rank}: cannot encode SEND event: {exc}"
+            ) from exc
+        self._commit(time, record)
 
     def recv(self, time: float, source: int, tag: int, comm: int, size: int) -> None:
-        self._append(RecvEvent(time, source, tag, comm, size))
+        self._check(time)
+        try:
+            record = pack_recv(4, time, source, tag, comm, size)
+        except struct.error as exc:
+            raise EncodingError(
+                f"rank {self.rank}: cannot encode RECV event: {exc}"
+            ) from exc
+        self._commit(time, record)
 
     def omp_region(
         self, time: float, region: int, nthreads: int, busy_sum: float, busy_max: float
@@ -75,12 +141,26 @@ class TraceBuffer:
             raise TraceError(f"rank {self.rank}: team size must be positive")
         if busy_sum < 0 or busy_max < 0:
             raise TraceError(f"rank {self.rank}: negative thread busy time")
-        self._append(OmpRegionEvent(time, region, nthreads, busy_sum, busy_max))
+        self._check(time)
+        try:
+            record = pack_omp_region(6, time, region, nthreads, busy_sum, busy_max)
+        except struct.error as exc:
+            raise EncodingError(
+                f"rank {self.rank}: cannot encode OMPREGION event: {exc}"
+            ) from exc
+        self._commit(time, record)
 
     def coll_exit(
         self, time: float, region: int, comm: int, root: int, sent: int, recvd: int
     ) -> None:
-        self._append(CollExitEvent(time, region, comm, root, sent, recvd))
+        self._check(time)
+        try:
+            record = pack_coll_exit(5, time, region, comm, root, sent, recvd)
+        except struct.error as exc:
+            raise EncodingError(
+                f"rank {self.rank}: cannot encode COLLEXIT event: {exc}"
+            ) from exc
+        self._commit(time, record)
 
     def finalize(self) -> None:
         """Close the buffer, verifying ENTER/EXIT balance."""

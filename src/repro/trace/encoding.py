@@ -118,13 +118,29 @@ _DECODERS: Dict[int, Tuple[int, Callable, Callable, Callable[[tuple], Event]]] =
 }
 
 
-def encode_events(rank: int, events: Iterable[Event]) -> bytes:
-    """Serialize *events* of one process to a trace-file byte string."""
+def encode_header(rank: int) -> bytes:
+    """Trace-file header bytes for *rank* (shared with the streaming buffer)."""
     try:
-        header = _HEADER.pack(MAGIC, FORMAT_VERSION, rank)
+        return _HEADER.pack(MAGIC, FORMAT_VERSION, rank)
     except struct.error as exc:
         raise EncodingError(f"cannot encode rank {rank} in trace header: {exc}") from exc
-    chunks: List[bytes] = [header]
+
+
+#: Bound whole-record packers (kind byte first) for callers that encode
+#: records as they are produced — the streaming
+#: :class:`~repro.trace.buffer.TraceBuffer` — instead of going through
+#: event objects and :func:`encode_events`.
+pack_enter = _ENTER_REC.pack
+pack_exit = _EXIT_REC.pack
+pack_send = _SEND_REC.pack
+pack_recv = _RECV_REC.pack
+pack_coll_exit = _COLLEXIT_REC.pack
+pack_omp_region = _OMPREGION_REC.pack
+
+
+def encode_events(rank: int, events: Iterable[Event]) -> bytes:
+    """Serialize *events* of one process to a trace-file byte string."""
+    chunks: List[bytes] = [encode_header(rank)]
     append = chunks.append
     encoders = _ENCODERS
     for index, event in enumerate(events):

@@ -180,3 +180,102 @@ class TestPendingAccounting:
         engine.run()
         assert order == [1, 3]
         assert engine.processed_events == 2
+
+
+class TestNonFiniteTimes:
+    """Regression: ``delay < 0`` is False for NaN, so NaN/inf stamps used to
+    reach the heap, where a single NaN breaks every comparison and silently
+    corrupts event ordering for the rest of the run."""
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_schedule_rejects_non_finite_delay(self, bad):
+        engine = Engine()
+        with pytest.raises(SimulationError):
+            engine.schedule(bad, lambda: None)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_schedule_at_rejects_non_finite_time(self, bad):
+        engine = Engine()
+        with pytest.raises(SimulationError):
+            engine.schedule_at(bad, lambda: None)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_call_later_rejects_non_finite_delay(self, bad):
+        engine = Engine()
+        with pytest.raises(SimulationError):
+            engine.call_later(bad, lambda: None)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_call_at_rejects_non_finite_time(self, bad):
+        engine = Engine()
+        with pytest.raises(SimulationError):
+            engine.call_at(bad, lambda: None)
+
+    def test_rejection_leaves_engine_usable(self):
+        engine = Engine()
+        with pytest.raises(SimulationError):
+            engine.schedule(float("nan"), lambda: None)
+        hits = []
+        engine.schedule(1.0, lambda: hits.append(1))
+        engine.run()
+        assert hits == [1]
+        assert engine.pending_events == 0
+
+
+class TestHandleLessScheduling:
+    def test_call_later_runs_in_time_order(self):
+        engine = Engine()
+        order = []
+        engine.call_later(3.0, lambda: order.append("c"))
+        engine.call_later(1.0, lambda: order.append("a"))
+        engine.call_at(2.0, lambda: order.append("b"))
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+    def test_call_at_rejects_past(self):
+        engine = Engine()
+        engine.schedule(1.0, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.call_at(0.5, lambda: None)
+        with pytest.raises(SimulationError):
+            engine.call_later(-1.0, lambda: None)
+
+    def test_entry_recycling_preserves_order_and_counts(self):
+        # Interleave enough handle-less events to cycle entries through the
+        # free pool several times; ordering, tie-breaking and the live
+        # counter must be unaffected by reuse.
+        engine = Engine()
+        seen = []
+        for i in range(500):
+            engine.call_later(float(i % 7), lambda i=i: seen.append(i))
+        engine.run()
+        assert len(seen) == 500
+        assert engine.processed_events == 500
+        assert engine.pending_events == 0
+        assert seen == sorted(seen, key=lambda i: (i % 7, i))
+
+    def test_recycled_entries_cannot_be_cancelled_by_stale_handles(self):
+        # A handle from schedule() must never alias a pooled entry: cancel
+        # after execution stays a no-op even once call_later reuses lists.
+        engine = Engine()
+        handle = engine.schedule(1.0, lambda: None)
+        engine.run()
+        for _ in range(10):
+            engine.call_later(1.0, lambda: None)
+        engine.run()
+        handle.cancel()
+        assert not handle.cancelled
+        assert engine.pending_events == 0
+
+    def test_mixed_same_timestamp_batch(self):
+        # Same-timestamp wakeups drain in one batch; nested scheduling at
+        # the batch time must still run within this run() call.
+        engine = Engine()
+        order = []
+        engine.call_at(1.0, lambda: order.append("a"))
+        engine.call_at(1.0, lambda: engine.call_at(1.0, lambda: order.append("c")))
+        engine.schedule_at(1.0, lambda: order.append("b"))
+        engine.run()
+        assert order == ["a", "b", "c"]
+        assert engine.now == 1.0

@@ -118,3 +118,58 @@ class TestCongestion:
         bias = model.congestion_bias(0.5, "a->b")
         sample = model.sample_latency(rng, when=0.5, direction="a->b")
         assert sample >= model.spec.base_latency_s + bias
+
+
+class TestBiasCacheBound:
+    def _congested(self):
+        return LatencyModel(
+            _link(
+                name="wan",
+                congestion_prob=1.0,
+                congestion_scale_s=50e-6,
+                congestion_block_s=2.0,
+            )
+        )
+
+    def test_cache_stays_one_entry_per_direction(self):
+        # Regression: the cache used to key on (direction, block) and grew
+        # with run length; long simulations leaked one entry per elapsed
+        # time block.  Simulation time moves forward, so only the current
+        # block per direction is live.
+        model = self._congested()
+        for k in range(1000):
+            model.congestion_bias(2.0 * k + 0.5, "a->b")
+            model.congestion_bias(2.0 * k + 0.5, "b->a")
+        assert len(model._bias_cache) == 2
+
+    def test_rederived_block_is_byte_identical(self):
+        # Eviction is free of semantics: the bias is a pure function of
+        # (link, direction, block), so re-querying an evicted block must
+        # reproduce the exact value.
+        model = self._congested()
+        first = model.congestion_bias(0.5, "a->b")
+        model.congestion_bias(1000.5, "a->b")  # evicts block 0
+        assert model.congestion_bias(0.5, "a->b") == first
+
+
+class TestMeanIncludesCongestion:
+    def test_mean_folds_in_expected_congestion(self):
+        # Regression: transfer_time always carried the congestion bias but
+        # mean_transfer_time silently dropped it, skewing cost models on
+        # congested links.
+        spec_kwargs = dict(
+            name="wan",
+            congestion_prob=0.25,
+            congestion_scale_s=80e-6,
+            congestion_block_s=2.0,
+        )
+        congested = LatencyModel(_link(**spec_kwargs))
+        clean = LatencyModel(_link())
+        expected_extra = 0.25 * 80e-6
+        assert congested.mean_transfer_time(10**9) == pytest.approx(
+            clean.mean_transfer_time(10**9) + expected_extra
+        )
+
+    def test_mean_unchanged_without_congestion(self):
+        model = LatencyModel(_link())
+        assert model.mean_transfer_time(0) == pytest.approx(model.spec.latency_s)
