@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import os
 import warnings
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as _replace
 from typing import Dict, List, Optional, Sequence, Tuple, Type
 
 from repro.analysis.callpath import ROOT_PATH, CallPathRegistry
@@ -533,6 +533,9 @@ class ParallelReplayAnalyzer:
         degraded: bool = False,
         jobs: int = 2,
         pool_config: Optional[PoolConfig] = None,
+        pool: Optional[SupervisedPool] = None,
+        timeout: Optional[float] = None,
+        max_retries: Optional[int] = None,
     ) -> None:
         if not readers:
             raise AnalysisError("no archive readers supplied")
@@ -544,7 +547,21 @@ class ParallelReplayAnalyzer:
             scheme = HierarchicalInterpolation(strict=not degraded)
         self.scheme = scheme
         self.jobs = jobs
-        self.pool_config = pool_config or PoolConfig()
+        # ``pool`` is an externally owned (usually persistent) worker pool
+        # shared across many analyses — the serving-layer configuration.
+        # Its task function must be :func:`analyze_shard`.  ``timeout`` and
+        # ``max_retries`` then travel as per-run overrides; without a shared
+        # pool they are folded into this analyzer's own pool config.
+        self.pool = pool
+        self.timeout = timeout
+        self.max_retries = max_retries
+        config = pool_config or PoolConfig()
+        if pool is None:
+            if timeout is not None:
+                config = _replace(config, timeout_s=float(timeout))
+            if max_retries is not None:
+                config = _replace(config, max_retries=int(max_retries))
+        self.pool_config = config
 
     # -- task construction -----------------------------------------------------
 
@@ -634,6 +651,12 @@ class ParallelReplayAnalyzer:
         if len(tasks) <= 1:
             partials = [analyze_shard(task) for task in tasks]
             execution = None
+        elif self.pool is not None:
+            # A shared (warm, externally owned) pool: the owner controls
+            # worker count and lifetime; this run only overrides budgets.
+            partials, execution = self.pool.run(
+                tasks, timeout_s=self.timeout, max_retries=self.max_retries
+            )
         else:
             # The supervised pool keeps the serial analyzer's semantics —
             # results in shard order, the lowest-ranked shard's exception

@@ -526,6 +526,7 @@ def analyze_run(
     jobs: Optional[int] = None,
     timeout: Optional[float] = None,
     max_retries: Optional[int] = None,
+    pool=None,
 ) -> AnalysisResult:
     """Analyze a :class:`~repro.sim.runtime.RunResult` end to end.
 
@@ -537,11 +538,15 @@ def analyze_run(
     ``timeout`` and ``max_retries`` tune the supervised pool backing the
     parallel path (per-shard deadline in seconds; re-dispatches allowed
     after a worker crash/hang); they have no effect on serial runs.
+
+    ``pool`` lends the analysis an externally owned
+    :class:`~repro.resilience.pool.SupervisedPool` (task function
+    :func:`~repro.analysis.parallel.analyze_shard`) instead of spawning a
+    fresh one — long-lived owners such as the analysis service reuse one
+    warm pool across many runs.
     """
     # Imported lazily: repro.analysis.parallel imports this module.
     from repro.analysis.parallel import ParallelReplayAnalyzer, resolve_jobs
-    from repro.resilience.pool import PoolConfig
-    from dataclasses import replace as _replace
 
     readers = {
         machine: run_result.reader(machine) for machine in run_result.machines_used
@@ -549,15 +554,12 @@ def analyze_run(
     effective = resolve_jobs(jobs)
     if effective <= 1:
         return ReplayAnalyzer(readers, scheme=scheme, degraded=degraded).analyze()
-    pool_config = PoolConfig()
-    if timeout is not None:
-        pool_config = _replace(pool_config, timeout_s=float(timeout))
-    if max_retries is not None:
-        pool_config = _replace(pool_config, max_retries=int(max_retries))
     return ParallelReplayAnalyzer(
         readers,
         scheme=scheme,
         degraded=degraded,
         jobs=effective,
-        pool_config=pool_config,
+        pool=pool,
+        timeout=timeout,
+        max_retries=max_retries,
     ).analyze()

@@ -11,7 +11,10 @@ Everything a user of this package needs lives behind four names:
 * :func:`run_experiment` — regenerate one of the paper's tables or figures
   by name and return its rendered text;
 * the topology presets (:func:`~repro.topology.presets.viola_testbed` and
-  friends) for building machines to simulate on.
+  friends) for building machines to simulate on;
+* the analysis service (:func:`~repro.service.app.create_app`,
+  :func:`~repro.service.http.serve`, :class:`~repro.service.store.JobStore`)
+  — the same three verbs as crash-safe asynchronous HTTP jobs.
 
 Keyword conventions are uniform across the surface: ``seed=`` selects the
 deterministic random seed, ``scheme=`` the clock-synchronization scheme,
@@ -34,6 +37,7 @@ from repro.clocks.sync import SyncScheme
 from repro.errors import ExperimentError
 from repro.report.render import render_analysis
 from repro.resilience import CheckpointJournal, ExecutionReport
+from repro.service import JobStore, ServiceConfig, create_app, serve
 from repro.sim.process import AppGenerator
 from repro.sim.runtime import MetaMPIRuntime, RunResult
 from repro.topology.metacomputer import Metacomputer, Placement
@@ -57,6 +61,10 @@ __all__ = [
     "Placement",
     "CheckpointJournal",
     "ExecutionReport",
+    "create_app",
+    "serve",
+    "ServiceConfig",
+    "JobStore",
     "render_analysis",
     "EXPERIMENTS",
     "DEFAULT_SEEDS",
@@ -96,6 +104,7 @@ def analyze(
     jobs: Optional[int] = None,
     timeout: Optional[float] = None,
     max_retries: Optional[int] = None,
+    pool=None,
 ) -> AnalysisResult:
     """Replay-analyze a traced run's archive.
 
@@ -108,7 +117,10 @@ def analyze(
     ``timeout`` (per-shard deadline, seconds) and ``max_retries``
     (re-dispatches after a worker crash or hang) tune the supervised pool
     behind the parallel path; a parallel result carries the pool's
-    :class:`ExecutionReport` in ``result.execution``.
+    :class:`ExecutionReport` in ``result.execution``.  ``pool`` lends the
+    run an externally owned warm :class:`SupervisedPool` (task function
+    ``analyze_shard``) instead of spawning one — how the analysis service
+    shares a single pool across every job it serves.
     """
     return analyze_run(
         run,
@@ -117,6 +129,7 @@ def analyze(
         jobs=jobs,
         timeout=timeout,
         max_retries=max_retries,
+        pool=pool,
     )
 
 
@@ -158,7 +171,7 @@ DEFAULT_SEEDS: Dict[str, int] = {
 # are forwarded to the drivers that have an analysis phase and ignored by
 # the purely computational ones.
 
-_ANALYSIS_OPTS = ("timeout", "max_retries", "verify_archive")
+_ANALYSIS_OPTS = ("timeout", "max_retries", "verify_archive", "pool")
 
 
 def _analysis_opts(opts: Dict, *extra: str) -> Dict:
@@ -236,29 +249,15 @@ def _run_figure4(seed: int, jobs: Optional[int], **opts) -> str:
 
 
 def _metatrace_text(figure: int, seed: int, jobs: Optional[int], **opts) -> str:
-    from repro.analysis.patterns import (
-        GRID_LATE_SENDER,
-        GRID_WAIT_AT_BARRIER,
-        LATE_SENDER,
+    from repro.experiments.figures import (
+        metatrace_report_text,
+        run_metatrace_experiment,
     )
-    from repro.experiments.figures import run_metatrace_experiment
 
     outcome = run_metatrace_experiment(
         figure=figure, seed=seed, jobs=jobs, **_analysis_opts(opts)
     )
-    header = [
-        outcome.label,
-        f"grid late sender:     {outcome.grid_late_sender_pct:6.2f} % of time",
-        f"grid wait at barrier: {outcome.grid_wait_at_barrier_pct:6.2f} % of time",
-        f"grid late-sender by metahost pair (causer -> waiter): "
-        f"{ {f'{c}->{w}': round(v, 2) for (c, w), v in outcome.result.grid_pair_breakdown(GRID_LATE_SENDER).items()} }",
-        f"grid barrier-wait by metahost pair: "
-        f"{ {f'{c}->{w}': round(v, 2) for (c, w), v in outcome.result.grid_pair_breakdown(GRID_WAIT_AT_BARRIER).items()} }",
-        "",
-    ]
-    return "\n".join(header) + render_analysis(
-        outcome.result, metric=LATE_SENDER, min_pct=0.5
-    )
+    return metatrace_report_text(outcome)
 
 
 def _run_figure6(seed: int, jobs: Optional[int], **opts) -> str:
@@ -300,6 +299,7 @@ def run_experiment(
     max_retries: Optional[int] = None,
     journal: Optional[CheckpointJournal] = None,
     verify_archive: bool = False,
+    pool=None,
 ) -> str:
     """Regenerate one paper artifact by name; returns its rendered text.
 
@@ -315,6 +315,9 @@ def run_experiment(
     checksum-verifies the trace archives before analysis; the strict
     experiments raise :class:`~repro.errors.ArchiveError` on damage, the
     fault ladder records the verdict in its report instead.
+
+    ``pool`` lends every analysis phase of the experiment an externally
+    owned warm :class:`SupervisedPool`, as in :func:`analyze`.
     """
     runner = EXPERIMENTS.get(name)
     if runner is None:
@@ -334,6 +337,7 @@ def run_experiment(
         max_retries=max_retries,
         journal=journal,
         verify_archive=verify_archive,
+        pool=pool,
     )
     if journal is not None:
         journal.record(cell, {"text": text})

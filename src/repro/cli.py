@@ -1,7 +1,8 @@
-"""Command-line interface: regenerate the paper's tables and figures.
+"""Command-line interface: regenerate the paper's artifacts, or serve them.
 
-A thin wrapper over :mod:`repro.api` — every command resolves to one
-:func:`repro.api.run_experiment` call.
+A thin wrapper over :mod:`repro.api`.  The experiment commands each
+resolve to one :func:`repro.api.run_experiment` call; the service
+commands drive the crash-safe job layer of :mod:`repro.service`.
 
 Usage::
 
@@ -17,19 +18,33 @@ Usage::
     python -m repro faults --resume     # journal cells, skip finished ones
     python -m repro table2 --verify-archive   # checksum archives first
 
+    python -m repro serve --port 8137            # run the analysis service
+    python -m repro submit figure6 --wait        # submit a job, poll, print
+    python -m repro jobs                         # list the service's jobs
+    python -m repro jobs --store .repro-jobs.jsonl   # ... offline, from disk
+
 (``python -m repro.cli`` keeps working as an alias.)
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
-from typing import Callable, Dict, List, Optional
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.api import CheckpointJournal, DEFAULT_SEEDS, EXPERIMENTS, run_experiment
+from repro.errors import CheckpointLockError, PoolShutdown, ReproError
 
 #: Default on-disk location of the ``--resume`` checkpoint journal.
 DEFAULT_JOURNAL = ".repro-checkpoint.jsonl"
+
+#: Default service endpoint of the client commands.
+DEFAULT_URL = "http://127.0.0.1:8137"
 
 
 def _command(name: str) -> Callable[..., str]:
@@ -47,75 +62,324 @@ COMMANDS: Dict[str, Callable[..., str]] = {
 }
 
 
-def main(argv: Optional[List[str]] = None) -> int:
+# -- parser ---------------------------------------------------------------------
+
+
+def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate tables/figures of the IPPS 2007 "
-        "metacomputing trace-analysis paper on the simulated testbed.",
+        "metacomputing trace-analysis paper on the simulated testbed — "
+        "directly, or through the crash-safe analysis service.",
     )
-    parser.add_argument(
-        "what",
-        choices=sorted(COMMANDS) + ["all"],
-        help="which artifact to regenerate",
-    )
-    parser.add_argument(
+    sub = parser.add_subparsers(dest="command", required=True, metavar="COMMAND")
+
+    experiment_opts = argparse.ArgumentParser(add_help=False)
+    experiment_opts.add_argument(
         "--seed", type=int, default=None, help="random seed (default: per-artifact)"
     )
-    parser.add_argument(
+    experiment_opts.add_argument(
         "--jobs",
         type=int,
         default=None,
         help="analysis worker processes (1=serial, 0=one per core; "
         "default: serial)",
     )
-    parser.add_argument(
+    experiment_opts.add_argument(
         "--timeout",
         type=float,
         default=None,
         metavar="SECONDS",
-        help="per-shard deadline for parallel analysis workers "
-        "(default: 300)",
+        help="per-shard deadline for parallel analysis workers (default: 300)",
     )
-    parser.add_argument(
+    experiment_opts.add_argument(
         "--max-retries",
         type=int,
         default=None,
         metavar="N",
         help="re-dispatches allowed after a worker crash/hang (default: 2)",
     )
-    parser.add_argument(
+    experiment_opts.add_argument(
         "--resume",
         action="store_true",
         help="record completed experiment cells in a journal and skip them "
         "on rerun",
     )
-    parser.add_argument(
+    experiment_opts.add_argument(
         "--journal",
         default=DEFAULT_JOURNAL,
         metavar="PATH",
         help=f"checkpoint journal used by --resume (default: {DEFAULT_JOURNAL})",
     )
-    parser.add_argument(
+    experiment_opts.add_argument(
         "--verify-archive",
         action="store_true",
         help="checksum-verify trace archives before analysis",
     )
-    args = parser.parse_args(argv)
+    for name in sorted(COMMANDS) + ["all"]:
+        help_text = (
+            "regenerate every artifact" if name == "all" else f"regenerate {name}"
+        )
+        run_parser = sub.add_parser(name, parents=[experiment_opts], help=help_text)
+        run_parser.set_defaults(command="run", what=name)
 
-    journal = CheckpointJournal(args.journal) if args.resume else None
-    options = {
-        "timeout": args.timeout,
-        "max_retries": args.max_retries,
-        "journal": journal,
-        "verify_archive": args.verify_archive,
-    }
-    targets = sorted(COMMANDS) if args.what == "all" else [args.what]
-    for name in targets:
-        seed = args.seed if args.seed is not None else DEFAULT_SEEDS[name]
-        print(f"==== {name} (seed {seed}) ====")
-        print(COMMANDS[name](seed, args.jobs, **options))
-        print()
+    serve_parser = sub.add_parser(
+        "serve", help="run the analysis service (HTTP job layer over the API)"
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument(
+        "--port", type=int, default=8137, help="TCP port (0 = OS-assigned)"
+    )
+    serve_parser.add_argument(
+        "--store",
+        default=".repro-jobs.jsonl",
+        metavar="PATH",
+        help="durable job store journal (default: .repro-jobs.jsonl)",
+    )
+    serve_parser.add_argument(
+        "--queue-limit", type=int, default=16, metavar="N",
+        help="waiting jobs admitted before submissions get 429 (default: 16)",
+    )
+    serve_parser.add_argument(
+        "--pool-workers", type=int, default=2, metavar="N",
+        help="workers in the shared analysis pool (default: 2)",
+    )
+    serve_parser.add_argument(
+        "--default-jobs", type=int, default=2, metavar="N",
+        help="analysis shard count for jobs that do not specify one",
+    )
+    serve_parser.add_argument(
+        "--drain-grace", type=float, default=30.0, metavar="SECONDS",
+        help="graceful-shutdown budget for the in-flight job (default: 30)",
+    )
+    serve_parser.add_argument(
+        "--ready-file", default=None, metavar="PATH",
+        help="write host:port here once listening (for scripts/tests)",
+    )
+
+    submit_parser = sub.add_parser(
+        "submit", help="submit a job to a running service"
+    )
+    submit_parser.add_argument(
+        "experiment", help="experiment name (e.g. figure6, table2, imbalance)"
+    )
+    submit_parser.add_argument(
+        "--kind",
+        choices=("run_experiment", "analyze", "simulate"),
+        default="run_experiment",
+        help="job kind (default: run_experiment)",
+    )
+    submit_parser.add_argument("--url", default=DEFAULT_URL)
+    submit_parser.add_argument("--seed", type=int, default=None)
+    submit_parser.add_argument("--jobs", type=int, default=None)
+    submit_parser.add_argument(
+        "--config",
+        default=None,
+        metavar="JSON",
+        help='job config object, e.g. \'{"timeout": 60}\'',
+    )
+    submit_parser.add_argument(
+        "--wait",
+        action="store_true",
+        help="poll until the job settles and print its result",
+    )
+    submit_parser.add_argument(
+        "--poll-interval", type=float, default=0.5, metavar="SECONDS"
+    )
+
+    jobs_parser = sub.add_parser(
+        "jobs", help="list jobs (from a running service, or --store offline)"
+    )
+    jobs_parser.add_argument("--url", default=DEFAULT_URL)
+    jobs_parser.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="read this job store journal directly instead of over HTTP",
+    )
+    return parser
+
+
+# -- experiment commands ---------------------------------------------------------
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    # ``--resume`` owns the journal for the whole sweep, so it takes the
+    # writer lock up front and fails fast if another sweep holds it.
+    journal = (
+        CheckpointJournal(args.journal, exclusive=True) if args.resume else None
+    )
+    try:
+        options = {
+            "timeout": args.timeout,
+            "max_retries": args.max_retries,
+            "journal": journal,
+            "verify_archive": args.verify_archive,
+        }
+        targets = sorted(COMMANDS) if args.what == "all" else [args.what]
+        for name in targets:
+            seed = args.seed if args.seed is not None else DEFAULT_SEEDS[name]
+            print(f"==== {name} (seed {seed}) ====")
+            print(COMMANDS[name](seed, args.jobs, **options))
+            print()
+    finally:
+        if journal is not None:
+            journal.close()
     return 0
+
+
+# -- service commands ------------------------------------------------------------
+
+
+def _http_json(
+    method: str, url: str, body: Optional[Dict[str, Any]] = None, timeout: float = 60.0
+) -> Tuple[int, Dict[str, Any]]:
+    data = json.dumps(body).encode("utf-8") if body is not None else None
+    headers = {"Content-Type": "application/json"} if data else {}
+    request = urllib.request.Request(url, data=data, method=method, headers=headers)
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        try:
+            payload = json.loads(exc.read().decode("utf-8"))
+        except (ValueError, OSError):
+            payload = {"error": str(exc)}
+        return exc.code, payload
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import ServiceConfig, serve
+
+    config = ServiceConfig(
+        store_path=args.store,
+        host=args.host,
+        port=args.port,
+        queue_limit=args.queue_limit,
+        pool_workers=args.pool_workers,
+        default_jobs=args.default_jobs,
+        drain_grace_s=args.drain_grace,
+    )
+    return serve(config, ready_file=args.ready_file)
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    spec: Dict[str, Any] = {"kind": args.kind, "experiment": args.experiment}
+    if args.seed is not None:
+        spec["seed"] = args.seed
+    if args.jobs is not None:
+        spec["jobs"] = args.jobs
+    if args.config:
+        try:
+            spec["config"] = json.loads(args.config)
+        except ValueError as exc:
+            print(f"error: --config is not valid JSON: {exc}", file=sys.stderr)
+            return 2
+    try:
+        status, body = _http_json("POST", f"{args.url}/jobs", spec)
+    except OSError as exc:
+        print(f"error: cannot reach service at {args.url}: {exc}", file=sys.stderr)
+        return 1
+    if status not in (200, 202):
+        print(f"error: submission rejected ({status}): {body.get('error')}",
+              file=sys.stderr)
+        return 1
+    key = body["job"]["key"]
+    print(f"{body['disposition']}: job {key} ({body['job']['status']})")
+    if not args.wait:
+        return 0
+    while True:
+        status, body = _http_json("GET", f"{args.url}/jobs/{key}")
+        if status != 200:
+            print(f"error: poll failed ({status}): {body.get('error')}",
+                  file=sys.stderr)
+            return 1
+        job = body["job"]
+        if job["status"] in ("done", "failed"):
+            break
+        time.sleep(args.poll_interval)
+    if job["status"] == "failed":
+        print(f"job failed: {job.get('error')}", file=sys.stderr)
+        return 1
+    result = job.get("result") or {}
+    print(result.get("text") or json.dumps(result, sort_keys=True, indent=2))
+    return 0
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    if args.store:
+        # Offline listing reads the journal directly; a plain (lazy-lock)
+        # journal never takes the writer lock for reads, so this works
+        # while a service owns the store.
+        from repro.service.store import JobRecord
+
+        journal = CheckpointJournal(args.store)
+        summaries = []
+        for canon, payload in journal.cells().items():
+            cell = json.loads(canon)
+            if not (isinstance(cell, dict) and "job" in cell):
+                continue
+            try:
+                summaries.append(JobRecord.from_payload(payload).summary())
+            except (KeyError, TypeError, ValueError):
+                continue
+        summaries.sort(key=lambda s: s["seq"])
+    else:
+        try:
+            status, body = _http_json("GET", f"{args.url}/jobs")
+        except OSError as exc:
+            print(f"error: cannot reach service at {args.url}: {exc}",
+                  file=sys.stderr)
+            return 1
+        if status != 200:
+            print(f"error: listing failed ({status}): {body.get('error')}",
+                  file=sys.stderr)
+            return 1
+        summaries = body["jobs"]
+    if not summaries:
+        print("no jobs")
+        return 0
+    for job in summaries:
+        line = (
+            f"{job['key'][:12]}  {job['status']:8s} "
+            f"{job['kind']}/{job['experiment']} seed={job['seed']} "
+            f"attempts={job['attempts']}"
+        )
+        if job.get("phase"):
+            line += f"  [{job['phase']}]"
+        if job.get("error"):
+            line += f"  error: {job['error']}"
+        print(line)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "submit":
+            return _cmd_submit(args)
+        if args.command == "jobs":
+            return _cmd_jobs(args)
+    except BrokenPipeError:
+        # The reader closed stdout early (`repro ... | head`).  Point the
+        # fd at devnull so the interpreter's exit-time flush stays quiet.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 141  # 128 + SIGPIPE, the conventional shell encoding
+    except CheckpointLockError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except PoolShutdown as exc:
+        print(f"interrupted: {exc}", file=sys.stderr)
+        return 130
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess

@@ -144,3 +144,76 @@ class ConfigurationError(ReproError):
 
 class CheckpointError(ReproError):
     """The checkpoint journal could not be read or written."""
+
+
+class CheckpointLockError(CheckpointError):
+    """Another writer already holds the journal's advisory lock.
+
+    Two concurrent writers on one journal (two sweeps with ``--journal``,
+    or a service and a CLI sharing one job store) would interleave their
+    rewrite cycles and silently lose each other's cells; the advisory
+    ``fcntl`` lock makes the second writer fail fast with this error
+    instead.
+
+    Attributes
+    ----------
+    path:
+        The journal path whose lock could not be acquired.
+    holder:
+        Contents of the lock file (the holder's pid) when readable.
+    """
+
+    def __init__(self, message: str, path: str = "", holder: str = "") -> None:
+        super().__init__(message)
+        self.path = path
+        self.holder = holder
+
+
+class PoolShutdown(ReproError):
+    """A supervised pool run was interrupted by a graceful shutdown.
+
+    Raised out of :meth:`~repro.resilience.pool.SupervisedPool.run` when
+    :meth:`~repro.resilience.pool.SupervisedPool.request_shutdown` was
+    called (directly, or by the pool's SIGTERM/SIGINT handler) before all
+    tasks settled.  In-flight workers were drained or killed and reaped
+    first — nothing is left orphaned.
+
+    Attributes
+    ----------
+    reason:
+        Why the shutdown was requested (e.g. ``"signal 15 (SIGTERM)"``).
+    results:
+        Results of the tasks that completed before the drain ended, keyed
+        by task index.
+    report:
+        The final :class:`~repro.resilience.pool.ExecutionReport`, with a
+        ``cancelled`` failure entry for every task that did not settle.
+    """
+
+    def __init__(self, reason: str, results=None, report=None) -> None:
+        super().__init__(f"pool shut down before all tasks settled: {reason}")
+        self.reason = reason
+        self.results = dict(results or {})
+        self.report = report
+
+
+class ServiceError(ReproError):
+    """The analysis service rejected or could not process a request."""
+
+
+class JobValidationError(ServiceError):
+    """A submitted job specification is malformed or names unknown work."""
+
+
+class JobRejected(ServiceError):
+    """Admission control rejected a job (queue full / service draining).
+
+    Attributes
+    ----------
+    retry_after_s:
+        Suggested client backoff before resubmitting.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s

@@ -242,6 +242,7 @@ def _analyze(
     jobs: Optional[int] = None,
     timeout: Optional[float] = None,
     max_retries: Optional[int] = None,
+    pool=None,
 ) -> tuple:
     """Run the (possibly degraded) replay, counting partial-trace warnings."""
     with warnings.catch_warnings(record=True) as caught:
@@ -252,6 +253,7 @@ def _analyze(
             jobs=jobs,
             timeout=timeout,
             max_retries=max_retries,
+            pool=pool,
         )
     partial = sum(
         1 for w in caught if issubclass(w.category, PartialTraceWarning)
@@ -268,6 +270,7 @@ def run_fault_experiment(
     max_retries: Optional[int] = None,
     journal: Optional[CheckpointJournal] = None,
     verify_archive: bool = False,
+    pool=None,
 ) -> DegradationReport:
     """Execute the MetaTrace workload once per fault plan.
 
@@ -333,6 +336,7 @@ def run_fault_experiment(
             jobs=jobs,
             timeout=timeout,
             max_retries=max_retries,
+            pool=pool,
         )
         entry.analyzed_ranks = len(result.analyzed_ranks)
         entry.excluded_ranks = len(result.excluded_ranks)

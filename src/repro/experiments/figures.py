@@ -141,6 +141,7 @@ def run_figure4(
     timeout: Optional[float] = None,
     max_retries: Optional[int] = None,
     verify_archive: bool = False,
+    pool=None,
 ) -> Dict[str, AnalysisResult]:
     """Pattern-semantics micro-experiments.
 
@@ -164,10 +165,10 @@ def run_figure4(
 
     return {
         "late_sender": analyze(
-            ls_run, jobs=jobs, timeout=timeout, max_retries=max_retries
+            ls_run, jobs=jobs, timeout=timeout, max_retries=max_retries, pool=pool
         ),
         "wait_at_nxn": analyze(
-            nxn_run, jobs=jobs, timeout=timeout, max_retries=max_retries
+            nxn_run, jobs=jobs, timeout=timeout, max_retries=max_retries, pool=pool
         ),
     }
 
@@ -236,6 +237,7 @@ def run_metatrace_experiment(
     timeout: Optional[float] = None,
     max_retries: Optional[int] = None,
     verify_archive: bool = False,
+    pool=None,
 ) -> MetaTraceOutcome:
     """Run and analyze MetaTrace Experiment 1 (Figure 6) or 2 (Figure 7).
 
@@ -280,5 +282,31 @@ def run_metatrace_experiment(
     run = runtime.run(make_metatrace_app(config))
     if verify_archive:
         _verify_or_raise(f"figure{5 + which}", run)
-    result = analyze(run, jobs=jobs, timeout=timeout, max_retries=max_retries)
+    result = analyze(
+        run, jobs=jobs, timeout=timeout, max_retries=max_retries, pool=pool
+    )
     return MetaTraceOutcome(run=run, result=result, label=label)
+
+
+def metatrace_report_text(outcome: MetaTraceOutcome) -> str:
+    """The canonical rendered report of one MetaTrace analysis.
+
+    ``repro.api.run_experiment("figure6"/"figure7")`` and the analysis
+    service both emit exactly this text, so a served job's report can be
+    compared byte-for-byte against a direct run.
+    """
+    from repro.report.render import render_analysis
+
+    header = [
+        outcome.label,
+        f"grid late sender:     {outcome.grid_late_sender_pct:6.2f} % of time",
+        f"grid wait at barrier: {outcome.grid_wait_at_barrier_pct:6.2f} % of time",
+        f"grid late-sender by metahost pair (causer -> waiter): "
+        f"{ {f'{c}->{w}': round(v, 2) for (c, w), v in outcome.result.grid_pair_breakdown(GRID_LATE_SENDER).items()} }",
+        f"grid barrier-wait by metahost pair: "
+        f"{ {f'{c}->{w}': round(v, 2) for (c, w), v in outcome.result.grid_pair_breakdown(GRID_WAIT_AT_BARRIER).items()} }",
+        "",
+    ]
+    return "\n".join(header) + render_analysis(
+        outcome.result, metric=LATE_SENDER, min_pct=0.5
+    )

@@ -62,6 +62,7 @@ def run_table2(
     max_retries: Optional[int] = None,
     journal: Optional[CheckpointJournal] = None,
     verify_archive: bool = False,
+    pool=None,
 ) -> Tuple[List[Table2Row], RunResult, Dict[str, AnalysisResult]]:
     """Regenerate Table 2.
 
@@ -116,7 +117,12 @@ def run_table2(
                 rows.append(Table2Row(**cached))
                 continue
         result = analyze(
-            run, scheme=scheme, jobs=jobs, timeout=timeout, max_retries=max_retries
+            run,
+            scheme=scheme,
+            jobs=jobs,
+            timeout=timeout,
+            max_retries=max_retries,
+            pool=pool,
         )
         analyses[scheme.name] = result
         summary = result.violations.summary()

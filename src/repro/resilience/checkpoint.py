@@ -16,6 +16,16 @@ therefore always trust what it reads.  The on-disk format is one JSON
 object per line (``{"cell": {...}, "payload": ...}``); unparsable lines
 are skipped on load, so even a journal damaged by external means degrades
 to recomputing a few cells instead of failing the sweep.
+
+Single-writer discipline: the rewrite cycle is atomic against crashes but
+not against a *second writer* — two processes recording cells into one
+journal would overwrite each other's rewrites and silently lose cells.  A
+journal therefore takes an advisory ``fcntl`` lock (on a ``<path>.lock``
+sidecar) before its first write — or already at open with
+``exclusive=True``, the mode long-lived owners such as the job store and
+``--resume`` sweeps use — and holds it until :meth:`close`.  A second
+writer fails fast with :class:`~repro.errors.CheckpointLockError` instead
+of corrupting the store.  Pure readers never lock.
 """
 
 from __future__ import annotations
@@ -25,7 +35,12 @@ import os
 import tempfile
 from typing import Any, Dict, Mapping, Optional
 
-from repro.errors import CheckpointError
+from repro.errors import CheckpointError, CheckpointLockError
+
+try:  # POSIX only; on other platforms the journal degrades to lock-free.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX
+    fcntl = None  # type: ignore[assignment]
 
 __all__ = ["CheckpointJournal"]
 
@@ -41,12 +56,86 @@ def _canonical(cell: Mapping[str, Any]) -> str:
 
 
 class CheckpointJournal:
-    """Persistent map of completed cells → payloads, with atomic writes."""
+    """Persistent map of completed cells → payloads, with atomic writes.
 
-    def __init__(self, path: str) -> None:
+    ``exclusive=True`` acquires the writer lock at open (failing fast when
+    another writer holds it); the default acquires it lazily on the first
+    :meth:`record`.  Use the journal as a context manager — or call
+    :meth:`close` — to release the lock deterministically.
+    """
+
+    def __init__(self, path: str, *, exclusive: bool = False) -> None:
         self.path = os.fspath(path)
         self._cells: Dict[str, Any] = {}
+        self._lock_fd: Optional[int] = None
+        if exclusive:
+            self._acquire_lock()
         self._load()
+
+    # -- the writer lock -------------------------------------------------------
+
+    @property
+    def lock_path(self) -> str:
+        return self.path + ".lock"
+
+    def _acquire_lock(self) -> None:
+        if self._lock_fd is not None or fcntl is None:
+            return
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        try:
+            fd = os.open(self.lock_path, os.O_CREAT | os.O_RDWR, 0o644)
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot open journal lock {self.lock_path}: {exc}"
+            ) from exc
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError as exc:
+            holder = ""
+            try:
+                holder = os.pread(fd, 64, 0).decode("ascii", "replace").strip()
+            except OSError:
+                pass
+            os.close(fd)
+            held = f" (held by pid {holder})" if holder else ""
+            raise CheckpointLockError(
+                f"journal {self.path} already has a writer{held}; "
+                "concurrent writers would corrupt the store",
+                path=self.path,
+                holder=holder,
+            ) from exc
+        try:
+            os.ftruncate(fd, 0)
+            os.pwrite(fd, str(os.getpid()).encode("ascii"), 0)
+        except OSError:  # diagnostics only — the lock itself is what matters
+            pass
+        self._lock_fd = fd
+
+    def close(self) -> None:
+        """Release the writer lock (if held).  Idempotent."""
+        if self._lock_fd is None:
+            return
+        fd, self._lock_fd = self._lock_fd, None
+        try:
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+        finally:
+            os.close(fd)
+
+    def __enter__(self) -> "CheckpointJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- loading ---------------------------------------------------------------
 
     def _load(self) -> None:
         if not os.path.exists(self.path):
@@ -99,6 +188,7 @@ class CheckpointJournal:
             raise CheckpointError(
                 f"payload for cell {key} is not JSON-serializable: {exc}"
             ) from exc
+        self._acquire_lock()
         self._cells[key] = payload
         self._flush()
 
@@ -130,6 +220,6 @@ class CheckpointJournal:
             raise CheckpointError(f"cannot write journal {self.path}: {exc}") from exc
 
 
-def open_journal(path: Optional[str]) -> Optional[CheckpointJournal]:
+def open_journal(path: Optional[str], *, exclusive: bool = False) -> Optional[CheckpointJournal]:
     """``None``-propagating constructor for optional-journal call sites."""
-    return CheckpointJournal(path) if path else None
+    return CheckpointJournal(path, exclusive=exclusive) if path else None

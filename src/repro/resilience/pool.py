@@ -7,8 +7,8 @@ operating assumption — *no* component may be trusted that far, least of
 all the analysis processes themselves (they are the first victims of node
 OOM kills and batch-system preemption).
 
-:class:`SupervisedPool` dispatches each task to a dedicated worker process
-and actively supervises it:
+:class:`SupervisedPool` dispatches each task to a worker process and
+actively supervises it:
 
 * **crash detection** — a worker that exits without delivering a result
   (segfault, SIGKILL, OOM) is noticed within one poll interval;
@@ -27,6 +27,20 @@ and actively supervises it:
   run with zero infrastructure failures is observably identical to a
   plain ``Pool.map``.
 
+Workers run a task loop, so one pool can serve many :meth:`run` calls.  A
+pool constructed with ``persistent=True`` keeps its healthy workers warm
+between runs — the serving-layer configuration, where respawning a pool
+per job would dominate small-job latency — until :meth:`close` reaps
+them; a non-persistent pool (the default) reaps everything at the end of
+each run, preserving the original one-shot behaviour.
+
+Interruption is first-class: :meth:`request_shutdown` (called directly,
+from another thread, or by the SIGTERM/SIGINT handlers the pool installs
+around main-thread runs) drains in-flight tasks for a bounded grace
+period, kills and reaps what remains — no orphaned workers — and raises
+:class:`~repro.errors.PoolShutdown` carrying the partial results and the
+final :class:`ExecutionReport`.
+
 Every dispatch, failure, retry, and fallback is recorded in an
 :class:`ExecutionReport` so callers can attach the recovery story to their
 results instead of silently absorbing it.
@@ -35,12 +49,13 @@ results instead of silently absorbing it.
 from __future__ import annotations
 
 import multiprocessing
+import signal
 import threading
 import time
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import ReproError
+from repro.errors import PoolShutdown, ReproError
 
 __all__ = [
     "PoolConfig",
@@ -75,6 +90,16 @@ class PoolConfig:
     heartbeat_grace_s: float = 30.0
     #: Supervisor poll period.
     poll_interval_s: float = 0.02
+    #: How long a graceful shutdown waits for in-flight tasks to finish
+    #: before killing their workers.
+    drain_grace_s: float = 10.0
+    #: Install SIGTERM/SIGINT handlers around main-thread runs so an
+    #: interrupted parent drains and reaps its workers instead of
+    #: orphaning them.  Runs on non-main threads never install handlers.
+    handle_signals: bool = True
+    #: Multiprocessing start method (``"fork"``/``"spawn"``/...);
+    #: ``None`` uses the platform default.
+    mp_context: Optional[str] = None
     #: Test-only fault hook, run inside the worker before the task function
     #: (chaos harnesses use it to SIGKILL/SIGSTOP/stall the worker).
     chaos_hook: Optional[Callable[[Any], None]] = None
@@ -151,6 +176,28 @@ class ExecutionReport:
             f"wall {self.wall_time_s:.2f}s (slowest task {slowest:.2f}s)"
         )
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (job stores persist this with results)."""
+        return {
+            "workers": self.workers,
+            "wall_time_s": self.wall_time_s,
+            "attempts": self.attempts,
+            "retries": self.retries,
+            "fallbacks": self.fallbacks,
+            "clean": self.clean,
+            "summary": self.summary(),
+            "tasks": [
+                {
+                    "index": t.index,
+                    "attempts": t.attempts,
+                    "fallback": t.fallback,
+                    "failures": list(t.failures),
+                    "wall_time_s": t.wall_time_s,
+                }
+                for t in self.tasks
+            ],
+        }
+
 
 def _heartbeat_loop(beat, interval_s: float, stop: threading.Event) -> None:
     """Worker-side daemon thread: bump the shared counter until told to stop."""
@@ -159,40 +206,58 @@ def _heartbeat_loop(beat, interval_s: float, stop: threading.Event) -> None:
             beat.value += 1
 
 
-def _worker_main(fn, task, conn, beat, interval_s, chaos_hook) -> None:
-    """Worker entry point: run one task, send back ("ok"|"error", value).
+def _worker_main(fn, conn, beat, interval_s, chaos_hook) -> None:
+    """Worker entry point: loop over tasks, send back ("ok"|"error", value).
 
-    Application exceptions travel back over the pipe as values — only the
-    *infrastructure* (process death, deadline, heartbeat loss) is the
-    supervisor's business.  The heartbeat thread is a daemon: it dies with
-    the process, which is exactly the signal the supervisor listens for.
+    Tasks arrive over the duplex pipe as one-tuples; ``None`` is the
+    graceful-exit sentinel.  Application exceptions travel back over the
+    pipe as values — only the *infrastructure* (process death, deadline,
+    heartbeat loss) is the supervisor's business.  The heartbeat thread is
+    a daemon: it dies with the process, which is exactly the signal the
+    supervisor listens for.
     """
     stop = threading.Event()
     threading.Thread(
         target=_heartbeat_loop, args=(beat, interval_s, stop), daemon=True
     ).start()
     try:
-        if chaos_hook is not None:
-            chaos_hook(task)
-        payload = ("ok", fn(task))
-    except BaseException as exc:  # noqa: BLE001 - forwarded, not swallowed
-        payload = ("error", exc)
-    try:
-        conn.send(payload)
-    except Exception as exc:  # unpicklable result/exception
-        conn.send(("error", ReproError(f"task payload not picklable: {exc!r}")))
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+            if message is None:
+                break
+            (task,) = message
+            try:
+                if chaos_hook is not None:
+                    chaos_hook(task)
+                payload = ("ok", fn(task))
+            except BaseException as exc:  # noqa: BLE001 - forwarded, not swallowed
+                payload = ("error", exc)
+            try:
+                conn.send(payload)
+            except Exception as exc:  # unpicklable result/exception
+                conn.send(("error", ReproError(f"task payload not picklable: {exc!r}")))
     finally:
         stop.set()
         conn.close()
 
 
 @dataclass
-class _Attempt:
-    """Supervisor-side state of one running worker."""
+class _Worker:
+    """One live worker process and its supervisor-side plumbing."""
 
     process: Any
     conn: Any
     beat: Any
+
+
+@dataclass
+class _Attempt:
+    """Supervisor-side state of one dispatched task."""
+
+    worker: _Worker
     started: float
     last_beat_value: int = 0
     last_beat_seen: float = 0.0
@@ -204,23 +269,73 @@ class SupervisedPool:
     ``fn`` must be a module-level callable (it crosses the process
     boundary) and pure with respect to each task: a retry re-runs it from
     scratch and must produce the same result.
+
+    ``persistent=True`` keeps healthy workers warm between :meth:`run`
+    calls so a long-lived owner (the analysis service) pays the spawn cost
+    once; call :meth:`close` (or use the pool as a context manager) to
+    reap them.  The default reaps all workers at the end of every run.
     """
 
-    def __init__(self, fn: Callable[[Any], Any], config: Optional[PoolConfig] = None):
+    def __init__(
+        self,
+        fn: Callable[[Any], Any],
+        config: Optional[PoolConfig] = None,
+        *,
+        persistent: bool = False,
+    ):
         self.fn = fn
         self.config = config or PoolConfig()
+        self.persistent = persistent
+        self._idle: List[_Worker] = []
+        self._shutdown = threading.Event()
+        self._shutdown_reason = "shutdown requested"
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def request_shutdown(self, reason: str = "shutdown requested") -> None:
+        """Ask the active run to drain and stop (thread- and signal-safe).
+
+        The run drains in-flight tasks for ``drain_grace_s``, kills and
+        reaps whatever is still running, and raises
+        :class:`~repro.errors.PoolShutdown` unless every task had already
+        settled.  The request is sticky: a subsequent :meth:`run` raises
+        immediately.
+        """
+        self._shutdown_reason = reason
+        self._shutdown.set()
+
+    def close(self) -> None:
+        """Reap every warm worker.  Idempotent."""
+        while self._idle:
+            self._release(self._idle.pop())
+
+    def __enter__(self) -> "SupervisedPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
 
     # -- worker lifecycle ------------------------------------------------------
 
-    def _launch(self, ctx, task: Any, now: float) -> _Attempt:
-        recv_conn, send_conn = ctx.Pipe(duplex=False)
+    def _context(self):
+        if self.config.mp_context:
+            return multiprocessing.get_context(self.config.mp_context)
+        return multiprocessing.get_context()
+
+    def _spawn(self, ctx) -> _Worker:
+        parent_conn, child_conn = ctx.Pipe()
         beat = ctx.Value("Q", 0)
         process = ctx.Process(
             target=_worker_main,
             args=(
                 self.fn,
-                task,
-                send_conn,
+                child_conn,
                 beat,
                 self.config.heartbeat_interval_s,
                 self.config.chaos_hook,
@@ -228,26 +343,63 @@ class SupervisedPool:
             daemon=True,
         )
         process.start()
-        send_conn.close()
+        child_conn.close()
+        return _Worker(process=process, conn=parent_conn, beat=beat)
+
+    def _checkout(self, ctx, fresh: bool) -> _Worker:
+        """A warm idle worker, or a newly spawned one.
+
+        ``fresh=True`` always spawns — retries go to a worker whose runtime
+        state cannot have been poisoned by the failed attempt.
+        """
+        while not fresh and self._idle:
+            worker = self._idle.pop()
+            if worker.process.is_alive():
+                return worker
+            self._release(worker, kill=True)
+        return self._spawn(ctx)
+
+    def _dispatch(self, ctx, task: Any, now: float, fresh: bool) -> _Attempt:
+        worker = self._checkout(ctx, fresh)
+        try:
+            worker.conn.send((task,))
+        except (OSError, ValueError):
+            # The reused worker died between checkout and send: replace it.
+            self._release(worker, kill=True)
+            worker = self._spawn(ctx)
+            worker.conn.send((task,))
         return _Attempt(
-            process=process, conn=recv_conn, beat=beat, started=now, last_beat_seen=now
+            worker=worker,
+            started=now,
+            last_beat_value=worker.beat.value,
+            last_beat_seen=now,
         )
 
     @staticmethod
-    def _dispose(attempt: _Attempt, kill: bool = False) -> None:
-        if kill and attempt.process.is_alive():
-            attempt.process.kill()
-        attempt.process.join(timeout=5.0)
-        attempt.conn.close()
+    def _release(worker: _Worker, kill: bool = False) -> None:
+        """Retire one worker: sentinel + join when healthy, kill otherwise."""
+        if not kill and worker.process.is_alive():
+            try:
+                worker.conn.send(None)
+            except (OSError, ValueError):
+                pass
+            worker.process.join(timeout=5.0)
+        if worker.process.is_alive():
+            worker.process.kill()
+            worker.process.join(timeout=5.0)
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
 
     def _receive(self, attempt: _Attempt) -> Tuple[str, Any]:
         """Drain the worker's result pipe; pipe damage is a failure."""
         try:
-            kind, value = attempt.conn.recv()
+            kind, value = attempt.worker.conn.recv()
         except EOFError:
             # A dead worker's closed pipe reads as EOF before is_alive()
             # notices the exit: this *is* the crash signal.
-            attempt.process.join(timeout=5.0)
+            attempt.worker.process.join(timeout=5.0)
             return ("failed", self._death_reason(attempt))
         except (OSError, ValueError, ImportError, AttributeError) as exc:
             return ("failed", f"worker result unreadable: {exc!r}")
@@ -255,35 +407,37 @@ class SupervisedPool:
 
     @staticmethod
     def _death_reason(attempt: _Attempt) -> str:
-        code = attempt.process.exitcode
+        code = attempt.worker.process.exitcode
         death = f"signal {-code}" if code is not None and code < 0 else f"exit code {code}"
         return f"worker died before returning a result ({death})"
 
-    def _poll(self, attempt: _Attempt, now: float) -> Optional[Tuple[str, Any]]:
+    def _poll(
+        self, attempt: _Attempt, now: float, config: PoolConfig
+    ) -> Optional[Tuple[str, Any]]:
         """One supervision pass over a running worker.
 
         Returns None while the worker is healthy and still running, else
         ``("ok", result)``, ``("error", exception)``, or
         ``("failed", reason)`` for an infrastructure failure.
         """
-        if attempt.conn.poll():
+        if attempt.worker.conn.poll():
             return self._receive(attempt)
-        if not attempt.process.is_alive():
+        if not attempt.worker.process.is_alive():
             # The result may have raced the exit notification.
-            if attempt.conn.poll():
+            if attempt.worker.conn.poll():
                 return self._receive(attempt)
             return ("failed", self._death_reason(attempt))
-        if now - attempt.started > self.config.timeout_s:
+        if now - attempt.started > config.timeout_s:
             return (
                 "failed",
-                f"deadline of {self.config.timeout_s:g}s exceeded "
+                f"deadline of {config.timeout_s:g}s exceeded "
                 f"(worker killed after {now - attempt.started:.1f}s)",
             )
-        beat_value = attempt.beat.value
+        beat_value = attempt.worker.beat.value
         if beat_value != attempt.last_beat_value:
             attempt.last_beat_value = beat_value
             attempt.last_beat_seen = now
-        elif now - attempt.last_beat_seen > self.config.heartbeat_grace_s:
+        elif now - attempt.last_beat_seen > config.heartbeat_grace_s:
             return (
                 "failed",
                 f"heartbeat lost for {now - attempt.last_beat_seen:.1f}s "
@@ -291,18 +445,62 @@ class SupervisedPool:
             )
         return None
 
+    # -- signal wiring ---------------------------------------------------------
+
+    def _install_signal_handlers(self):
+        """SIGTERM/SIGINT → graceful drain, for main-thread runs only."""
+        if not self.config.handle_signals:
+            return None
+        if threading.current_thread() is not threading.main_thread():
+            return None
+
+        def on_signal(signum, frame):
+            self.request_shutdown(f"signal {signum} ({signal.Signals(signum).name})")
+
+        previous = {}
+        try:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                previous[signum] = signal.signal(signum, on_signal)
+        except (ValueError, OSError):  # pragma: no cover - exotic embedding
+            for signum, old in previous.items():
+                signal.signal(signum, old)
+            return None
+        return previous
+
+    @staticmethod
+    def _restore_signal_handlers(previous) -> None:
+        if previous:
+            for signum, old in previous.items():
+                signal.signal(signum, old)
+
     # -- the supervisor loop ---------------------------------------------------
 
-    def run(self, tasks: Sequence[Any]) -> Tuple[List[Any], ExecutionReport]:
+    def run(
+        self,
+        tasks: Sequence[Any],
+        *,
+        timeout_s: Optional[float] = None,
+        max_retries: Optional[int] = None,
+    ) -> Tuple[List[Any], ExecutionReport]:
         """Execute every task; returns ``(results in task order, report)``.
+
+        ``timeout_s`` and ``max_retries`` override the pool's configured
+        deadline/retry budget for this run only — a shared long-lived pool
+        serves jobs with differing budgets without being reconfigured.
 
         Application exceptions (raised by ``fn``) abort the run once every
         lower-indexed task has settled, re-raising the lowest-indexed one —
         the serial executor's semantics.  Infrastructure failures never
-        raise; they are retried, then quarantined to a serial fallback.
+        raise; they are retried, then quarantined to a serial fallback.  A
+        shutdown request (signal or :meth:`request_shutdown`) drains, reaps,
+        and raises :class:`~repro.errors.PoolShutdown`.
         """
         tasks = list(tasks)
         config = self.config
+        if timeout_s is not None:
+            config = replace(config, timeout_s=float(timeout_s))
+        if max_retries is not None:
+            config = replace(config, max_retries=int(max_retries))
         began = time.monotonic()
         report = ExecutionReport(
             tasks=[TaskExecution(index=i) for i in range(len(tasks))],
@@ -311,13 +509,17 @@ class SupervisedPool:
         if not tasks:
             return [], report
 
-        ctx = multiprocessing.get_context()
+        ctx = self._context()
         results: Dict[int, Any] = {}
         errors: Dict[int, BaseException] = {}
         first_dispatch: Dict[int, float] = {}
-        #: (not-before time, task index) — failed tasks re-enter with backoff.
-        pending: List[Tuple[float, int]] = [(began, i) for i in range(len(tasks))]
+        #: (not-before time, task index, needs-fresh-worker) — failed tasks
+        #: re-enter with backoff and a fresh worker.
+        pending: List[Tuple[float, int, bool]] = [
+            (began, i, False) for i in range(len(tasks))
+        ]
         running: Dict[int, _Attempt] = {}
+        drain_deadline: Optional[float] = None
 
         def settle(index: int) -> None:
             report.tasks[index].wall_time_s = time.monotonic() - first_dispatch[index]
@@ -333,46 +535,55 @@ class SupervisedPool:
             settle(index)
 
         def on_failure(index: int, reason: str, attempt: _Attempt) -> None:
-            self._dispose(attempt, kill=True)
+            self._release(attempt.worker, kill=True)
             record = report.tasks[index]
             record.failures.append(reason)
             if record.retries < config.max_retries:
                 delay = config.backoff_base_s * (
                     config.backoff_factor ** (record.attempts - 1)
                 )
-                pending.append((time.monotonic() + delay, index))
+                pending.append((time.monotonic() + delay, index, True))
             else:
                 run_fallback(index)
 
+        previous_handlers = self._install_signal_handlers()
         try:
             while len(results) + len(errors) < len(tasks):
                 now = time.monotonic()
-                # Dispatch ready pending tasks into free worker slots.
-                while pending and len(running) < config.max_workers:
-                    ready = [p for p in pending if p[0] <= now]
-                    if not ready:
+                if self._shutdown.is_set():
+                    # Drain: no new dispatches; give in-flight tasks one
+                    # bounded grace window, then stop.
+                    if drain_deadline is None:
+                        drain_deadline = now + config.drain_grace_s
+                    if not running or now >= drain_deadline:
                         break
-                    entry = min(ready)
-                    pending.remove(entry)
-                    index = entry[1]
-                    report.tasks[index].attempts += 1
-                    first_dispatch.setdefault(index, now)
-                    running[index] = self._launch(ctx, tasks[index], now)
+                else:
+                    # Dispatch ready pending tasks into free worker slots.
+                    while pending and len(running) < config.max_workers:
+                        ready = [p for p in pending if p[0] <= now]
+                        if not ready:
+                            break
+                        entry = min(ready)
+                        pending.remove(entry)
+                        _not_before, index, fresh = entry
+                        report.tasks[index].attempts += 1
+                        first_dispatch.setdefault(index, now)
+                        running[index] = self._dispatch(ctx, tasks[index], now, fresh)
 
                 progressed = False
                 for index in list(running):
                     attempt = running[index]
-                    outcome = self._poll(attempt, now)
+                    outcome = self._poll(attempt, now, config)
                     if outcome is None:
                         continue
                     progressed = True
                     kind, value = outcome
+                    del running[index]
                     if kind == "failed":
-                        del running[index]
                         on_failure(index, value, attempt)
                         continue
-                    del running[index]
-                    self._dispose(attempt)
+                    # The worker answered and is healthy: keep it warm.
+                    self._idle.append(attempt.worker)
                     if kind == "ok":
                         results[index] = value
                     else:
@@ -391,9 +602,18 @@ class SupervisedPool:
                     time.sleep(config.poll_interval_s)
         finally:
             for attempt in running.values():
-                self._dispose(attempt, kill=True)
+                self._release(attempt.worker, kill=True)
+            running.clear()
+            if not self.persistent:
+                self.close()
             report.wall_time_s = time.monotonic() - began
+            self._restore_signal_handlers(previous_handlers)
 
+        if self._shutdown.is_set() and len(results) + len(errors) < len(tasks):
+            for record in report.tasks:
+                if record.index not in results and record.index not in errors:
+                    record.failures.append(f"cancelled: {self._shutdown_reason}")
+            raise PoolShutdown(self._shutdown_reason, results=results, report=report)
         if errors:
             raise errors[min(errors)]
         return [results[i] for i in range(len(tasks))], report

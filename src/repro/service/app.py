@@ -1,0 +1,399 @@
+"""The analysis service: lifecycle, admission control, execution.
+
+:class:`AnalysisService` owns exactly three long-lived things:
+
+* one :class:`~repro.service.store.JobStore` (durable state — the only
+  thing that must survive a crash),
+* one warm persistent :class:`~repro.resilience.pool.SupervisedPool`
+  of ``analyze_shard`` workers, lent to every analysis job instead of
+  spawning a pool per request,
+* one executor thread draining the in-memory run queue in submission
+  order.
+
+Crash-safety protocol (the order matters):
+
+1. :meth:`submit` journals the accepted record *before* acknowledging —
+   an acknowledged job is durable by construction.
+2. The executor journals the ``running`` transition before computing,
+   so a SIGKILL mid-compute is distinguishable from never-started.
+3. On :meth:`startup`, every journaled job still in a recoverable state
+   is re-queued (in original submission order) and runs to completion;
+   since each job is deterministic in its canonical spec, the recovered
+   result is byte-identical to the one the uninterrupted service would
+   have produced.
+4. A graceful shutdown (SIGTERM → :meth:`shutdown`) stops admission,
+   lets the in-flight job finish within ``drain_grace_s``, cancels it
+   through the pool past that, and leaves everything unfinished
+   journaled as ``accepted`` for the next start.
+
+Admission control is a bounded queue: past ``queue_limit`` waiting jobs,
+:meth:`submit` raises :class:`~repro.errors.JobRejected` (HTTP 429)
+rather than buffering unbounded work it may never get to.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.errors import JobRejected, PoolShutdown, ServiceError
+from repro.service.runners import execute_job
+from repro.service.store import (
+    ACCEPTED,
+    DONE,
+    FAILED,
+    RUNNING,
+    JobRecord,
+    JobStore,
+    canonical_spec,
+    job_key,
+)
+
+__all__ = ["ServiceConfig", "AnalysisService", "create_app"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of one service instance."""
+
+    #: Journal file backing the job store (the single source of truth).
+    store_path: str = ".repro-jobs.jsonl"
+    host: str = "127.0.0.1"
+    #: TCP port; 0 lets the OS pick (the bound port is printed/exposed).
+    port: int = 8137
+    #: Maximum jobs waiting behind the running one before 429s start.
+    queue_limit: int = 16
+    #: Workers in the shared analysis pool.
+    pool_workers: int = 2
+    #: Default ``jobs`` for submissions that do not specify one.
+    default_jobs: int = 2
+    #: Per-shard deadline / crash-retry budget for analysis, pool-wide
+    #: defaults (a job's config may override per run).
+    timeout_s: Optional[float] = None
+    max_retries: Optional[int] = None
+    #: How long a graceful shutdown waits for the in-flight job.
+    drain_grace_s: float = 30.0
+    #: Journaled attempts after which a job is declared crash-looping.
+    max_job_attempts: int = 3
+
+
+class AnalysisService:
+    """Crash-safe async job execution over :mod:`repro.api`.
+
+    Use as a context manager, or pair :meth:`startup` / :meth:`shutdown`
+    explicitly.  All public methods are thread-safe (the HTTP front end
+    calls them from handler threads).
+    """
+
+    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
+        self.config = config or ServiceConfig()
+        self._lock = threading.RLock()
+        self._wakeup = threading.Condition(self._lock)
+        self._queue: Deque[str] = deque()
+        self._accepting = False
+        self._stopping = False
+        self._running_key: Optional[str] = None
+        self._executed = 0  # jobs actually computed by this process
+        self.store: Optional[JobStore] = None
+        self.pool = None
+        self._executor: Optional[threading.Thread] = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def startup(self) -> "AnalysisService":
+        """Open the store, recover journaled work, start pool + executor."""
+        if self.store is not None:
+            return self
+        from dataclasses import replace as _replace
+
+        from repro.analysis.parallel import analyze_shard
+        from repro.resilience.pool import PoolConfig, SupervisedPool
+
+        self.store = JobStore(self.config.store_path)
+        pool_config = PoolConfig(
+            max_workers=max(1, self.config.pool_workers),
+            handle_signals=False,  # the serve loop owns signal handling
+        )
+        if self.config.timeout_s is not None:
+            pool_config = _replace(pool_config, timeout_s=self.config.timeout_s)
+        if self.config.max_retries is not None:
+            pool_config = _replace(pool_config, max_retries=self.config.max_retries)
+        self.pool = SupervisedPool(analyze_shard, pool_config, persistent=True)
+        with self._lock:
+            recovered = self.store.pending()
+            for record in recovered:
+                # A job found ``running`` was killed mid-compute; both
+                # recoverable states simply re-enter the queue.
+                record.status = ACCEPTED
+                record.phase = "recovered from journal"
+                self.store.save(record)
+                self._queue.append(record.key)
+            self._accepting = True
+            self._wakeup.notify_all()
+        self._executor = threading.Thread(
+            target=self._run_jobs, name="repro-service-executor", daemon=True
+        )
+        self._executor.start()
+        return self
+
+    def shutdown(self, *, drain: bool = True) -> None:
+        """Stop accepting, settle the in-flight job, release everything.
+
+        ``drain=True`` gives the running job ``drain_grace_s`` to finish
+        cleanly; past the grace (or with ``drain=False``) the job is
+        cancelled through the pool, journaled back to ``accepted`` and
+        left for the next start.  Queued jobs always stay journaled as
+        ``accepted``.  Idempotent.
+        """
+        if self.store is None:
+            return
+        with self._lock:
+            self._accepting = False
+            self._stopping = True
+            self._wakeup.notify_all()
+        if self.pool is not None and not drain:
+            self.pool.request_shutdown("service shutdown (no drain)")
+        if self._executor is not None:
+            grace = self.config.drain_grace_s if drain else 5.0
+            self._executor.join(timeout=grace)
+            if self._executor.is_alive() and self.pool is not None:
+                # Drain grace exceeded: cancel the in-flight analysis.
+                self.pool.request_shutdown("drain grace exceeded")
+                self._executor.join(timeout=10.0)
+            self._executor = None
+        if self.pool is not None:
+            self.pool.close()
+            self.pool = None
+        store, self.store = self.store, None
+        store.close()
+
+    def __enter__(self) -> "AnalysisService":
+        return self.startup()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # -- submission ------------------------------------------------------------
+
+    def submit(self, raw: Dict[str, Any]) -> Tuple[JobRecord, str]:
+        """Accept (or dedup) one submission; returns ``(record, disposition)``.
+
+        Dispositions: ``created`` (new work journaled), ``duplicate``
+        (same job already queued or running), ``cached`` (already done —
+        the stored result is authoritative, nothing recomputes),
+        ``retried`` (a previously failed job re-admitted).
+        """
+        spec = canonical_spec(raw, default_jobs=self.config.default_jobs)
+        key = job_key(spec)
+        with self._lock:
+            if not self._accepting:
+                raise JobRejected(
+                    "service is draining and not accepting jobs", retry_after_s=5.0
+                )
+            assert self.store is not None
+            existing = self.store.get(key)
+            if existing is not None and existing.status == DONE:
+                return existing, "cached"
+            if existing is not None and existing.status in (ACCEPTED, RUNNING):
+                return existing, "duplicate"
+            if len(self._queue) >= self.config.queue_limit:
+                raise JobRejected(
+                    f"job queue is full ({self.config.queue_limit} waiting); "
+                    "retry later",
+                    retry_after_s=2.0,
+                )
+            if existing is not None:  # a failed job, resubmitted
+                record = existing
+                record.status = ACCEPTED
+                record.phase = "re-admitted after failure"
+                record.error = None
+                record.attempts = 0
+                disposition = "retried"
+            else:
+                record = JobRecord(
+                    key=key,
+                    seq=self.store.next_seq(),
+                    spec=spec,
+                    status=ACCEPTED,
+                    submitted_at=time.time(),
+                )
+                disposition = "created"
+            # Durability before acknowledgement: the fsync'd journal
+            # write happens inside save(), before the caller sees a key.
+            self.store.save(record)
+            self._queue.append(key)
+            self._wakeup.notify_all()
+            return record, disposition
+
+    # -- introspection ---------------------------------------------------------
+
+    def job(self, key: str) -> Optional[JobRecord]:
+        with self._lock:
+            return self.store.get(key) if self.store is not None else None
+
+    def jobs(self) -> List[JobRecord]:
+        with self._lock:
+            return self.store.records() if self.store is not None else []
+
+    @property
+    def accepting(self) -> bool:
+        with self._lock:
+            return self._accepting
+
+    @property
+    def ready(self) -> bool:
+        with self._lock:
+            return (
+                self._accepting
+                and self._executor is not None
+                and self._executor.is_alive()
+            )
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "accepting": self._accepting,
+                "queued": len(self._queue),
+                "running": self._running_key,
+                "executed": self._executed,
+                "jobs_total": len(self.store) if self.store is not None else 0,
+                "store": self.store.path if self.store is not None else None,
+                "pool_workers": self.config.pool_workers,
+            }
+
+    def severity(
+        self, key: str, *, metric: Optional[str] = None
+    ) -> Dict[str, Any]:
+        """Query the severity cube of a finished ``analyze`` job.
+
+        Without ``metric``: the available metrics and cube metadata.
+        With ``metric``: total severity plus by-rank and by-callpath
+        aggregations of that metric's cells.
+        """
+        record = self.job(key)
+        if record is None:
+            raise ServiceError(f"no job {key}")
+        if record.status != DONE or not record.result:
+            raise ServiceError(f"job {key} is {record.status}; no result to query")
+        cube = record.result.get("severity")
+        if not cube:
+            raise ServiceError(
+                f"job {key} is a {record.result.get('kind')} job; "
+                "only analyze jobs carry a severity cube"
+            )
+        cells = cube.get("cells", [])
+        if metric is None:
+            return {
+                "job": key,
+                "metrics": sorted({c["metric"] for c in cells}),
+                "total_time": cube.get("total_time"),
+                "scheme": cube.get("scheme"),
+                "machine_names": cube.get("machine_names"),
+            }
+        chosen = [c for c in cells if c["metric"] == metric]
+        if not chosen:
+            known = ", ".join(sorted({c["metric"] for c in cells}))
+            raise ServiceError(f"metric {metric!r} not in cube; available: {known}")
+        by_rank: Dict[str, float] = {}
+        by_callpath: Dict[str, float] = {}
+        total = 0.0
+        for cell in chosen:
+            value = float(cell["value"])
+            total += value
+            rank = str(cell["rank"])
+            path = "/".join(cell["path"])
+            by_rank[rank] = by_rank.get(rank, 0.0) + value
+            by_callpath[path] = by_callpath.get(path, 0.0) + value
+        return {
+            "job": key,
+            "metric": metric,
+            "total": total,
+            "by_rank": by_rank,
+            "by_callpath": by_callpath,
+        }
+
+    # -- the executor ----------------------------------------------------------
+
+    def _set_phase(self, key: str, phase: str) -> None:
+        with self._lock:
+            record = self.store.get(key) if self.store is not None else None
+            if record is not None:
+                record.phase = phase  # in-memory progress; journaled on transitions
+
+    def _run_jobs(self) -> None:
+        while True:
+            with self._lock:
+                while not self._queue and not self._stopping:
+                    self._wakeup.wait(timeout=0.2)
+                if self._stopping:
+                    return
+                key = self._queue.popleft()
+                assert self.store is not None
+                record = self.store.get(key)
+                if record is None:  # pragma: no cover - queue/store drift guard
+                    continue
+                record.attempts += 1
+                if record.attempts > self.config.max_job_attempts:
+                    # The job has now crashed the service repeatedly;
+                    # quarantine it instead of crash-looping forever.
+                    record.status = FAILED
+                    record.error = (
+                        f"gave up after {record.attempts - 1} interrupted attempts"
+                    )
+                    record.finished_at = time.time()
+                    record.phase = ""
+                    self.store.save(record)
+                    continue
+                record.status = RUNNING
+                record.started_at = time.time()
+                record.phase = "starting"
+                self.store.save(record)
+                self._running_key = key
+                pool = self.pool
+            try:
+                result, execution = execute_job(
+                    record.spec,
+                    pool=pool,
+                    progress=lambda phase: self._set_phase(key, phase),
+                )
+            except PoolShutdown:
+                # Shutdown raced the job: put it back to ``accepted`` so
+                # the next start finishes it; the loop then observes
+                # ``_stopping`` and exits.
+                with self._lock:
+                    record.status = ACCEPTED
+                    record.phase = "interrupted by shutdown; resumes on restart"
+                    self.store.save(record)
+                    self._running_key = None
+                continue
+            except Exception as exc:
+                with self._lock:
+                    record.status = FAILED
+                    record.error = f"{type(exc).__name__}: {exc}"
+                    record.finished_at = time.time()
+                    record.phase = ""
+                    self.store.save(record)
+                    self._running_key = None
+                continue
+            with self._lock:
+                record.status = DONE
+                record.result = result
+                record.execution = execution
+                record.finished_at = time.time()
+                record.phase = ""
+                self.store.save(record)
+                self._running_key = None
+                self._executed += 1
+
+
+def create_app(config: Optional[ServiceConfig] = None) -> AnalysisService:
+    """Build an (un-started) service — the app-factory entry point.
+
+    Call :meth:`AnalysisService.startup` (or enter the context manager,
+    or hand it to :func:`repro.service.http.serve`) to open the store,
+    recover journaled jobs and start executing.
+    """
+    return AnalysisService(config)

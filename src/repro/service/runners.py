@@ -1,0 +1,157 @@
+"""Execution of canonical job specs against the :mod:`repro.api` facade.
+
+One entry point, :func:`execute_job`, shared by the live service and by
+tests that want to compute a job's expected result without a server.
+Determinism contract: for a fixed canonical spec, the ``result`` mapping
+is byte-stable across runs and across restarts — it contains only
+simulated-time quantities (rendered report text, severity cells, counts),
+never wall-clock measurements.  Nondeterministic execution telemetry
+(the supervised pool's :class:`~repro.resilience.pool.ExecutionReport`)
+is returned *separately* so the job record can carry it without
+polluting the cacheable result.
+
+All :mod:`repro.api` imports are deferred into the functions: the
+service package is itself re-exported through the facade, and deferring
+keeps that cycle open at import time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+
+from repro.errors import JobValidationError
+
+__all__ = ["execute_job"]
+
+Progress = Callable[[str], None]
+
+#: ``analyze`` experiment name → MetaTrace figure number.
+_FIGURES = {"figure6": 1, "figure7": 2}
+
+
+def execute_job(
+    spec: Mapping[str, Any],
+    *,
+    pool=None,
+    progress: Optional[Progress] = None,
+) -> Tuple[Dict[str, Any], Optional[Dict[str, Any]]]:
+    """Run one canonical job spec; return ``(result, execution)``.
+
+    ``pool`` is the service's long-lived warm
+    :class:`~repro.resilience.pool.SupervisedPool` (task function
+    ``analyze_shard``), lent to every analysis phase.  ``progress`` is
+    called with human-readable phase strings as the job advances.
+    """
+    notify = progress or (lambda phase: None)
+    kind = spec.get("kind")
+    if kind == "run_experiment":
+        return _run_experiment_job(spec, pool, notify)
+    if kind == "analyze":
+        return _analyze_job(spec, pool, notify)
+    if kind == "simulate":
+        return _simulate_job(spec, notify)
+    raise JobValidationError(f"unknown job kind {kind!r}")
+
+
+def _run_experiment_job(
+    spec: Mapping[str, Any], pool, notify: Progress
+) -> Tuple[Dict[str, Any], None]:
+    """Regenerate a paper artifact; the result is its rendered text."""
+    from repro.api import run_experiment
+
+    config = spec.get("config", {})
+    notify(f"running experiment {spec['experiment']}")
+    text = run_experiment(
+        spec["experiment"],
+        seed=spec["seed"],
+        jobs=spec["jobs"] or None,
+        timeout=config.get("timeout"),
+        max_retries=config.get("max_retries"),
+        verify_archive=bool(config.get("verify_archive", False)),
+        pool=pool,
+    )
+    return {"kind": "run_experiment", "experiment": spec["experiment"], "text": text}, None
+
+
+def _analyze_job(
+    spec: Mapping[str, Any], pool, notify: Progress
+) -> Tuple[Dict[str, Any], Optional[Dict[str, Any]]]:
+    """MetaTrace pipeline end to end: simulate, replay, render, cube.
+
+    The ``text`` field is produced by the same renderer
+    (:func:`~repro.experiments.figures.metatrace_report_text`) that
+    ``run_experiment("figure6"/"figure7")`` uses, so a served report can
+    be compared byte-for-byte against a direct library call.
+    """
+    from repro.experiments.figures import (
+        metatrace_report_text,
+        run_metatrace_experiment,
+    )
+    from repro.report.serialize import result_to_dict
+
+    config = spec.get("config", {})
+    experiment = spec["experiment"]
+    notify(f"simulating and replaying {experiment}")
+    outcome = run_metatrace_experiment(
+        figure=_FIGURES[experiment],
+        seed=spec["seed"],
+        jobs=spec["jobs"] or None,
+        coupling_intervals=config.get("coupling_intervals"),
+        timeout=config.get("timeout"),
+        max_retries=config.get("max_retries"),
+        verify_archive=bool(config.get("verify_archive", False)),
+        pool=pool,
+    )
+    notify("rendering report")
+    result = {
+        "kind": "analyze",
+        "experiment": experiment,
+        "text": metatrace_report_text(outcome),
+        "summary": outcome.summary(),
+        "severity": result_to_dict(outcome.result, name=experiment),
+    }
+    execution = (
+        outcome.result.execution.to_dict()
+        if outcome.result.execution is not None
+        else None
+    )
+    return result, execution
+
+
+def _simulate_job(
+    spec: Mapping[str, Any], notify: Progress
+) -> Tuple[Dict[str, Any], None]:
+    """Run a synthetic imbalance workload; report archive integrity."""
+    import math
+
+    from repro.api import Placement, simulate, uniform_metacomputer, verify_archives
+    from repro.apps.imbalance import make_imbalance_app
+
+    config = spec.get("config", {})
+    ranks = int(config.get("ranks", 4))
+    metahosts = int(config.get("metahosts", 2))
+    iterations = int(config.get("iterations", 4))
+    node_count = max(1, math.ceil(ranks / metahosts))
+    metacomputer = uniform_metacomputer(
+        metahost_count=metahosts, node_count=node_count, cpus_per_node=1
+    )
+    placement = Placement.block(metacomputer, ranks)
+    # Deterministic per-rank compute imbalance: three work classes.
+    work = {rank: 0.005 * (1 + rank % 3) for rank in range(ranks)}
+    notify(f"simulating imbalance workload ({ranks} ranks, {metahosts} metahosts)")
+    run = simulate(
+        make_imbalance_app(work, iterations=iterations),
+        metacomputer,
+        placement,
+        seed=spec["seed"],
+    )
+    notify("verifying archives")
+    verification = verify_archives(run)
+    result = {
+        "kind": "simulate",
+        "experiment": spec["experiment"],
+        "world_size": run.placement.size,
+        "machines": [metacomputer.metahosts[m].name for m in run.machines_used],
+        "integrity_ok": verification.ok,
+    }
+    return result, None

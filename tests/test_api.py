@@ -25,14 +25,18 @@ API_SURFACE_SNAPSHOT = [
     "DEFAULT_SEEDS",
     "EXPERIMENTS",
     "ExecutionReport",
+    "JobStore",
     "Metacomputer",
     "Placement",
     "RunResult",
+    "ServiceConfig",
     "analyze",
+    "create_app",
     "ibm_aix_power",
     "render_analysis",
     "resolve_jobs",
     "run_experiment",
+    "serve",
     "simulate",
     "single_cluster",
     "uniform_metacomputer",

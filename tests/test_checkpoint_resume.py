@@ -252,9 +252,10 @@ class TestCliResume:
         assert len(CheckpointJournal(path)) == 1
 
         # Second run must come from the journal: sentinel the cached text.
-        journal = CheckpointJournal(path)
-        cell = {"experiment": "table1", "seed": 0}
-        journal.record(cell, {"text": "from-the-journal"})
+        # (Close the journal afterwards — --resume takes the writer lock.)
+        with CheckpointJournal(path) as journal:
+            cell = {"experiment": "table1", "seed": 0}
+            journal.record(cell, {"text": "from-the-journal"})
         assert cli.main(["table1", "--resume", "--journal", path]) == 0
         second = capsys.readouterr().out
         assert "from-the-journal" in second

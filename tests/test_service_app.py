@@ -1,0 +1,229 @@
+"""AnalysisService semantics: dedup, admission control, recovery, queries.
+
+Timing-sensitive behaviours (queue-full, duplicate-while-queued) use a
+gated stand-in for ``execute_job`` so the executor blocks deterministically;
+end-to-end correctness of the real runners is covered by
+``test_service_http.py`` and ``test_service_recovery.py``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+import repro.service.app as app_module
+from repro.errors import JobRejected, JobValidationError, ServiceError
+from repro.service import ServiceConfig, create_app
+from repro.service.store import ACCEPTED, DONE, FAILED, JobRecord, JobStore
+
+
+def _wait(predicate, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.02)
+    return False
+
+
+def _wait_settled(service, key, timeout=60.0):
+    assert _wait(
+        lambda: service.job(key).status in (DONE, FAILED), timeout=timeout
+    ), f"job {key} never settled: {service.job(key).status}"
+    return service.job(key)
+
+
+class _Gate:
+    """Controllable execute_job replacement: blocks until released."""
+
+    def __init__(self):
+        self.release = threading.Event()
+        self.started = threading.Event()
+        self.calls = 0
+
+    def __call__(self, spec, *, pool=None, progress=None):
+        self.calls += 1
+        self.started.set()
+        if not self.release.wait(timeout=60):
+            raise RuntimeError("gate never released")
+        return {"kind": spec["kind"], "echo": spec["seed"]}, None
+
+
+@pytest.fixture
+def config(tmp_path):
+    return ServiceConfig(
+        store_path=str(tmp_path / "jobs.jsonl"),
+        queue_limit=2,
+        pool_workers=1,
+        default_jobs=1,
+        drain_grace_s=5.0,
+    )
+
+
+SIM = {"kind": "simulate", "experiment": "imbalance"}
+
+
+class TestSubmission:
+    def test_submit_runs_to_done(self, config):
+        with create_app(config) as service:
+            record, disposition = service.submit({**SIM, "seed": 1})
+            assert disposition == "created"
+            assert record.status == ACCEPTED
+            final = _wait_settled(service, record.key)
+            assert final.status == DONE
+            assert final.result["integrity_ok"] is True
+            assert final.attempts == 1
+            assert service.stats()["executed"] == 1
+
+    def test_invalid_spec_rejected_without_side_effects(self, config):
+        with create_app(config) as service:
+            with pytest.raises(JobValidationError):
+                service.submit({"kind": "nope", "experiment": "x"})
+            assert service.jobs() == []
+
+    def test_submit_before_startup_rejected(self, config):
+        service = create_app(config)
+        with pytest.raises(JobRejected):
+            service.submit({**SIM, "seed": 1})
+
+    def test_submit_while_draining_rejected(self, config):
+        service = create_app(config).startup()
+        service.shutdown()
+        with pytest.raises(JobRejected):
+            service.submit({**SIM, "seed": 1})
+
+
+class TestIdempotency:
+    def test_duplicate_while_queued(self, config, monkeypatch):
+        gate = _Gate()
+        monkeypatch.setattr(app_module, "execute_job", gate)
+        with create_app(config) as service:
+            first, d1 = service.submit({**SIM, "seed": 1})
+            second, d2 = service.submit({**SIM, "seed": 1})
+            assert d1 == "created" and d2 == "duplicate"
+            assert second.key == first.key
+            assert len(service.jobs()) == 1
+            gate.release.set()
+            _wait_settled(service, first.key)
+            assert gate.calls == 1  # submitted twice, computed once
+
+    def test_finished_job_served_from_cache(self, config, monkeypatch):
+        gate = _Gate()
+        gate.release.set()
+        monkeypatch.setattr(app_module, "execute_job", gate)
+        with create_app(config) as service:
+            record, _ = service.submit({**SIM, "seed": 1})
+            _wait_settled(service, record.key)
+            calls_before = gate.calls
+            again, disposition = service.submit({**SIM, "seed": 1})
+            assert disposition == "cached"
+            assert again.result == record.result
+            time.sleep(0.2)  # would surface an accidental re-queue
+            assert gate.calls == calls_before
+
+    def test_failed_job_readmitted_on_resubmit(self, config, monkeypatch):
+        def explode(spec, *, pool=None, progress=None):
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr(app_module, "execute_job", explode)
+        with create_app(config) as service:
+            record, _ = service.submit({**SIM, "seed": 1})
+            final = _wait_settled(service, record.key)
+            assert final.status == FAILED
+            assert "boom" in final.error
+            healthy = _Gate()
+            healthy.release.set()
+            monkeypatch.setattr(app_module, "execute_job", healthy)
+            again, disposition = service.submit({**SIM, "seed": 1})
+            assert disposition == "retried"
+            final = _wait_settled(service, again.key)
+            assert final.status == DONE
+            assert final.error is None
+
+
+class TestAdmissionControl:
+    def test_queue_full_rejected_with_backpressure(self, config, monkeypatch):
+        gate = _Gate()
+        monkeypatch.setattr(app_module, "execute_job", gate)
+        with create_app(config) as service:
+            service.submit({**SIM, "seed": 1})
+            gate.started.wait(timeout=10)  # seed 1 now in flight, not queued
+            service.submit({**SIM, "seed": 2})
+            service.submit({**SIM, "seed": 3})  # queue now at its limit of 2
+            with pytest.raises(JobRejected) as excinfo:
+                service.submit({**SIM, "seed": 4})
+            assert excinfo.value.retry_after_s > 0
+            gate.release.set()
+
+
+class TestRecovery:
+    def test_journaled_jobs_finish_after_restart(self, config):
+        # A dead service's store: one queued job, one that was mid-run.
+        with JobStore(config.store_path) as store:
+            from repro.service.store import canonical_spec, job_key
+
+            for seq, (seed, status) in enumerate([(1, "accepted"), (2, "running")], 1):
+                spec = canonical_spec({**SIM, "seed": seed}, default_jobs=1)
+                store.save(
+                    JobRecord(key=job_key(spec), seq=seq, spec=spec, status=status)
+                )
+        with create_app(config) as service:
+            records = service.jobs()
+            assert len(records) == 2
+            for record in records:
+                final = _wait_settled(service, record.key)
+                assert final.status == DONE
+                assert final.result["integrity_ok"] is True
+
+    def test_crash_looping_job_quarantined(self, config):
+        with JobStore(config.store_path) as store:
+            from repro.service.store import canonical_spec, job_key
+
+            spec = canonical_spec({**SIM, "seed": 1}, default_jobs=1)
+            store.save(
+                JobRecord(
+                    key=job_key(spec), seq=1, spec=spec, status="running",
+                    attempts=config.max_job_attempts,
+                )
+            )
+        with create_app(config) as service:
+            final = _wait_settled(service, service.jobs()[0].key)
+            assert final.status == FAILED
+            assert "gave up" in final.error
+
+
+class TestSeverityQuery:
+    def test_cube_queries(self, config):
+        analyze = {
+            "kind": "analyze",
+            "experiment": "figure7",
+            "seed": 3,
+            "jobs": 1,
+            "config": {"coupling_intervals": 2},
+        }
+        with create_app(config) as service:
+            record, _ = service.submit(analyze)
+            final = _wait_settled(service, record.key, timeout=120)
+            assert final.status == DONE, final.error
+            overview = service.severity(record.key)
+            assert "late-sender" in overview["metrics"]
+            assert overview["total_time"] > 0
+            detail = service.severity(record.key, metric="late-sender")
+            assert detail["total"] >= 0
+            assert detail["by_rank"] and detail["by_callpath"]
+            assert detail["total"] == pytest.approx(
+                sum(detail["by_rank"].values())
+            )
+            with pytest.raises(ServiceError):
+                service.severity(record.key, metric="no-such-metric")
+            with pytest.raises(ServiceError):
+                service.severity("missing-key")
+
+    def test_simulate_jobs_have_no_cube(self, config):
+        with create_app(config) as service:
+            record, _ = service.submit({**SIM, "seed": 1})
+            _wait_settled(service, record.key)
+            with pytest.raises(ServiceError):
+                service.severity(record.key)

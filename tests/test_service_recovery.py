@@ -1,0 +1,203 @@
+"""The service's crash-safety acceptance: SIGKILL recovery, graceful SIGTERM.
+
+These tests drive the real ``repro serve`` process over HTTP.  The pinned
+contract:
+
+* every job accepted (acknowledged) before a SIGKILL is completed by a
+  restarted service on the same store, and each recovered result is
+  byte-identical to the result of an uninterrupted direct computation;
+* a duplicate submission after recovery is served from cache without
+  recomputation;
+* SIGTERM drains gracefully: exit code 0, the store lock released.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service.runners import execute_job
+from repro.service.store import canonical_spec, job_key
+
+#: The recovery workload: one analysis long enough to be killed mid-run
+#: (~3 s) plus quick jobs that are still queued behind it at kill time.
+JOB_SPECS = [
+    {
+        "kind": "analyze",
+        "experiment": "figure6",
+        "seed": 1,
+        "jobs": 1,
+        "config": {"coupling_intervals": 20},
+    },
+    {"kind": "simulate", "experiment": "imbalance", "seed": 1, "jobs": 1},
+    {"kind": "simulate", "experiment": "imbalance", "seed": 2, "jobs": 1},
+]
+
+
+def _env():
+    root = os.path.join(os.path.dirname(__file__), "..")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [os.path.join(root, "src")] + env.get("PYTHONPATH", "").split(os.pathsep)
+    )
+    return env
+
+
+def _start_server(tmp_path, store):
+    ready = tmp_path / f"ready-{time.monotonic_ns()}"
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0", "--store", str(store),
+            "--ready-file", str(ready),
+            "--pool-workers", "1", "--default-jobs", "1",
+            "--drain-grace", "60",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=_env(),
+    )
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        if ready.exists() and ready.read_text().strip():
+            break
+        if proc.poll() is not None:
+            raise AssertionError(f"server died at startup:\n{proc.stdout.read()}")
+        time.sleep(0.05)
+    else:
+        proc.kill()
+        raise AssertionError("server never became ready")
+    host, port = ready.read_text().strip().split(":")
+    return proc, f"http://{host}:{port}"
+
+
+def _request(base, method, path, body=None, timeout=30.0):
+    data = json.dumps(body).encode("utf-8") if body is not None else None
+    headers = {"Content-Type": "application/json"} if data else {}
+    request = urllib.request.Request(
+        base + path, data=data, method=method, headers=headers
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def _canonical_json(value):
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+@pytest.mark.slow
+class TestCrashRecovery:
+    def test_sigkilled_service_finishes_all_accepted_jobs_identically(self, tmp_path):
+        store = tmp_path / "jobs.jsonl"
+        keys = {}
+
+        proc, base = _start_server(tmp_path, store)
+        try:
+            for spec in JOB_SPECS:
+                status, body = _request(base, "POST", "/jobs", spec)
+                assert status == 202, body
+                keys[body["job"]["key"]] = spec
+
+            # Wait until the long analysis is actually mid-run, then
+            # SIGKILL the whole service — no chance to flush anything.
+            deadline = time.monotonic() + 60
+            saw_running = False
+            while time.monotonic() < deadline and not saw_running:
+                _, listing = _request(base, "GET", "/jobs")
+                saw_running = any(j["status"] == "running" for j in listing["jobs"])
+                time.sleep(0.02)
+            assert saw_running, "no job ever reached running state"
+        finally:
+            proc.kill()
+            proc.wait(timeout=30)
+
+        # Restart on the same store: the journal is the only survivor.
+        proc, base = _start_server(tmp_path, store)
+        try:
+            _, listing = _request(base, "GET", "/jobs")
+            assert {j["key"] for j in listing["jobs"]} == set(keys)
+
+            deadline = time.monotonic() + 300
+            results = {}
+            while time.monotonic() < deadline and len(results) < len(keys):
+                for key in keys:
+                    if key in results:
+                        continue
+                    status, body = _request(base, "GET", f"/jobs/{key}")
+                    job = body["job"]
+                    assert job["status"] != "failed", job["error"]
+                    if job["status"] == "done":
+                        results[key] = job["result"]
+                time.sleep(0.1)
+            assert len(results) == len(keys), "recovered jobs never all finished"
+
+            # Byte-identical to an uninterrupted direct computation.
+            for key, spec in keys.items():
+                canonical = canonical_spec(spec, default_jobs=1)
+                assert job_key(canonical) == key
+                expected, _execution = execute_job(canonical)
+                assert _canonical_json(results[key]) == _canonical_json(expected)
+
+            # Idempotency across the crash: resubmitting is a cache hit.
+            status, body = _request(base, "POST", "/jobs", JOB_SPECS[0])
+            assert status == 200
+            assert body["disposition"] == "cached"
+            assert (
+                _canonical_json(body["job"]["result"])
+                == _canonical_json(results[job_key(canonical_spec(JOB_SPECS[0], default_jobs=1))])
+            )
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            try:
+                proc.wait(timeout=60)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(timeout=30)
+
+
+@pytest.mark.slow
+class TestGracefulShutdown:
+    def test_sigterm_drains_and_releases_the_store(self, tmp_path):
+        store = tmp_path / "jobs.jsonl"
+        proc, base = _start_server(tmp_path, store)
+        status, body = _request(
+            base, "POST", "/jobs",
+            {"kind": "simulate", "experiment": "imbalance", "seed": 7},
+        )
+        assert status == 202
+        key = body["job"]["key"]
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            _, body = _request(base, "GET", f"/jobs/{key}")
+            if body["job"]["status"] == "done":
+                break
+            time.sleep(0.05)
+        assert body["job"]["status"] == "done"
+
+        proc.send_signal(signal.SIGTERM)
+        out, _ = proc.communicate(timeout=60)
+        assert proc.returncode == 0
+        assert "draining" in out and "stopped" in out
+
+        # The lock is released: a successor opens the same store and
+        # still serves the finished job from its journal.
+        proc, base = _start_server(tmp_path, store)
+        try:
+            status, body = _request(base, "GET", f"/jobs/{key}/result")
+            assert status == 200
+            assert body["result"]["integrity_ok"] is True
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            proc.wait(timeout=60)

@@ -1,0 +1,172 @@
+"""The durable job store: canonicalization, content-addressed dedup, recovery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CheckpointLockError, JobValidationError
+from repro.service.store import (
+    ACCEPTED,
+    DONE,
+    FAILED,
+    RUNNING,
+    JobRecord,
+    JobStore,
+    canonical_spec,
+    job_key,
+)
+
+
+class TestCanonicalSpec:
+    def test_defaults_made_explicit(self):
+        spec = canonical_spec({"experiment": "figure6"}, default_jobs=2)
+        assert spec == {
+            "kind": "run_experiment",
+            "experiment": "figure6",
+            "seed": 11,  # figure6's committed default seed
+            "jobs": 2,
+            "config": {},
+        }
+
+    def test_equivalent_submissions_share_a_key(self):
+        implicit = canonical_spec({"experiment": "figure6"}, default_jobs=2)
+        explicit = canonical_spec(
+            {
+                "config": {},
+                "jobs": 2,
+                "seed": 11,
+                "kind": "run_experiment",
+                "experiment": "figure6",
+            },
+            default_jobs=1,
+        )
+        assert job_key(implicit) == job_key(explicit)
+
+    def test_different_seed_is_different_work(self):
+        a = canonical_spec({"experiment": "figure6", "seed": 1})
+        b = canonical_spec({"experiment": "figure6", "seed": 2})
+        assert job_key(a) != job_key(b)
+
+    def test_config_affects_identity(self):
+        a = canonical_spec(
+            {"kind": "analyze", "experiment": "figure7", "config": {"timeout": 60}}
+        )
+        b = canonical_spec({"kind": "analyze", "experiment": "figure7"})
+        assert job_key(a) != job_key(b)
+
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            "not a mapping",
+            {"experiment": "figure6", "bogus": 1},
+            {"kind": "nope", "experiment": "figure6"},
+            {"kind": "run_experiment", "experiment": "figure99"},
+            {"kind": "analyze", "experiment": "table2"},
+            {"kind": "simulate", "experiment": "figure6"},
+            {"experiment": ""},
+            {"experiment": "figure6", "seed": "eleven"},
+            {"experiment": "figure6", "seed": True},
+            {"experiment": "figure6", "jobs": -1},
+            {"experiment": "figure6", "config": "x"},
+            {"experiment": "figure6", "config": {"coupling_intervals": 3}},
+            {"kind": "analyze", "experiment": "figure6", "config": {"timeout": 0}},
+            {"kind": "simulate", "experiment": "imbalance", "config": {"ranks": 1}},
+        ],
+    )
+    def test_malformed_submissions_rejected(self, raw):
+        with pytest.raises(JobValidationError):
+            canonical_spec(raw)
+
+    def test_analyze_and_simulate_whitelists(self):
+        analyze = canonical_spec(
+            {
+                "kind": "analyze",
+                "experiment": "figure7",
+                "config": {"coupling_intervals": 2, "verify_archive": True},
+            }
+        )
+        assert analyze["config"] == {"coupling_intervals": 2, "verify_archive": True}
+        simulate = canonical_spec(
+            {
+                "kind": "simulate",
+                "experiment": "imbalance",
+                "config": {"ranks": 4, "metahosts": 2, "iterations": 3},
+            }
+        )
+        assert simulate["seed"] == 0  # no committed default: falls back to 0
+
+
+class TestJobRecord:
+    def test_payload_round_trip(self):
+        record = JobRecord(
+            key="abc",
+            seq=3,
+            spec={"kind": "simulate", "experiment": "imbalance"},
+            status=DONE,
+            attempts=2,
+            submitted_at=1.5,
+            started_at=2.0,
+            finished_at=4.0,
+            result={"integrity_ok": True},
+            execution={"workers": 2},
+        )
+        assert JobRecord.from_payload(record.to_payload()) == record
+
+    def test_summary_omits_result(self):
+        record = JobRecord(
+            key="abc", seq=1, spec={"kind": "analyze", "experiment": "figure6"},
+            status=DONE, result={"text": "x" * 10000},
+        )
+        summary = record.summary()
+        assert "result" not in summary
+        assert summary["status"] == DONE
+        assert summary["experiment"] == "figure6"
+
+
+class TestJobStore:
+    def _record(self, key, seq, status=ACCEPTED):
+        return JobRecord(
+            key=key, seq=seq, status=status,
+            spec={"kind": "simulate", "experiment": "imbalance", "seed": seq},
+        )
+
+    def test_save_get_and_ordering(self, tmp_path):
+        with JobStore(str(tmp_path / "jobs.jsonl")) as store:
+            store.save(self._record("b", 2))
+            store.save(self._record("a", 1))
+            assert [r.key for r in store.records()] == ["a", "b"]
+            assert store.get("a").seq == 1
+            assert store.get("missing") is None
+            assert store.next_seq() == 3
+
+    def test_state_survives_reopen(self, tmp_path):
+        path = str(tmp_path / "jobs.jsonl")
+        with JobStore(path) as store:
+            store.save(self._record("done", 1, status=DONE))
+            store.save(self._record("failed", 2, status=FAILED))
+            store.save(self._record("queued", 3, status=ACCEPTED))
+            store.save(self._record("inflight", 4, status=RUNNING))
+        with JobStore(path) as reopened:
+            assert len(reopened) == 4
+            # Recovery set: accepted + running, in submission order.
+            assert [r.key for r in reopened.pending()] == ["queued", "inflight"]
+
+    def test_single_writer_enforced(self, tmp_path):
+        path = str(tmp_path / "jobs.jsonl")
+        with JobStore(path):
+            with pytest.raises(CheckpointLockError):
+                JobStore(path)
+        JobStore(path).close()  # released on close
+
+    def test_foreign_journal_cells_ignored(self, tmp_path):
+        from repro.resilience.checkpoint import CheckpointJournal
+
+        path = str(tmp_path / "jobs.jsonl")
+        with CheckpointJournal(path) as journal:
+            journal.record({"experiment": "table2", "seed": 7}, {"text": "..."})
+        with JobStore(path) as store:
+            assert len(store) == 0
+            store.save(self._record("a", 1))
+        # The foreign cell is preserved alongside job cells.
+        with CheckpointJournal(path) as journal:
+            assert journal.get({"experiment": "table2", "seed": 7}) == {"text": "..."}
