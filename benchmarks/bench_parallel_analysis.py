@@ -33,7 +33,7 @@ import pathlib
 import time
 from typing import Dict, List, Optional, Sequence
 
-from repro.api import analyze
+from repro.api import AnalysisRequest, analyze
 from repro.apps.metatrace import make_metatrace_app
 from repro.experiments.configs import scaled_experiment1
 from repro.sim.runtime import MetaMPIRuntime
@@ -82,7 +82,7 @@ def run_parallel_benchmark(
         best = float("inf")
         for _ in range(reps):
             t0 = time.perf_counter()
-            result = analyze(run, jobs=jobs)
+            result = analyze(run, AnalysisRequest(jobs=jobs))
             best = min(best, time.perf_counter() - t0)
         if jobs == 1 or serial_cube is None:
             serial_cube = result.cube.data

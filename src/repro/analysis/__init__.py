@@ -15,12 +15,15 @@ from repro.analysis.instances import (
     build_timeline,
 )
 from repro.analysis.matching import MessageMatcher, MatchedPair, CollectiveInstance
+from repro.analysis.request import AnalysisRequest
 from repro.analysis.replay import (
     ReplayAnalyzer,
     AnalysisResult,
     ReplayTraffic,
     analyze_run,
 )
+from repro.analysis.severity_timeline import SeverityTimeline
+from repro.analysis.streaming import StreamingReplayAnalyzer
 from repro.analysis.parallel import (
     ParallelReplayAnalyzer,
     PartialAnalysis,
@@ -47,7 +50,10 @@ __all__ = [
     "MatchedPair",
     "CollectiveInstance",
     "ReplayAnalyzer",
+    "StreamingReplayAnalyzer",
     "ParallelReplayAnalyzer",
+    "AnalysisRequest",
+    "SeverityTimeline",
     "PartialAnalysis",
     "merge_partials",
     "plan_shards",

@@ -121,6 +121,191 @@ class ProcessTimeline:
         return max(0.0, self.last_time - self.first_time)
 
 
+class TimelineBuilder:
+    """Incremental form of :func:`build_timeline`: feed events, then finish.
+
+    The streaming replay drives one builder per rank from its global event
+    pump, so a rank's timeline state advances event by event while other
+    ranks' events interleave.  Two hooks make bounded-memory analysis
+    possible:
+
+    * ``on_op`` is called with each :class:`MPIOpInstance` the moment its
+      region EXITs (its attached records are final at that point), and
+      ``on_omp`` with each :class:`OmpRegionRecord` as it is recorded;
+    * ``retain=False`` skips appending those instances to the timeline's
+      ``mpi_ops``/``omp_regions`` lists — the hooks are then the only
+      consumers, and memory stays bounded by the *open* frames instead of
+      the whole trace.
+
+    The per-event arithmetic, dispatch order, and error messages are
+    exactly those of the one-shot :func:`build_timeline` (which is now a
+    thin wrapper), so both paths produce identical timelines.
+    """
+
+    __slots__ = (
+        "rank",
+        "timeline",
+        "retain",
+        "on_op",
+        "on_omp",
+        "op_count",
+        "_frame_stack",
+        "_first",
+        "_last",
+        "_count",
+        "_slope",
+        "_intercept",
+        "_intern",
+        "_regions",
+        "_mpi_name",
+        "_finished",
+    )
+
+    def __init__(
+        self,
+        rank: int,
+        location: Location,
+        converter: LinearConverter,
+        callpaths: CallPathRegistry,
+        regions: RegionRegistry,
+        retain: bool = True,
+        on_op=None,
+        on_omp=None,
+    ) -> None:
+        self.rank = rank
+        self.timeline = ProcessTimeline(
+            rank=rank, location=location, first_time=0.0, last_time=0.0
+        )
+        self.retain = retain
+        self.on_op = on_op
+        self.on_omp = on_omp
+        #: Completed MPI ops so far — the op index of the *next* completed
+        #: op, identical to its position in a retained ``mpi_ops`` list.
+        self.op_count = 0
+        # Per-open-frame state: [cpid, region, enter_sync, child_time, instance]
+        self._frame_stack: List[List] = []
+        self._first: Optional[float] = None
+        self._last = 0.0
+        self._count = 0
+        self._slope = converter.slope
+        self._intercept = converter.intercept
+        self._intern = callpaths.intern
+        self._regions = regions
+        #: region id → region name when it is an MPI region, else None.
+        self._mpi_name: Dict[int, Optional[str]] = {}
+        self._finished = False
+
+    def feed(self, event: Event) -> None:
+        """Process one event (the replay's innermost dispatch)."""
+        rank = self.rank
+        frame_stack = self._frame_stack
+        timeline = self.timeline
+        t = event.time * self._slope + self._intercept
+        if self._first is None:
+            self._first = t
+        self._last = t
+        self._count += 1
+        kind = event.kind
+        if kind == _KIND_ENTER:
+            region = event.region
+            cpid = self._intern(
+                frame_stack[-1][0] if frame_stack else ROOT_PATH, region
+            )
+            visits = timeline.visits
+            visits[cpid] = visits.get(cpid, 0) + 1
+            name = self._mpi_name.get(region, _UNRESOLVED)
+            if name is _UNRESOLVED:
+                resolved = self._regions.name_of(region)
+                name = resolved if is_mpi_region(resolved) else None
+                self._mpi_name[region] = name
+            instance = None
+            if name is not None:
+                instance = MPIOpInstance(
+                    rank=rank,
+                    region=region,
+                    op_name=name,
+                    cpid=cpid,
+                    enter=t,
+                    exit=t,
+                )
+            frame_stack.append([cpid, region, t, 0.0, instance])
+        elif kind == _KIND_EXIT:
+            if not frame_stack:
+                raise AnalysisError(f"rank {rank}: EXIT without open frame")
+            cpid, region, enter_t, child_time, instance = frame_stack.pop()
+            if region != event.region:
+                raise AnalysisError(
+                    f"rank {rank}: EXIT region {event.region} does not match "
+                    f"open region {region}"
+                )
+            duration = t - enter_t
+            if duration < 0.0:
+                duration = 0.0
+            exclusive = duration - child_time
+            exclusive_time = timeline.exclusive_time
+            exclusive_time[cpid] = exclusive_time.get(cpid, 0.0) + (
+                exclusive if exclusive > 0.0 else 0.0
+            )
+            if frame_stack:
+                frame_stack[-1][3] += duration
+            if instance is not None:
+                instance.exit = t
+                if self.retain:
+                    timeline.mpi_ops.append(instance)
+                self.op_count += 1
+                if self.on_op is not None:
+                    self.on_op(instance)
+        elif kind == _KIND_SEND:
+            instance = _open_mpi_instance(frame_stack, rank, "SEND")
+            instance.sends.append(
+                SendRecord(t, event.dest, event.tag, event.comm, event.size)
+            )
+        elif kind == _KIND_RECV:
+            instance = _open_mpi_instance(frame_stack, rank, "RECV")
+            instance.recvs.append(
+                RecvRecord(t, event.source, event.tag, event.comm, event.size)
+            )
+        elif kind == _KIND_COLLEXIT:
+            instance = _open_mpi_instance(frame_stack, rank, "COLLEXIT")
+            instance.coll = CollRecord(
+                t, event.region, event.comm, event.root, event.sent, event.recvd
+            )
+        elif kind == _KIND_OMP:
+            if not frame_stack or frame_stack[-1][1] != event.region:
+                raise AnalysisError(
+                    f"rank {rank}: OMPREGION record outside its region frame"
+                )
+            cpid, _region, enter_t, _child, _inst = frame_stack[-1]
+            record = OmpRegionRecord(
+                cpid=cpid,
+                enter=enter_t,
+                exit=t,
+                nthreads=event.nthreads,
+                busy_sum=event.busy_sum,
+                busy_max=event.busy_max,
+            )
+            if self.retain:
+                timeline.omp_regions.append(record)
+            if self.on_omp is not None:
+                self.on_omp(record)
+        else:  # pragma: no cover - closed event union
+            raise AnalysisError(f"rank {rank}: unknown event {event!r}")
+
+    def finish(self) -> ProcessTimeline:
+        """Validate trace closure and return the completed timeline."""
+        if self._frame_stack:
+            raise AnalysisError(
+                f"rank {self.rank}: {len(self._frame_stack)} regions still open "
+                "at trace end"
+            )
+        timeline = self.timeline
+        timeline.event_count = self._count
+        timeline.first_time = self._first if self._first is not None else 0.0
+        timeline.last_time = self._last if self._first is not None else 0.0
+        self._finished = True
+        return timeline
+
+
 def build_timeline(
     rank: int,
     location: Location,
@@ -135,126 +320,26 @@ def build_timeline(
     :meth:`~repro.trace.archive.ArchiveReader.stream_trace`, so a trace is
     consumed record by record without a full in-memory event list.
 
-    This is the replay's innermost loop (every event of every rank passes
-    through once), so it dispatches on the integer event kind, inlines the
-    affine clock conversion, and caches the per-region MPI classification
-    instead of resolving region names per event.
+    One-shot wrapper over :class:`TimelineBuilder` (the incremental form
+    the streaming replay drives event by event).
     """
-    timeline = ProcessTimeline(
-        rank=rank, location=location, first_time=0.0, last_time=0.0
-    )
-    # Per-open-frame state: (cpid, region, enter_sync, child_time, instance)
-    frame_stack: List[List] = []
-    first: Optional[float] = None
-    last = 0.0
-    count = 0
-
-    slope = converter.slope
-    intercept = converter.intercept
-    intern = callpaths.intern
-    visits = timeline.visits
-    exclusive_time = timeline.exclusive_time
-    mpi_ops_append = timeline.mpi_ops.append
-    #: region id → region name when it is an MPI region, else None.
-    mpi_name: Dict[int, Optional[str]] = {}
-    kind_enter, kind_exit = int(EventKind.ENTER), int(EventKind.EXIT)
-    kind_send, kind_recv = int(EventKind.SEND), int(EventKind.RECV)
-    kind_collexit, kind_omp = int(EventKind.COLLEXIT), int(EventKind.OMPREGION)
-
+    builder = TimelineBuilder(rank, location, converter, callpaths, regions)
+    feed = builder.feed
     for event in events:
-        t = event.time * slope + intercept
-        if first is None:
-            first = t
-        last = t
-        count += 1
-        kind = event.kind
-        if kind == kind_enter:
-            region = event.region
-            cpid = intern(frame_stack[-1][0] if frame_stack else ROOT_PATH, region)
-            visits[cpid] = visits.get(cpid, 0) + 1
-            name = mpi_name.get(region, _UNRESOLVED)
-            if name is _UNRESOLVED:
-                resolved = regions.name_of(region)
-                name = resolved if is_mpi_region(resolved) else None
-                mpi_name[region] = name
-            instance = None
-            if name is not None:
-                instance = MPIOpInstance(
-                    rank=rank,
-                    region=region,
-                    op_name=name,
-                    cpid=cpid,
-                    enter=t,
-                    exit=t,
-                )
-            frame_stack.append([cpid, region, t, 0.0, instance])
-        elif kind == kind_exit:
-            if not frame_stack:
-                raise AnalysisError(f"rank {rank}: EXIT without open frame")
-            cpid, region, enter_t, child_time, instance = frame_stack.pop()
-            if region != event.region:
-                raise AnalysisError(
-                    f"rank {rank}: EXIT region {event.region} does not match "
-                    f"open region {region}"
-                )
-            duration = t - enter_t
-            if duration < 0.0:
-                duration = 0.0
-            exclusive = duration - child_time
-            exclusive_time[cpid] = exclusive_time.get(cpid, 0.0) + (
-                exclusive if exclusive > 0.0 else 0.0
-            )
-            if frame_stack:
-                frame_stack[-1][3] += duration
-            if instance is not None:
-                instance.exit = t
-                mpi_ops_append(instance)
-        elif kind == kind_send:
-            instance = _open_mpi_instance(frame_stack, rank, "SEND")
-            instance.sends.append(
-                SendRecord(t, event.dest, event.tag, event.comm, event.size)
-            )
-        elif kind == kind_recv:
-            instance = _open_mpi_instance(frame_stack, rank, "RECV")
-            instance.recvs.append(
-                RecvRecord(t, event.source, event.tag, event.comm, event.size)
-            )
-        elif kind == kind_collexit:
-            instance = _open_mpi_instance(frame_stack, rank, "COLLEXIT")
-            instance.coll = CollRecord(
-                t, event.region, event.comm, event.root, event.sent, event.recvd
-            )
-        elif kind == kind_omp:
-            if not frame_stack or frame_stack[-1][1] != event.region:
-                raise AnalysisError(
-                    f"rank {rank}: OMPREGION record outside its region frame"
-                )
-            cpid, _region, enter_t, _child, _inst = frame_stack[-1]
-            timeline.omp_regions.append(
-                OmpRegionRecord(
-                    cpid=cpid,
-                    enter=enter_t,
-                    exit=t,
-                    nthreads=event.nthreads,
-                    busy_sum=event.busy_sum,
-                    busy_max=event.busy_max,
-                )
-            )
-        else:  # pragma: no cover - closed event union
-            raise AnalysisError(f"rank {rank}: unknown event {event!r}")
-
-    if frame_stack:
-        raise AnalysisError(
-            f"rank {rank}: {len(frame_stack)} regions still open at trace end"
-        )
-    timeline.event_count = count
-    timeline.first_time = first if first is not None else 0.0
-    timeline.last_time = last if first is not None else 0.0
-    return timeline
+        feed(event)
+    return builder.finish()
 
 
 #: Cache-miss sentinel for the per-region MPI-name cache (None is a valid hit).
 _UNRESOLVED = object()
+
+#: Integer event kinds, hoisted so the dispatch compares int to int.
+_KIND_ENTER = int(EventKind.ENTER)
+_KIND_EXIT = int(EventKind.EXIT)
+_KIND_SEND = int(EventKind.SEND)
+_KIND_RECV = int(EventKind.RECV)
+_KIND_COLLEXIT = int(EventKind.COLLEXIT)
+_KIND_OMP = int(EventKind.OMPREGION)
 
 
 def _open_mpi_instance(frame_stack: List[List], rank: int, what: str) -> MPIOpInstance:
@@ -268,3 +353,23 @@ def _open_mpi_instance(frame_stack: List[List], rank: int, what: str) -> MPIOpIn
 def total_time_of(timelines: Dict[int, ProcessTimeline]) -> float:
     """Aggregate wall time over all ranks (the Figure 6 percentage base)."""
     return sum(tl.total_time for tl in timelines.values())
+
+
+def remap_timeline(timeline: ProcessTimeline, remap: Dict[int, int]) -> None:
+    """Rewrite a timeline's local call-path ids in place.
+
+    Shared by the two renumbering finalizers: the parallel merge (shard-
+    local → global ids) and the streaming replay (rank-local → global ids).
+    Dict insertion order is preserved, so downstream iteration order is
+    unchanged.
+    """
+    timeline.exclusive_time = {
+        remap[cpid]: value for cpid, value in timeline.exclusive_time.items()
+    }
+    timeline.visits = {remap[cpid]: n for cpid, n in timeline.visits.items()}
+    for op in timeline.mpi_ops:
+        op.cpid = remap[op.cpid]
+    if timeline.omp_regions:
+        timeline.omp_regions = [
+            omp._replace(cpid=remap[omp.cpid]) for omp in timeline.omp_regions
+        ]

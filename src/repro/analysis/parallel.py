@@ -34,7 +34,12 @@ from dataclasses import dataclass, field, replace as _replace
 from typing import Dict, List, Optional, Sequence, Tuple, Type
 
 from repro.analysis.callpath import ROOT_PATH, CallPathRegistry
-from repro.analysis.instances import ProcessTimeline, build_timeline, total_time_of
+from repro.analysis.instances import (
+    ProcessTimeline,
+    build_timeline,
+    remap_timeline,
+    total_time_of,
+)
 from repro.analysis.matching import (
     PAIR_METADATA_BYTES,
     MatchedPair,
@@ -53,6 +58,12 @@ from repro.analysis.replay import (
     ReplayTraffic,
 )
 from repro.analysis.severity import SeverityCube
+from repro.analysis.severity_timeline import (
+    SeverityTimeline,
+    record_base_metrics,
+    record_collective_hits,
+    record_p2p_hits,
+)
 from repro.clocks.condition import ClockConditionChecker, MessageStamp
 from repro.clocks.sync import HierarchicalInterpolation, LinearConverter, SyncScheme
 from repro.errors import AnalysisError, ArchiveError, PartialTraceWarning
@@ -338,20 +349,6 @@ def _match_local(task: ShardTask, partial: PartialAnalysis) -> None:
     )
 
 
-def _remap_timeline(timeline: ProcessTimeline, remap: Dict[int, int]) -> None:
-    """Rewrite a timeline's shard-local call-path ids in place."""
-    timeline.exclusive_time = {
-        remap[cpid]: value for cpid, value in timeline.exclusive_time.items()
-    }
-    timeline.visits = {remap[cpid]: n for cpid, n in timeline.visits.items()}
-    for op in timeline.mpi_ops:
-        op.cpid = remap[op.cpid]
-    if timeline.omp_regions:
-        timeline.omp_regions = [
-            omp._replace(cpid=remap[omp.cpid]) for omp in timeline.omp_regions
-        ]
-
-
 def _first_unmatched(
     recvs: List[RecordRef], matched: int, key: ChannelKey
 ) -> Tuple[int, int, int, ChannelKey]:
@@ -365,6 +362,7 @@ def merge_partials(
     definitions: Definitions,
     scheme_name: str,
     degraded: bool,
+    timeline: Optional[SeverityTimeline] = None,
 ) -> AnalysisResult:
     """Deterministically combine shard results into one analysis.
 
@@ -373,6 +371,11 @@ def merge_partials(
     every severity contribution is applied in the serial iteration order
     (receiver rank, op, receive) so float accumulation — and therefore the
     rendered output — is bit-identical to ``jobs=1``.
+
+    *timeline*, when given, additionally accumulates the time-resolved
+    severity series here in the merge (the only place the full matched
+    pairs and collective instances exist again); call-path ids are already
+    global at this point, so no remap is needed.
     """
     partials = sorted(partials, key=lambda p: p.index)
     for partial in partials:
@@ -391,9 +394,9 @@ def merge_partials(
         for path in partial.callpaths.all_paths():
             remap[path.cpid] = callpaths.intern(remap[path.parent], path.region)
         for rank in sorted(partial.timelines):
-            timeline = partial.timelines[rank]
-            _remap_timeline(timeline, remap)
-            timelines[rank] = timeline
+            shard_timeline = partial.timelines[rank]
+            remap_timeline(shard_timeline, remap)
+            timelines[rank] = shard_timeline
         trace_bytes.update(sorted(partial.trace_bytes.items()))
         completeness.update(sorted(partial.completeness.items()))
 
@@ -402,6 +405,8 @@ def merge_partials(
 
     cube = SeverityCube()
     ReplayAnalyzer._base_metrics(cube, timelines)
+    if timeline is not None:
+        record_base_metrics(timeline, timelines)
 
     # Boundary exchange: FIFO-match the cross-shard channels.
     boundary_sends: Dict[ChannelKey, List[RecordRef]] = {}
@@ -467,7 +472,10 @@ def merge_partials(
             )
         )
         for contributions in contribution_fns:
-            for hit in contributions(pair):
+            hits = contributions(pair)
+            if timeline is not None:
+                record_p2p_hits(timeline, pair, hits)
+            for hit in hits:
                 cube_add(hit.metric, hit.cpid, hit.rank, hit.value)
 
     # Collectives span shards by nature; group them over the merged
@@ -483,12 +491,19 @@ def merge_partials(
     for instance in matcher.collective_instances():
         accumulate_collective(grid_pairs, instance)
         for pattern in coll_patterns:
-            for hit in pattern.contributions(instance):
+            hits = pattern.contributions(instance)
+            if timeline is not None:
+                record_collective_hits(timeline, instance, hits)
+            for hit in hits:
                 cube.add(hit.metric, hit.cpid, hit.rank, hit.value)
     matcher.stats.matched = len(pairs)
     matcher.stats.unmatched_recvs = unmatched_recvs
     matcher.stats.unmatched_sends = unmatched_sends
     matcher.stats.metadata_bytes += len(pairs) * PAIR_METADATA_BYTES
+
+    # Every analyzer (buffered, streaming, parallel merge) sorts stamps
+    # at finalize, so stamp lists compare equal across execution models.
+    checker.stamps.sort()
 
     master_machine = definitions.machine_of(0)
     merged_copy_bytes = sum(
@@ -514,6 +529,7 @@ def merge_partials(
         grid_pairs=grid_pairs,
         degraded=degraded,
         completeness=completeness,
+        severity_timeline=timeline,
     )
 
 
@@ -536,6 +552,7 @@ class ParallelReplayAnalyzer:
         pool: Optional[SupervisedPool] = None,
         timeout: Optional[float] = None,
         max_retries: Optional[int] = None,
+        timeline: Optional[SeverityTimeline] = None,
     ) -> None:
         if not readers:
             raise AnalysisError("no archive readers supplied")
@@ -555,6 +572,8 @@ class ParallelReplayAnalyzer:
         self.pool = pool
         self.timeout = timeout
         self.max_retries = max_retries
+        # Filled by the merge (where the matched pairs exist again).
+        self.timeline = timeline
         config = pool_config or PoolConfig()
         if pool is None:
             if timeout is not None:
@@ -668,7 +687,8 @@ class ParallelReplayAnalyzer:
             )
             partials, execution = pool.run(tasks)
         result = merge_partials(
-            partials, definitions, self.scheme.name, self.degraded
+            partials, definitions, self.scheme.name, self.degraded,
+            timeline=self.timeline,
         )
         result.execution = execution
         return result

@@ -12,8 +12,8 @@ waiting in Experiment 1.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from math import fsum
+from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.matching import CollectiveInstance, MatchedPair
 from repro.analysis.patterns.base import (
@@ -23,22 +23,53 @@ from repro.analysis.patterns.base import (
     GRID_WAIT_AT_NXN,
     NXN_OPS,
 )
+from repro.analysis.severity import Partials, grow_expansion
+
 #: Ordered (causing machine, waiting machine) pair.
 MachinePair = Tuple[int, int]
 
 
-@dataclass
 class GridPairBreakdown:
-    """Accumulator: metric → (causer, waiter) machine pair → seconds."""
+    """Accumulator: metric → (causer, waiter) machine pair → seconds.
 
-    data: Dict[str, Dict[MachinePair, float]] = field(default_factory=dict)
+    Accumulation is exact and order-free, like the severity cube: each
+    cell keeps a Shewchuk expansion and ``data`` is the collapsed view, so
+    any replay order over the same contributions yields equal ``data``.
+    """
+
+    def __init__(self) -> None:
+        self._partials: Dict[str, Dict[MachinePair, Partials]] = {}
+        self._snapshot: Optional[Dict[str, Dict[MachinePair, float]]] = None
 
     def add(self, metric: str, causer: int, waiter: int, value: float) -> None:
         if value <= 0.0:
             return
-        by_pair = self.data.setdefault(metric, {})
+        by_pair = self._partials.setdefault(metric, {})
         key = (causer, waiter)
-        by_pair[key] = by_pair.get(key, 0.0) + value
+        partials = by_pair.get(key)
+        if partials is None:
+            by_pair[key] = [value]
+        else:
+            grow_expansion(partials, value)
+        self._snapshot = None
+
+    @property
+    def data(self) -> Dict[str, Dict[MachinePair, float]]:
+        """Collapsed view: ``metric → (causer, waiter) → exact seconds``."""
+        if self._snapshot is None:
+            self._snapshot = {
+                metric: {key: fsum(p) for key, p in by_pair.items()}
+                for metric, by_pair in self._partials.items()
+            }
+        return self._snapshot
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GridPairBreakdown):
+            return NotImplemented
+        return self.data == other.data
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GridPairBreakdown(data={self.data!r})"
 
     def pairs(self, metric: str) -> Dict[MachinePair, float]:
         return dict(self.data.get(metric, {}))

@@ -41,7 +41,9 @@ from repro.analysis.patterns.grid import (
     accumulate_collective,
     accumulate_p2p,
 )
+from repro.analysis.request import AnalysisRequest
 from repro.analysis.severity import SeverityCube
+from repro.analysis.severity_timeline import SeverityTimeline
 from repro.clocks.condition import ClockConditionChecker, MessageStamp
 from repro.clocks.sync import HierarchicalInterpolation, LinearConverter, SyncScheme
 from repro.errors import AnalysisError, PartialTraceWarning
@@ -103,6 +105,13 @@ class AnalysisResult:
     degraded: bool = False
     #: Per-rank completeness record (degraded mode; empty otherwise).
     completeness: Dict[int, RankCompleteness] = field(default_factory=dict)
+    #: Time-resolved severity (rolling-window series), populated when the
+    #: request asked for a timeline.  Diagnostic floats — deliberately
+    #: outside the equality contract: only the aggregate cube promises
+    #: bit-identity across execution models.
+    severity_timeline: Optional[SeverityTimeline] = field(
+        default=None, compare=False
+    )
     #: Supervised-pool account of a parallel run (None for serial runs).
     #: Deliberately outside the equality contract of the result: the same
     #: analysis recovered after a worker crash is the same analysis.
@@ -462,6 +471,10 @@ class ReplayAnalyzer:
                 for hit in pattern.contributions(instance):
                     cube.add(hit.metric, hit.cpid, hit.rank, hit.value)
 
+        # Every analyzer (buffered, streaming, parallel merge) sorts stamps
+        # at finalize, so stamp lists compare equal across execution models.
+        checker.stamps.sort()
+
         master_machine = definitions.machine_of(0)
         merged_copy_bytes = sum(
             size
@@ -519,47 +532,112 @@ class ReplayAnalyzer:
                 cube_add(IDLE_THREADS, omp.cpid, rank, omp.idle_thread_seconds)
 
 
+#: Sentinel distinguishing "legacy keyword not passed" from any real value.
+_UNSET = object()
+
+#: The keyword sprawl the request object replaced (shimmed one release).
+_LEGACY_ANALYZE_KWARGS = ("degraded", "jobs", "max_retries", "timeout")
+
+
+def resolve_request(
+    request: Optional[AnalysisRequest],
+    legacy: Dict[str, object],
+    caller: str,
+) -> AnalysisRequest:
+    """Fold a deprecated keyword call into an :class:`AnalysisRequest`.
+
+    Shared by every shimmed entry point (``analyze_run``, ``api.analyze``,
+    ``api.run_experiment``): *legacy* holds only the keywords the caller
+    actually passed.  Mixing ``request=`` with legacy keywords is an error;
+    legacy keywords alone warn and build the equivalent request.
+    """
+    if legacy:
+        if request is not None:
+            raise AnalysisError(
+                f"{caller}: pass either request= or the deprecated keyword "
+                "arguments, not both: " + ", ".join(sorted(legacy))
+            )
+        warnings.warn(
+            f"{caller}: keyword arguments "
+            + ", ".join(f"{name}=" for name in sorted(legacy))
+            + " are deprecated; pass request=AnalysisRequest(...) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return AnalysisRequest(**legacy)
+    return request if request is not None else AnalysisRequest()
+
+
 def analyze_run(
     run_result,
     scheme: Optional[SyncScheme] = None,
-    degraded: bool = False,
-    jobs: Optional[int] = None,
-    timeout: Optional[float] = None,
-    max_retries: Optional[int] = None,
+    request: Optional[AnalysisRequest] = None,
+    *,
     pool=None,
+    degraded=_UNSET,
+    jobs=_UNSET,
+    timeout=_UNSET,
+    max_retries=_UNSET,
 ) -> AnalysisResult:
     """Analyze a :class:`~repro.sim.runtime.RunResult` end to end.
 
-    ``jobs`` selects the execution model: ``None`` or ``1`` runs the serial
-    :class:`ReplayAnalyzer`; ``N >= 2`` shards the replay across *N*
-    worker processes (``0`` = one per available core).  Both paths produce
-    bit-identical results — see :mod:`repro.analysis.parallel`.
-
-    ``timeout`` and ``max_retries`` tune the supervised pool backing the
-    parallel path (per-shard deadline in seconds; re-dispatches allowed
-    after a worker crash/hang); they have no effect on serial runs.
+    *request* (an :class:`~repro.analysis.request.AnalysisRequest`) selects
+    everything about the analysis: ``jobs`` picks the execution model
+    (``None``/``1`` the serial single-pass streaming replay, ``N >= 2``
+    sharded across *N* workers, ``0`` one per core), ``degraded`` survives
+    damaged traces, ``timeline`` adds time-resolved severity series,
+    ``bounded`` caps serial memory at the matching window.  Every execution
+    model produces a bit-identical severity cube.
 
     ``pool`` lends the analysis an externally owned
     :class:`~repro.resilience.pool.SupervisedPool` (task function
     :func:`~repro.analysis.parallel.analyze_shard`) instead of spawning a
     fresh one — long-lived owners such as the analysis service reuse one
     warm pool across many runs.
+
+    The loose ``degraded=``/``jobs=``/``timeout=``/``max_retries=``
+    keywords are deprecated: they warn and are folded into a request.
     """
-    # Imported lazily: repro.analysis.parallel imports this module.
+    # Imported lazily: both modules import this one.
     from repro.analysis.parallel import ParallelReplayAnalyzer, resolve_jobs
+    from repro.analysis.streaming import StreamingReplayAnalyzer
+
+    legacy = {
+        name: value
+        for name, value in (
+            ("degraded", degraded),
+            ("jobs", jobs),
+            ("timeout", timeout),
+            ("max_retries", max_retries),
+        )
+        if value is not _UNSET
+    }
+    request = resolve_request(request, legacy, "analyze_run")
 
     readers = {
         machine: run_result.reader(machine) for machine in run_result.machines_used
     }
-    effective = resolve_jobs(jobs)
+    timeline = (
+        SeverityTimeline(window_s=request.window_s, stride_s=request.stride_s)
+        if request.timeline
+        else None
+    )
+    effective = resolve_jobs(request.jobs)
     if effective <= 1:
-        return ReplayAnalyzer(readers, scheme=scheme, degraded=degraded).analyze()
+        return StreamingReplayAnalyzer(
+            readers,
+            scheme=scheme,
+            degraded=request.degraded,
+            retain=not request.bounded,
+            timeline=timeline,
+        ).analyze()
     return ParallelReplayAnalyzer(
         readers,
         scheme=scheme,
-        degraded=degraded,
+        degraded=request.degraded,
         jobs=effective,
         pool=pool,
-        timeout=timeout,
-        max_retries=max_retries,
+        timeout=request.timeout,
+        max_retries=request.max_retries,
+        timeline=timeline,
     ).analyze()

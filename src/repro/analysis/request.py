@@ -1,0 +1,105 @@
+"""The one way to describe an analysis: :class:`AnalysisRequest`.
+
+``analyze_run``'s keyword surface (``jobs=``/``degraded=``/``timeout=``/
+``max_retries=``/``verify_archive=``...) grew past what a flat signature
+can carry.  This frozen dataclass replaces the sprawl: the public API, the
+CLI, the parallel sharder, and the analysis service all describe an
+analysis with one request object.  The old keywords survive one release as
+a ``DeprecationWarning`` shim (see :func:`repro.analysis.replay.analyze_run`).
+
+``to_config``/``from_config`` give the request a canonical plain-dict form
+(defaults omitted) so the service job store content-addresses identical
+requests to identical keys — a request carrying every default serializes
+exactly like the empty config that pre-request job specs produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Optional
+
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class AnalysisRequest:
+    """Everything that selects *how* a run is analyzed.
+
+    Parameters
+    ----------
+    degraded:
+        Survive damaged traces: salvage/exclude instead of raising.
+    jobs:
+        Execution model: ``None``/``1`` serial, ``N >= 2`` sharded across
+        *N* workers, ``0`` one worker per core.
+    timeout:
+        Per-shard deadline in seconds for the supervised pool (parallel
+        runs only).
+    max_retries:
+        Re-dispatches allowed after a worker crash/hang (parallel only).
+    verify_archive:
+        Verify archive checksums before analyzing (experiment layer).
+    timeline:
+        Also accumulate a time-resolved :class:`SeverityTimeline` —
+        rolling-window severity series per (metric, call path, rank).
+    window_s / stride_s:
+        Rolling-window width and bin stride of the timeline, in seconds.
+    bounded:
+        Bounded-memory streaming: drop per-op retention so memory stays
+        O(open window) instead of O(trace).  The severity cube and every
+        aggregate are bit-identical either way; only
+        ``result.timelines[r].mpi_ops``/``omp_regions`` come back empty
+        (so the per-rank Gantt rendering needs ``bounded=False``).
+        Serial path only; sharded workers always retain.
+    """
+
+    degraded: bool = False
+    jobs: Optional[int] = None
+    timeout: Optional[float] = None
+    max_retries: Optional[int] = None
+    verify_archive: bool = False
+    timeline: bool = False
+    window_s: float = 1.0
+    stride_s: float = 0.25
+    bounded: bool = False
+
+    def __post_init__(self) -> None:
+        if self.jobs is not None and self.jobs < 0:
+            raise AnalysisError(f"jobs must be >= 0 or None, got {self.jobs}")
+        if self.timeout is not None and self.timeout <= 0:
+            raise AnalysisError(f"timeout must be positive, got {self.timeout}")
+        if self.max_retries is not None and self.max_retries < 0:
+            raise AnalysisError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if not self.window_s > 0:
+            raise AnalysisError(f"window_s must be positive, got {self.window_s}")
+        if not self.stride_s > 0:
+            raise AnalysisError(f"stride_s must be positive, got {self.stride_s}")
+
+    def to_config(self) -> Dict[str, Any]:
+        """Canonical plain-dict form with every default omitted.
+
+        Omitting defaults keeps content addresses stable: a request that
+        only sets defaults canonicalizes to ``{}``, the same spec config
+        that pre-request callers submitted, so existing stored jobs keep
+        deduplicating against new submissions.
+        """
+        out: Dict[str, Any] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if value != f.default:
+                out[f.name] = value
+        return out
+
+    @classmethod
+    def from_config(cls, config: Dict[str, Any], **overrides: Any) -> "AnalysisRequest":
+        """Rebuild a request from :meth:`to_config` output (plus overrides)."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(config) - known
+        if unknown:
+            raise AnalysisError(
+                f"unknown analysis config keys: {sorted(unknown)}"
+            )
+        merged = {**config, **overrides}
+        return cls(**merged)

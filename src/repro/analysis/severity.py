@@ -5,21 +5,66 @@ quantified by their significance" (paper Section 1) — each instance adds
 its waiting time to the cell addressed by its pattern (metric), the call
 path of the waiting MPI call, and the waiting process.  Aggregations over
 any axis produce the three panels of the result browser.
+
+Accumulation is **exact and order-free**: each cell keeps a Shewchuk
+expansion (a short list of non-overlapping partial floats whose sum is the
+cell's exact value), collapsed with :func:`math.fsum` on read.  The
+collapsed value is the correctly rounded sum of the real numbers added, so
+it depends only on the *multiset* of contributions — never on their order.
+That property is what lets the single-pass streaming replay, the buffered
+two-pass replay, and the parallel sharded merge feed the same cells in
+three different orders and still agree bit for bit.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Tuple
+from math import fsum
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import AnalysisError
 
+#: One cell's exact accumulator: non-overlapping partials (Shewchuk 1997).
+Partials = List[float]
 
-@dataclass
+
+def grow_expansion(partials: Partials, value: float) -> None:
+    """Add *value* into the expansion in place (error-free transformation).
+
+    After the call ``sum(partials)`` is exactly ``old exact sum + value``
+    as a real number; the list stays short (its length is bounded by the
+    number of distinct float exponents in play, a few entries in practice).
+    """
+    i = 0
+    x = value
+    for y in partials:
+        if abs(x) < abs(y):
+            x, y = y, x
+        hi = x + y
+        lo = y - (hi - x)
+        if lo:
+            partials[i] = lo
+            i += 1
+        x = hi
+    partials[i:] = [x]
+
+
 class SeverityCube:
-    """Sparse 3-D accumulator keyed ``metric → cpid → rank``."""
+    """Sparse 3-D accumulator keyed ``metric → cpid → rank``.
 
-    data: Dict[str, Dict[int, Dict[int, float]]] = field(default_factory=dict)
+    ``data`` is the collapsed (plain nested ``dict``) view; two cubes fed
+    the same contributions in any order have equal ``data``.
+    """
+
+    def __init__(
+        self, data: Optional[Dict[str, Dict[int, Dict[int, float]]]] = None
+    ) -> None:
+        self._partials: Dict[str, Dict[int, Dict[int, Partials]]] = {}
+        self._snapshot: Optional[Dict[str, Dict[int, Dict[int, float]]]] = None
+        if data:
+            for metric, by_cp in data.items():
+                for cpid, by_rank in by_cp.items():
+                    for rank, value in by_rank.items():
+                        self.add(metric, cpid, rank, value)
 
     def add(self, metric: str, cpid: int, rank: int, value: float) -> None:
         """Accumulate *value* seconds into one cell (negatives rejected)."""
@@ -32,15 +77,90 @@ class SeverityCube:
         # Hot path (one call per pattern hit): try/except on the populated
         # case avoids setdefault's per-call default-dict allocations.
         try:
-            by_rank = self.data[metric][cpid]
+            by_rank = self._partials[metric][cpid]
         except KeyError:
-            by_rank = self.data.setdefault(metric, {}).setdefault(cpid, {})
-        by_rank[rank] = by_rank.get(rank, 0.0) + value
+            by_rank = self._partials.setdefault(metric, {}).setdefault(cpid, {})
+        partials = by_rank.get(rank)
+        if partials is None:
+            by_rank[rank] = [value]
+        else:
+            grow_expansion(partials, value)
+        self._snapshot = None
+
+    def move_cell(self, metric: str, old_cpid: int, new_cpid: int, rank: int) -> None:
+        """Re-key one cell's accumulated partials under a new call-path id.
+
+        Used by the streaming finalizer when per-rank call-path registries
+        are renumbered into the global registry: the expansion moves
+        wholesale, so no re-addition (and no rounding) happens.
+        """
+        by_cp = self._partials.get(metric)
+        if not by_cp:
+            return
+        by_rank = by_cp.get(old_cpid)
+        if by_rank is None or rank not in by_rank:
+            return
+        partials = by_rank.pop(rank)
+        if not by_rank:
+            del by_cp[old_cpid]
+        target = by_cp.setdefault(new_cpid, {})
+        existing = target.get(rank)
+        if existing is None:
+            target[rank] = partials
+        else:
+            for part in partials:
+                grow_expansion(existing, part)
+        self._snapshot = None
+
+    def remap_callpaths(self, mapping: Dict[int, Dict[int, int]]) -> "SeverityCube":
+        """New cube with per-rank local call-path ids rewritten to global ones.
+
+        *mapping* is ``rank → local cpid → global cpid``.  Every cell of
+        this cube was accumulated under the call-path registry of its own
+        rank (patterns always charge a rank at its own op's path), so the
+        cell's rank selects the mapping.  Partials move wholesale — no
+        re-addition, no rounding — preserving exactness.
+        """
+        out = SeverityCube()
+        for metric, by_cp in self._partials.items():
+            target = out._partials.setdefault(metric, {})
+            for cpid, by_rank in by_cp.items():
+                for rank, partials in by_rank.items():
+                    new_cpid = mapping[rank][cpid]
+                    cell = target.setdefault(new_cpid, {})
+                    existing = cell.get(rank)
+                    if existing is None:
+                        cell[rank] = partials
+                    else:  # pragma: no cover - injective mappings never merge
+                        for part in partials:
+                            grow_expansion(existing, part)
+        return out
+
+    @property
+    def data(self) -> Dict[str, Dict[int, Dict[int, float]]]:
+        """Collapsed view: ``metric → cpid → rank → exact rounded seconds``."""
+        if self._snapshot is None:
+            self._snapshot = {
+                metric: {
+                    cpid: {rank: fsum(p) for rank, p in by_rank.items()}
+                    for cpid, by_rank in by_cp.items()
+                }
+                for metric, by_cp in self._partials.items()
+            }
+        return self._snapshot
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SeverityCube):
+            return NotImplemented
+        return self.data == other.data
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SeverityCube(data={self.data!r})"
 
     # -- aggregations -------------------------------------------------------
 
     def metrics(self) -> List[str]:
-        return sorted(self.data)
+        return sorted(self._partials)
 
     def total(self, metric: str) -> float:
         """Sum over all call paths and ranks."""
@@ -84,15 +204,14 @@ class SeverityCube:
     # -- algebra support ------------------------------------------------------
 
     def copy(self) -> "SeverityCube":
-        return SeverityCube(
-            data={
-                metric: {cpid: dict(by_rank) for cpid, by_rank in by_cp.items()}
-                for metric, by_cp in self.data.items()
-            }
-        )
+        return SeverityCube(data=self.data)
 
     def scale(self, factor: float) -> "SeverityCube":
-        """New cube with every cell multiplied by *factor* (must be ≥ 0)."""
+        """New cube with every cell multiplied by *factor* (must be ≥ 0).
+
+        Cells are collapsed before multiplying: only the rounded value is
+        canonical, the partials are an internal representation.
+        """
         if factor < 0:
             raise AnalysisError(f"scale factor must be non-negative, got {factor}")
         out = SeverityCube()

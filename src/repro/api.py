@@ -16,10 +16,14 @@ Everything a user of this package needs lives behind four names:
   :func:`~repro.service.http.serve`, :class:`~repro.service.store.JobStore`)
   — the same three verbs as crash-safe asynchronous HTTP jobs.
 
-Keyword conventions are uniform across the surface: ``seed=`` selects the
-deterministic random seed, ``scheme=`` the clock-synchronization scheme,
-``degraded=`` the salvage-and-continue replay mode, and ``jobs=`` the
-analysis process count.
+Analyses are described by one object: :class:`AnalysisRequest` carries
+``degraded`` (salvage-and-continue replay), ``jobs`` (analysis process
+count), the supervised-pool tunables, and the time-resolved severity
+options (``timeline``/``window_s``/``stride_s``/``bounded``).  ``seed=``
+selects the deterministic random seed and ``scheme=`` the
+clock-synchronization scheme everywhere.  The pre-request keyword sprawl
+(``degraded=``/``jobs=``/``timeout=``/``max_retries=``/``verify_archive=``)
+survives one release as a ``DeprecationWarning`` shim.
 
 This module's ``__all__`` is the compatibility contract: names listed here
 are stable; anything imported from deeper modules may move between
@@ -32,7 +36,9 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.analysis.parallel import resolve_jobs
-from repro.analysis.replay import AnalysisResult, analyze_run
+from repro.analysis.replay import _UNSET, AnalysisResult, analyze_run, resolve_request
+from repro.analysis.request import AnalysisRequest
+from repro.analysis.severity_timeline import SeverityTimeline
 from repro.clocks.sync import SyncScheme
 from repro.errors import ExperimentError
 from repro.report.render import render_analysis
@@ -55,7 +61,9 @@ __all__ = [
     "run_experiment",
     "verify_archives",
     "resolve_jobs",
+    "AnalysisRequest",
     "AnalysisResult",
+    "SeverityTimeline",
     "RunResult",
     "Metacomputer",
     "Placement",
@@ -98,39 +106,50 @@ def simulate(
 
 def analyze(
     run: RunResult,
+    request: Optional[AnalysisRequest] = None,
     *,
     scheme: Optional[SyncScheme] = None,
-    degraded: bool = False,
-    jobs: Optional[int] = None,
-    timeout: Optional[float] = None,
-    max_retries: Optional[int] = None,
     pool=None,
+    degraded=_UNSET,
+    jobs=_UNSET,
+    timeout=_UNSET,
+    max_retries=_UNSET,
 ) -> AnalysisResult:
     """Replay-analyze a traced run's archive.
 
-    ``jobs=None``/``1`` runs the serial analyzer; ``jobs>=2`` shards the
-    replay across that many worker processes (``0`` = one per available
-    core).  Every value of ``jobs`` produces a bit-identical
-    :class:`AnalysisResult` — see :mod:`repro.analysis.parallel` for the
-    merge model that guarantees it.
+    *request* (an :class:`AnalysisRequest`) describes the analysis:
+    ``jobs=None``/``1`` runs the serial single-pass streaming analyzer,
+    ``jobs>=2`` shards the replay across that many worker processes
+    (``0`` = one per available core).  Every value of ``jobs`` produces a
+    bit-identical :class:`AnalysisResult` — see
+    :mod:`repro.analysis.parallel` for the merge model that guarantees it.
+    ``request.timeline`` additionally accumulates a time-resolved
+    :class:`SeverityTimeline` (``result.severity_timeline``), and
+    ``request.bounded`` caps serial memory at the matching window.
 
-    ``timeout`` (per-shard deadline, seconds) and ``max_retries``
-    (re-dispatches after a worker crash or hang) tune the supervised pool
-    behind the parallel path; a parallel result carries the pool's
-    :class:`ExecutionReport` in ``result.execution``.  ``pool`` lends the
-    run an externally owned warm :class:`SupervisedPool` (task function
-    ``analyze_shard``) instead of spawning one — how the analysis service
-    shares a single pool across every job it serves.
+    ``request.timeout`` (per-shard deadline, seconds) and
+    ``request.max_retries`` (re-dispatches after a worker crash or hang)
+    tune the supervised pool behind the parallel path; a parallel result
+    carries the pool's :class:`ExecutionReport` in ``result.execution``.
+    ``pool`` lends the run an externally owned warm :class:`SupervisedPool`
+    (task function ``analyze_shard``) instead of spawning one — how the
+    analysis service shares a single pool across every job it serves.
+
+    The loose ``degraded=``/``jobs=``/``timeout=``/``max_retries=``
+    keywords are deprecated; they warn and are folded into a request.
     """
-    return analyze_run(
-        run,
-        scheme=scheme,
-        degraded=degraded,
-        jobs=jobs,
-        timeout=timeout,
-        max_retries=max_retries,
-        pool=pool,
-    )
+    legacy = {
+        name: value
+        for name, value in (
+            ("degraded", degraded),
+            ("jobs", jobs),
+            ("timeout", timeout),
+            ("max_retries", max_retries),
+        )
+        if value is not _UNSET
+    }
+    request = resolve_request(request, legacy, "analyze")
+    return analyze_run(run, scheme=scheme, request=request, pool=pool)
 
 
 def verify_archives(run: RunResult) -> RunVerification:
@@ -292,37 +311,54 @@ EXPERIMENTS: Dict[str, Callable[..., str]] = {
 
 def run_experiment(
     name: str,
+    request: Optional[AnalysisRequest] = None,
     *,
     seed: Optional[int] = None,
-    jobs: Optional[int] = None,
-    timeout: Optional[float] = None,
-    max_retries: Optional[int] = None,
     journal: Optional[CheckpointJournal] = None,
-    verify_archive: bool = False,
     pool=None,
+    jobs=_UNSET,
+    timeout=_UNSET,
+    max_retries=_UNSET,
+    verify_archive=_UNSET,
 ) -> str:
     """Regenerate one paper artifact by name; returns its rendered text.
 
     ``name`` is one of :data:`EXPERIMENTS` (``table1`` ... ``faults``).
-    ``seed=None`` uses the artifact's committed default seed; ``jobs``
-    selects the analysis process count as in :func:`analyze`, and
-    ``timeout``/``max_retries`` tune its supervised pool.
+    ``seed=None`` uses the artifact's committed default seed; *request*
+    describes the analysis phases as in :func:`analyze` — ``request.jobs``
+    selects the analysis process count, ``request.timeout``/
+    ``request.max_retries`` tune its supervised pool, and
+    ``request.verify_archive`` checksum-verifies trace archives before
+    analysis.
 
     ``journal`` makes the run resumable: each completed (experiment, seed)
     cell — and, inside ``table2`` and ``faults``, each completed
     per-scheme/per-plan sub-cell — is persisted, and a rerun with the same
-    journal skips straight to the cached result.  ``verify_archive``
-    checksum-verifies the trace archives before analysis; the strict
-    experiments raise :class:`~repro.errors.ArchiveError` on damage, the
+    journal skips straight to the cached result.  On archive damage the
+    strict experiments raise :class:`~repro.errors.ArchiveError`, the
     fault ladder records the verdict in its report instead.
 
     ``pool`` lends every analysis phase of the experiment an externally
     owned warm :class:`SupervisedPool`, as in :func:`analyze`.
+
+    The loose ``jobs=``/``timeout=``/``max_retries=``/``verify_archive=``
+    keywords are deprecated; they warn and are folded into a request.
     """
     runner = EXPERIMENTS.get(name)
     if runner is None:
         known = ", ".join(sorted(EXPERIMENTS))
         raise ExperimentError(f"unknown experiment {name!r}; choose from: {known}")
+    legacy = {
+        name_: value
+        for name_, value in (
+            ("jobs", jobs),
+            ("timeout", timeout),
+            ("max_retries", max_retries),
+            ("verify_archive", verify_archive),
+        )
+        if value is not _UNSET
+    }
+    request = resolve_request(request, legacy, "run_experiment")
     if seed is None:
         seed = DEFAULT_SEEDS[name]
     cell = {"experiment": name, "seed": seed}
@@ -332,11 +368,11 @@ def run_experiment(
             return cached["text"]
     text = runner(
         seed,
-        jobs,
-        timeout=timeout,
-        max_retries=max_retries,
+        request.jobs,
+        timeout=request.timeout,
+        max_retries=request.max_retries,
         journal=journal,
-        verify_archive=verify_archive,
+        verify_archive=request.verify_archive,
         pool=pool,
     )
     if journal is not None:

@@ -18,6 +18,9 @@ Usage::
     python -m repro faults --resume     # journal cells, skip finished ones
     python -m repro table2 --verify-archive   # checksum archives first
 
+    python -m repro analyze figure6 --timeline           # when is the severity?
+    python -m repro analyze figure6 --timeline --metric grid-late-sender
+
     python -m repro serve --port 8137            # run the analysis service
     python -m repro submit figure6 --wait        # submit a job, poll, print
     python -m repro jobs                         # list the service's jobs
@@ -37,7 +40,13 @@ import urllib.error
 import urllib.request
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.api import CheckpointJournal, DEFAULT_SEEDS, EXPERIMENTS, run_experiment
+from repro.api import (
+    AnalysisRequest,
+    CheckpointJournal,
+    DEFAULT_SEEDS,
+    EXPERIMENTS,
+    run_experiment,
+)
 from repro.errors import CheckpointLockError, PoolShutdown, ReproError
 
 #: Default on-disk location of the ``--resume`` checkpoint journal.
@@ -48,14 +57,18 @@ DEFAULT_URL = "http://127.0.0.1:8137"
 
 
 def _command(name: str) -> Callable[..., str]:
-    def run(seed: int, jobs: Optional[int] = None, **options) -> str:
-        return run_experiment(name, seed=seed, jobs=jobs, **options)
+    def run(
+        seed: int,
+        request: Optional[AnalysisRequest] = None,
+        journal: Optional[CheckpointJournal] = None,
+    ) -> str:
+        return run_experiment(name, request, seed=seed, journal=journal)
 
     run.__name__ = f"_cmd_{name}"
     return run
 
 
-#: Command name → runner(seed[, jobs, **options]) — the CLI's registry, one
+#: Command name → runner(seed[, request, journal]) — the CLI's registry, one
 #: entry per facade experiment.
 COMMANDS: Dict[str, Callable[..., str]] = {
     name: _command(name) for name in EXPERIMENTS
@@ -122,6 +135,65 @@ def _build_parser() -> argparse.ArgumentParser:
         )
         run_parser = sub.add_parser(name, parents=[experiment_opts], help=help_text)
         run_parser.set_defaults(command="run", what=name)
+
+    analyze_parser = sub.add_parser(
+        "analyze",
+        help="analyze one MetaTrace experiment, optionally with a "
+        "time-resolved severity timeline",
+    )
+    analyze_parser.add_argument(
+        "experiment",
+        choices=("figure6", "figure7"),
+        help="MetaTrace experiment to simulate and analyze",
+    )
+    analyze_parser.add_argument(
+        "--seed", type=int, default=None, help="random seed (default: per-artifact)"
+    )
+    analyze_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="analysis worker processes (1=serial, 0=one per core; "
+        "default: serial)",
+    )
+    analyze_parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-shard deadline for parallel analysis workers",
+    )
+    analyze_parser.add_argument(
+        "--max-retries", type=int, default=None, metavar="N",
+        help="re-dispatches allowed after a worker crash/hang",
+    )
+    analyze_parser.add_argument(
+        "--verify-archive",
+        action="store_true",
+        help="checksum-verify trace archives before analysis",
+    )
+    analyze_parser.add_argument(
+        "--timeline",
+        action="store_true",
+        help="append rolling-window severity series to the report",
+    )
+    analyze_parser.add_argument(
+        "--window", type=float, default=1.0, metavar="SECONDS",
+        help="rolling-window width of the severity timeline (default: 1.0)",
+    )
+    analyze_parser.add_argument(
+        "--stride", type=float, default=0.25, metavar="SECONDS",
+        help="bin stride of the severity timeline (default: 0.25)",
+    )
+    analyze_parser.add_argument(
+        "--metric",
+        default=None,
+        help="restrict the timeline rendering to one metric",
+    )
+    analyze_parser.add_argument(
+        "--bounded",
+        action="store_true",
+        help="bounded-memory streaming replay (identical severity; "
+        "drops the per-rank Gantt data)",
+    )
+    analyze_parser.set_defaults(command="analyze")
 
     serve_parser = sub.add_parser(
         "serve", help="run the analysis service (HTTP job layer over the API)"
@@ -210,21 +282,58 @@ def _cmd_run(args: argparse.Namespace) -> int:
         CheckpointJournal(args.journal, exclusive=True) if args.resume else None
     )
     try:
-        options = {
-            "timeout": args.timeout,
-            "max_retries": args.max_retries,
-            "journal": journal,
-            "verify_archive": args.verify_archive,
-        }
+        request = AnalysisRequest(
+            jobs=args.jobs,
+            timeout=args.timeout,
+            max_retries=args.max_retries,
+            verify_archive=args.verify_archive,
+        )
         targets = sorted(COMMANDS) if args.what == "all" else [args.what]
         for name in targets:
             seed = args.seed if args.seed is not None else DEFAULT_SEEDS[name]
             print(f"==== {name} (seed {seed}) ====")
-            print(COMMANDS[name](seed, args.jobs, **options))
+            print(COMMANDS[name](seed, request, journal=journal))
             print()
     finally:
         if journal is not None:
             journal.close()
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    if args.metric and not args.timeline:
+        print("error: --metric requires --timeline", file=sys.stderr)
+        return 2
+    from repro.experiments.figures import (
+        metatrace_report_text,
+        run_metatrace_experiment,
+    )
+    from repro.report.timeline import render_severity_timeline
+
+    figures = {"figure6": 1, "figure7": 2}
+    seed = args.seed if args.seed is not None else DEFAULT_SEEDS[args.experiment]
+    request = AnalysisRequest(
+        jobs=args.jobs,
+        timeout=args.timeout,
+        max_retries=args.max_retries,
+        verify_archive=args.verify_archive,
+        timeline=args.timeline,
+        window_s=args.window,
+        stride_s=args.stride,
+        bounded=args.bounded,
+    )
+    outcome = run_metatrace_experiment(
+        figure=figures[args.experiment], seed=seed, request=request
+    )
+    print(f"==== {args.experiment} (seed {seed}) ====")
+    print(metatrace_report_text(outcome))
+    if args.timeline:
+        print()
+        print(
+            render_severity_timeline(
+                outcome.result.severity_timeline, metric=args.metric
+            )
+        )
     return 0
 
 
@@ -358,6 +467,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         if args.command == "run":
             return _cmd_run(args)
+        if args.command == "analyze":
+            return _cmd_analyze(args)
         if args.command == "serve":
             return _cmd_serve(args)
         if args.command == "submit":

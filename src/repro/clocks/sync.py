@@ -46,6 +46,17 @@ from repro.ids import Location, NodeId
 from repro.topology.metacomputer import Metacomputer
 
 
+#: Minimum anchor separation for drift interpolation, in units of the
+#: winning exchange's round-trip time.  Below this the offset difference
+#: between the two anchors is dominated by measurement error (≤ RTT/2 of
+#: latency asymmetry each), so a fitted gradient is noise and the
+#: interpolating converter degrades to the single-offset form instead.
+#: Normal runs sit far above this (figure6's worst pair is ~2200 RTTs);
+#: only very short runs, whose start/end measurement rounds overlap in
+#: time, fall below it.
+MIN_DRIFT_BASELINE_RTTS = 100.0
+
+
 @dataclass(frozen=True)
 class LinearConverter:
     """Affine map from one clock's local time to another's: ``out = slope*t + intercept``."""
@@ -83,10 +94,17 @@ class LinearConverter:
             ref(s) = s - [ o1 + (o2 - o1) * (s - s1) / (s2 - s1) ]
 
         which is affine in ``s``.  Falls back to the single-offset form when
-        the two anchors coincide.
+        the anchors are too close for a drift estimate: each offset carries
+        up to half its exchange's latency asymmetry as error, so a baseline
+        within :data:`MIN_DRIFT_BASELINE_RTTS` round-trip times makes the
+        gradient noise-dominated — extrapolating it would amplify the
+        measurement error far beyond what a plain offset correction incurs.
+        (Very short runs can even land the two rounds' winning exchanges at
+        nearly the same instant.)
         """
         s1, s2 = start.slave_local_s, end.slave_local_s
-        if s2 == s1:
+        baseline = abs(s2 - s1)
+        if baseline <= MIN_DRIFT_BASELINE_RTTS * max(start.rtt_s, end.rtt_s):
             return LinearConverter.from_single_offset(start)
         gradient = (end.offset_s - start.offset_s) / (s2 - s1)
         # ref(s) = s - o1 - gradient*(s - s1) = (1 - gradient)*s + (gradient*s1 - o1)

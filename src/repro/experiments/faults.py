@@ -27,7 +27,7 @@ from repro.analysis.patterns import (
     WAIT_AT_BARRIER,
     WAIT_AT_NXN,
 )
-from repro.api import analyze, verify_archives
+from repro.api import AnalysisRequest, analyze, verify_archives
 from repro.apps.metatrace import make_metatrace_app
 from repro.errors import (
     ArchiveCreationAborted,
@@ -249,10 +249,12 @@ def _analyze(
         warnings.simplefilter("always", PartialTraceWarning)
         result = analyze(
             run,
-            degraded=degraded,
-            jobs=jobs,
-            timeout=timeout,
-            max_retries=max_retries,
+            AnalysisRequest(
+                degraded=degraded,
+                jobs=jobs,
+                timeout=timeout,
+                max_retries=max_retries,
+            ),
             pool=pool,
         )
     partial = sum(

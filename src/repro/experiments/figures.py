@@ -31,7 +31,7 @@ from repro.analysis.patterns import (
 )
 # Analysis is consumed through the stable facade (safe: repro.api defers
 # its own experiment imports until run_experiment() is called).
-from repro.api import AnalysisResult, analyze, verify_archives
+from repro.api import AnalysisRequest, AnalysisResult, analyze, verify_archives
 from repro.apps.imbalance import make_imbalance_app, make_nxn_imbalance_app
 from repro.apps.metatrace import make_metatrace_app
 from repro.clocks.clock import LinearClock
@@ -163,13 +163,10 @@ def run_figure4(
     if verify_archive:
         _verify_or_raise("figure4", ls_run, nxn_run)
 
+    request = AnalysisRequest(jobs=jobs, timeout=timeout, max_retries=max_retries)
     return {
-        "late_sender": analyze(
-            ls_run, jobs=jobs, timeout=timeout, max_retries=max_retries, pool=pool
-        ),
-        "wait_at_nxn": analyze(
-            nxn_run, jobs=jobs, timeout=timeout, max_retries=max_retries, pool=pool
-        ),
+        "late_sender": analyze(ls_run, request, pool=pool),
+        "wait_at_nxn": analyze(nxn_run, request, pool=pool),
     }
 
 
@@ -233,6 +230,7 @@ def run_metatrace_experiment(
     coupling_intervals: Optional[int] = None,
     *,
     figure: Optional[int] = None,
+    request: Optional[AnalysisRequest] = None,
     jobs: Optional[int] = None,
     timeout: Optional[float] = None,
     max_retries: Optional[int] = None,
@@ -244,8 +242,11 @@ def run_metatrace_experiment(
     ``figure=`` is the canonical way to select the experiment (1 → the
     three-metahost analysis of Figure 6, 2 → the one-metahost analysis of
     Figure 7); the positional form ``run_metatrace_experiment(1)`` still
-    works but emits a :class:`DeprecationWarning`.  ``jobs`` selects the
-    analysis process count as in :func:`repro.api.analyze`.
+    works but emits a :class:`DeprecationWarning`.  ``request=`` describes
+    the analysis (jobs, degraded, timeline, archive verification) as in
+    :func:`repro.api.analyze`; the flat ``jobs``/``timeout``/
+    ``max_retries``/``verify_archive`` keywords build an equivalent
+    request when no request is given.
     """
     if figure is not None:
         if which is not None:
@@ -280,11 +281,16 @@ def run_metatrace_experiment(
         metacomputer, placement, seed=seed, subcomms=config.subcomms()
     )
     run = runtime.run(make_metatrace_app(config))
-    if verify_archive:
+    if request is None:
+        request = AnalysisRequest(
+            jobs=jobs,
+            timeout=timeout,
+            max_retries=max_retries,
+            verify_archive=verify_archive,
+        )
+    if request.verify_archive:
         _verify_or_raise(f"figure{5 + which}", run)
-    result = analyze(
-        run, jobs=jobs, timeout=timeout, max_retries=max_retries, pool=pool
-    )
+    result = analyze(run, request, pool=pool)
     return MetaTraceOutcome(run=run, result=result, label=label)
 
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.api import AnalysisResult, analyze, verify_archives
+from repro.api import AnalysisRequest, AnalysisResult, analyze, verify_archives
 from repro.apps.clockbench import ClockBenchConfig, make_clockbench_app
 from repro.clocks.sync import SCHEMES
 from repro.errors import ArchiveError
@@ -118,10 +118,8 @@ def run_table2(
                 continue
         result = analyze(
             run,
+            AnalysisRequest(jobs=jobs, timeout=timeout, max_retries=max_retries),
             scheme=scheme,
-            jobs=jobs,
-            timeout=timeout,
-            max_retries=max_retries,
             pool=pool,
         )
         analyses[scheme.name] = result

@@ -22,7 +22,12 @@ from repro.report.algebra import (
     render_comparison,
 )
 from repro.report.serialize import result_to_dict, experiment_to_dict, experiment_from_dict
-from repro.report.timeline import render_timeline, render_result_timeline, TimelineView
+from repro.report.timeline import (
+    render_timeline,
+    render_result_timeline,
+    render_severity_timeline,
+    TimelineView,
+)
 
 __all__ = [
     "render_metric_tree",
@@ -40,5 +45,6 @@ __all__ = [
     "experiment_from_dict",
     "render_timeline",
     "render_result_timeline",
+    "render_severity_timeline",
     "TimelineView",
 ]

@@ -173,3 +173,52 @@ def render_result_timeline(result, **kwargs) -> str:
         result.timelines, result.definitions.regions, result.callpaths, **kwargs
     )
     return view.render()
+
+
+# -- time-resolved severity -----------------------------------------------------
+
+#: Sparkline glyphs, blank to full block, indexed by eighths of the peak.
+_SPARK = " ▁▂▃▄▅▆▇█"
+
+
+def render_severity_timeline(timeline, metric: Optional[str] = None,
+                             width: int = 60) -> str:
+    """Text rendering of a :class:`~repro.analysis.severity_timeline.SeverityTimeline`.
+
+    One row per metric: the rolling-window series as a sparkline scaled to
+    its own peak, with the peak window called out — enough to spot *when*
+    a transient episode (say, a WAN congestion burst) concentrates its
+    severity.  ``metric`` restricts the rendering to one metric; the
+    series is max-pooled down to ``width`` columns when longer.
+    """
+    header = (
+        f"Time-resolved severity (window {timeline.window_s:g} s, "
+        f"stride {timeline.stride_s:g} s)"
+    )
+    lines = [header, ""]
+    names = [metric] if metric is not None else timeline.metrics()
+    for name in names:
+        series = timeline.series(name)
+        if not series:
+            lines.append(f"{name:24s} (no contributions)")
+            continue
+        peak_t, peak_v = timeline.peak_window(name)
+        values = [value for _, value in series]
+        if len(values) > width:
+            # Max-pool: a narrow spike must survive downsampling.
+            chunk = len(values) / width
+            values = [
+                max(values[int(i * chunk): max(int((i + 1) * chunk), int(i * chunk) + 1)])
+                for i in range(width)
+            ]
+        scale = peak_v or 1.0
+        bars = "".join(
+            _SPARK[min(8, int(8 * value / scale + 0.5))] for value in values
+        )
+        t0 = series[0][0]
+        t1 = series[-1][0]
+        lines.append(
+            f"{name:24s} peak {peak_v * 1e3:10.3f} ms in window at t={peak_t:.2f} s"
+        )
+        lines.append(f"  t={t0:8.2f}s |{bars}| t={t1:.2f}s")
+    return "\n".join(lines)

@@ -315,6 +315,47 @@ class AnalysisService:
             "by_callpath": by_callpath,
         }
 
+    def severity_timeline(
+        self, key: str, *, metric: Optional[str] = None
+    ) -> Dict[str, Any]:
+        """Window-resolved severity series of a finished ``analyze`` job.
+
+        Requires the job to have been submitted with config
+        ``{"timeline": true}``; without ``metric`` the full payload (every
+        recorded metric's rolling-window series, peak window and per-rank
+        breakdown), with ``metric`` just that metric's entry.
+        """
+        record = self.job(key)
+        if record is None:
+            raise ServiceError(f"no job {key}")
+        if record.status != DONE or not record.result:
+            raise ServiceError(f"job {key} is {record.status}; no result to query")
+        if record.result.get("kind") != "analyze":
+            raise ServiceError(
+                f"job {key} is a {record.result.get('kind')} job; "
+                "only analyze jobs carry a severity timeline"
+            )
+        payload = record.result.get("timeline")
+        if not payload:
+            raise ServiceError(
+                f"job {key} did not record a timeline; submit with "
+                'config {"timeline": true} to get time-resolved severity'
+            )
+        if metric is None:
+            return {"job": key, **payload}
+        entry = payload.get("metrics", {}).get(metric)
+        if entry is None:
+            known = ", ".join(sorted(payload.get("metrics", {})))
+            raise ServiceError(
+                f"metric {metric!r} not in timeline; available: {known}"
+            )
+        return {
+            "job": key,
+            "window_s": payload["window_s"],
+            "stride_s": payload["stride_s"],
+            "metrics": {metric: entry},
+        }
+
     # -- the executor ----------------------------------------------------------
 
     def _set_phase(self, key: str, phase: str) -> None:

@@ -14,6 +14,9 @@ Routes (all JSON):
   job is ``done`` (or after it failed — the body says which).
 * ``GET /jobs/<key>/severity[?metric=...]`` — severity-cube query of a
   finished analyze job.
+* ``GET /jobs/<key>/severity/timeline[?metric=...]`` — window-resolved
+  severity series of a finished analyze job submitted with config
+  ``{"timeline": true}``.
 * ``GET /healthz`` — liveness; ``GET /readyz`` — readiness (``503``
   while draining) plus queue statistics.
 
@@ -187,6 +190,12 @@ class _Handler(BaseHTTPRequestHandler):
             metric = (query.get("metric") or [None])[0]
             try:
                 self._send(200, self.app.severity(key, metric=metric))
+            except ServiceError as exc:
+                self._send(409, {"error": str(exc)})
+        elif parts[1:] == ["severity", "timeline"]:
+            metric = (query.get("metric") or [None])[0]
+            try:
+                self._send(200, self.app.severity_timeline(key, metric=metric))
             except ServiceError as exc:
                 self._send(409, {"error": str(exc)})
         else:

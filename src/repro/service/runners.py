@@ -57,17 +57,19 @@ def _run_experiment_job(
     spec: Mapping[str, Any], pool, notify: Progress
 ) -> Tuple[Dict[str, Any], None]:
     """Regenerate a paper artifact; the result is its rendered text."""
-    from repro.api import run_experiment
+    from repro.api import AnalysisRequest, run_experiment
 
     config = spec.get("config", {})
     notify(f"running experiment {spec['experiment']}")
     text = run_experiment(
         spec["experiment"],
+        AnalysisRequest(
+            jobs=spec["jobs"] or None,
+            timeout=config.get("timeout"),
+            max_retries=config.get("max_retries"),
+            verify_archive=bool(config.get("verify_archive", False)),
+        ),
         seed=spec["seed"],
-        jobs=spec["jobs"] or None,
-        timeout=config.get("timeout"),
-        max_retries=config.get("max_retries"),
-        verify_archive=bool(config.get("verify_archive", False)),
         pool=pool,
     )
     return {"kind": "run_experiment", "experiment": spec["experiment"], "text": text}, None
@@ -83,6 +85,7 @@ def _analyze_job(
     ``run_experiment("figure6"/"figure7")`` uses, so a served report can
     be compared byte-for-byte against a direct library call.
     """
+    from repro.api import AnalysisRequest
     from repro.experiments.figures import (
         metatrace_report_text,
         run_metatrace_experiment,
@@ -92,14 +95,21 @@ def _analyze_job(
     config = spec.get("config", {})
     experiment = spec["experiment"]
     notify(f"simulating and replaying {experiment}")
-    outcome = run_metatrace_experiment(
-        figure=_FIGURES[experiment],
-        seed=spec["seed"],
+    request = AnalysisRequest(
         jobs=spec["jobs"] or None,
-        coupling_intervals=config.get("coupling_intervals"),
         timeout=config.get("timeout"),
         max_retries=config.get("max_retries"),
         verify_archive=bool(config.get("verify_archive", False)),
+        timeline=bool(config.get("timeline", False)),
+        window_s=float(config.get("window_s", 1.0)),
+        stride_s=float(config.get("stride_s", 0.25)),
+        bounded=bool(config.get("bounded", False)),
+    )
+    outcome = run_metatrace_experiment(
+        figure=_FIGURES[experiment],
+        seed=spec["seed"],
+        coupling_intervals=config.get("coupling_intervals"),
+        request=request,
         pool=pool,
     )
     notify("rendering report")
@@ -110,6 +120,8 @@ def _analyze_job(
         "summary": outcome.summary(),
         "severity": result_to_dict(outcome.result, name=experiment),
     }
+    if outcome.result.severity_timeline is not None:
+        result["timeline"] = outcome.result.severity_timeline.to_payload()
     execution = (
         outcome.result.execution.to_dict()
         if outcome.result.execution is not None

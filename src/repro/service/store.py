@@ -32,6 +32,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional
 
+from repro.analysis.request import AnalysisRequest
 from repro.errors import JobValidationError
 from repro.resilience.checkpoint import CheckpointJournal
 
@@ -76,6 +77,10 @@ _CONFIG_SCHEMA: Dict[str, Dict[str, Any]] = {
         "max_retries": ("non-negative integer", lambda v: _is_int(v) and v >= 0),
         "verify_archive": ("boolean", lambda v: isinstance(v, bool)),
         "coupling_intervals": ("positive integer", lambda v: _is_int(v) and v >= 1),
+        "timeline": ("boolean", lambda v: isinstance(v, bool)),
+        "window_s": ("positive number", lambda v: _is_number(v) and v > 0),
+        "stride_s": ("positive number", lambda v: _is_number(v) and v > 0),
+        "bounded": ("boolean", lambda v: isinstance(v, bool)),
     },
     "simulate": {
         "ranks": ("integer >= 2", lambda v: _is_int(v) and v >= 2),
@@ -100,7 +105,11 @@ def canonical_spec(raw: Mapping[str, Any], *, default_jobs: int = 1) -> Dict[str
     made explicit: ``{"kind", "experiment", "seed", "jobs", "config"}``.
     Submissions that differ only in key order, omitted defaults, or
     JSON-irrelevant formatting canonicalize identically — the foundation
-    of :func:`job_key` dedup.
+    of :func:`job_key` dedup.  ``config`` may also be an
+    :class:`~repro.analysis.request.AnalysisRequest`: it reduces to its
+    defaults-omitted dict form (jobs lifting into the spec's top-level
+    field), so a request submission dedupes against the equivalent plain
+    JSON one.
 
     Raises :class:`~repro.errors.JobValidationError` on anything
     malformed, with a message precise enough to fix the submission.
@@ -153,17 +162,32 @@ def canonical_spec(raw: Mapping[str, Any], *, default_jobs: int = 1) -> Dict[str
     if not _is_int(seed):
         raise JobValidationError(f"seed must be an integer, got {seed!r}")
 
+    config = raw.get("config") or {}
+    request_jobs = None
+    if isinstance(config, AnalysisRequest):
+        # An AnalysisRequest canonicalizes through its defaults-omitted
+        # dict form, so a request of all defaults hashes exactly like the
+        # empty config pre-request submissions produced.  Its ``jobs``
+        # belongs to the spec's top-level field, not the config.
+        config = config.to_config()
+        request_jobs = config.pop("jobs", None)
+    if not isinstance(config, Mapping):
+        raise JobValidationError("config must be a JSON object")
+
     jobs = raw.get("jobs")
+    if jobs is not None and request_jobs is not None and jobs != request_jobs:
+        raise JobValidationError(
+            f"job field jobs={jobs!r} conflicts with the analysis request's "
+            f"jobs={request_jobs!r}; set one of them"
+        )
+    if jobs is None:
+        jobs = request_jobs
     if jobs is None:
         jobs = default_jobs
     if not _is_int(jobs) or jobs < 0:
         raise JobValidationError(
             f"jobs must be a non-negative integer (0 = one per core), got {jobs!r}"
         )
-
-    config = raw.get("config") or {}
-    if not isinstance(config, Mapping):
-        raise JobValidationError("config must be a JSON object")
     schema = _CONFIG_SCHEMA[kind]
     clean: Dict[str, Any] = {}
     for key in sorted(config):

@@ -332,7 +332,7 @@ def verify_trace_blob(blob: bytes, entry: TraceManifestEntry) -> TraceVerificati
 
 
 def salvage_checked(
-    blob: bytes, entry: Optional[TraceManifestEntry]
+    blob: bytes, entry: Optional[TraceManifestEntry], count_only: bool = False
 ) -> SalvagedTrace:
     """Checksum-aware salvage: grammar salvage plus manifest evidence.
 
@@ -348,9 +348,10 @@ def salvage_checked(
       partial instead of silently analyzing corrupt data.
 
     With no manifest entry (``entry is None``) this is exactly
-    ``salvage_events(blob)``.
+    ``salvage_events(blob)``.  ``count_only`` is passed through: the
+    streaming prepass scans without materializing events.
     """
-    salvaged = salvage_events(blob)
+    salvaged = salvage_events(blob, count_only=count_only)
     if entry is None:
         return salvaged
     salvaged.bytes_total = max(salvaged.bytes_total, entry.size)

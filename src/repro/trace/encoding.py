@@ -330,6 +330,9 @@ class SalvagedTrace:
     error: str = ""
     bytes_decoded: int = 0
     bytes_total: int = 0
+    #: Records decoded (or, for a count-only scan, counted without being
+    #: materialized).  Equals ``len(events)`` whenever events were collected.
+    event_count: int = 0
     #: ENTER records left unmatched by an EXIT at the end of the decoded
     #: prefix.  Negative when stray EXITs outnumber ENTERs (corruption that
     #: happened to decode as valid records).
@@ -354,7 +357,7 @@ class SalvagedTrace:
         return self.open_regions == 0
 
 
-def salvage_events(data: bytes) -> SalvagedTrace:
+def salvage_events(data: bytes, count_only: bool = False) -> SalvagedTrace:
     """Decode the longest clean prefix of *data*, never raising.
 
     Unlike :func:`decode_events`, a bad header, an unknown kind byte, or a
@@ -362,6 +365,13 @@ def salvage_events(data: bytes) -> SalvagedTrace:
     :class:`~repro.errors.EncodingError`; everything before the defect is
     returned together with a description of it.  Degraded-mode replay is
     built on this.
+
+    With ``count_only=True`` the walk makes the same decisions — same
+    ``complete``/``balanced``/``error``/byte accounting — but records are
+    counted (``event_count``) instead of materialized, so scanning an
+    arbitrarily long damaged trace costs O(1) memory.  The streaming
+    degraded prepass uses this; the actual events then flow through the
+    chunked decoder only for ranks that pass the scan.
     """
     bytes_total = len(data)
     try:
@@ -376,6 +386,7 @@ def salvage_events(data: bytes) -> SalvagedTrace:
     size = bytes_total
     offset = _HEADER.size
     depth = 0
+    count = 0
     while offset < size:
         kind = data[offset]
         entry = decoders.get(kind)
@@ -388,6 +399,7 @@ def salvage_events(data: bytes) -> SalvagedTrace:
                 bytes_decoded=offset,
                 bytes_total=bytes_total,
                 open_regions=depth,
+                event_count=count,
             )
         stride, unpack_from, _iter_unpack, factory = entry
         if offset + stride > size:
@@ -399,8 +411,11 @@ def salvage_events(data: bytes) -> SalvagedTrace:
                 bytes_decoded=offset,
                 bytes_total=bytes_total,
                 open_regions=depth,
+                event_count=count,
             )
-        append(factory(unpack_from(data, offset)))
+        if not count_only:
+            append(factory(unpack_from(data, offset)))
+        count += 1
         if kind == 1:
             depth += 1
         elif kind == 2:
@@ -413,4 +428,5 @@ def salvage_events(data: bytes) -> SalvagedTrace:
         bytes_decoded=offset,
         bytes_total=bytes_total,
         open_regions=depth,
+        event_count=count,
     )

@@ -20,6 +20,7 @@ from repro.topology.presets import uniform_metacomputer
 #: changed — that must be a deliberate, documented decision (docs/API.md),
 #: not a side effect.  Update this snapshot only together with the docs.
 API_SURFACE_SNAPSHOT = [
+    "AnalysisRequest",
     "AnalysisResult",
     "CheckpointJournal",
     "DEFAULT_SEEDS",
@@ -30,6 +31,7 @@ API_SURFACE_SNAPSHOT = [
     "Placement",
     "RunResult",
     "ServiceConfig",
+    "SeverityTimeline",
     "analyze",
     "create_app",
     "ibm_aix_power",
@@ -79,7 +81,7 @@ class TestVerbs:
 
     def test_analyze_serial_and_parallel_agree(self, small_run):
         serial = api.analyze(small_run)
-        parallel = api.analyze(small_run, jobs=2)
+        parallel = api.analyze(small_run, api.AnalysisRequest(jobs=2))
         assert isinstance(serial, api.AnalysisResult)
         assert serial.cube.data == parallel.cube.data
 
@@ -92,9 +94,9 @@ class TestVerbs:
         assert "Experiment 1" in text and "Experiment 2" in text
 
     def test_run_experiment_figure4_with_jobs(self):
-        assert api.run_experiment("figure4", seed=3, jobs=2) == api.run_experiment(
-            "figure4", seed=3, jobs=1
-        )
+        assert api.run_experiment(
+            "figure4", api.AnalysisRequest(jobs=2), seed=3
+        ) == api.run_experiment("figure4", api.AnalysisRequest(jobs=1), seed=3)
 
 
 class TestDeprecations:

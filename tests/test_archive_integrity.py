@@ -17,7 +17,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.analysis.replay import RankCompleteness, ReplayAnalyzer
-from repro.api import analyze, simulate, verify_archives
+from repro.api import AnalysisRequest, analyze, simulate, verify_archives
 from repro.apps.imbalance import make_imbalance_app
 from repro.errors import ArchiveError
 from repro.faults import FaultPlan, TraceCorruption, TraceTruncation
@@ -341,7 +341,7 @@ class TestRunVerification:
         # ... and the degraded replay still works on the same run.
         with warnings.catch_warnings():
             warnings.simplefilter("ignore")
-            result = analyze(run, degraded=True)
+            result = analyze(run, AnalysisRequest(degraded=True))
         assert result.completeness
 
 

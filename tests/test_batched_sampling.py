@@ -20,7 +20,7 @@ import numpy as np
 import pytest
 
 import repro.sim.mpi as mpi_module
-from repro.api import analyze
+from repro.api import AnalysisRequest, analyze
 from repro.apps.metatrace import make_metatrace_app
 from repro.errors import TopologyError
 from repro.experiments.configs import experiment1, scaled_experiment1
@@ -124,8 +124,9 @@ class TestGoldenBatchedVsScalar:
         scalar = self._figure6_run()
         assert archive_digest(batched) == archive_digest(scalar)
         for jobs in (1, 4):
-            assert render_analysis(analyze(batched, jobs=jobs)) == render_analysis(
-                analyze(scalar, jobs=jobs)
+            request = AnalysisRequest(jobs=jobs)
+            assert render_analysis(analyze(batched, request)) == render_analysis(
+                analyze(scalar, request)
             )
 
     def test_fault_injected_degraded_byte_identical(self, monkeypatch):
@@ -138,6 +139,7 @@ class TestGoldenBatchedVsScalar:
         for jobs in (1, 4):
             with warnings.catch_warnings():
                 warnings.simplefilter("ignore")
-                a = render_analysis(analyze(batched, degraded=True, jobs=jobs))
-                b = render_analysis(analyze(scalar, degraded=True, jobs=jobs))
+                request = AnalysisRequest(degraded=True, jobs=jobs)
+                a = render_analysis(analyze(batched, request))
+                b = render_analysis(analyze(scalar, request))
             assert a == b

@@ -76,6 +76,27 @@ class TestLinearConverter:
         c = LinearConverter.from_interpolation(m, m)
         assert c.convert(5.0) == pytest.approx(4.0)
 
+    def test_interpolation_guards_noise_dominated_baseline(self):
+        """Anchors within ~100 RTTs of each other yield no drift fit.
+
+        A very short run can land the start- and end-round winning
+        exchanges almost at the same instant; the offset difference is
+        then pure measurement error and a fitted gradient extrapolates
+        it to millisecond-scale conversion error (enough to fabricate
+        clock-condition violations on a perfect-clock run).  The
+        converter must degrade to the single-offset form instead.
+        """
+        node, ref = NodeId(1, 0), NodeId(0, 0)
+        # rtt_s is 1e-4 in _measurement, so the guard kicks in below 1e-2.
+        start = _measurement(node, ref, offset=1.3e-5, at_slave_local=5.0)
+        end = _measurement(node, ref, offset=0.5e-5, at_slave_local=5.005)
+        c = LinearConverter.from_interpolation(start, end)
+        assert c.slope == 1.0
+        assert c.convert(5.0) == pytest.approx(5.0 - 1.3e-5)
+        # Well-separated anchors still get the drift fit.
+        far = _measurement(node, ref, offset=0.5e-5, at_slave_local=105.0)
+        assert LinearConverter.from_interpolation(start, far).slope != 1.0
+
     def test_composition(self):
         inner = LinearConverter(slope=2.0, intercept=1.0)
         outer = LinearConverter(slope=3.0, intercept=-1.0)

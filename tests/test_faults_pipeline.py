@@ -5,6 +5,7 @@ import warnings
 import pytest
 
 from repro.analysis.replay import analyze_run
+from repro.analysis.request import AnalysisRequest
 from repro.errors import (
     CommunicationTimeoutError,
     EncodingError,
@@ -74,7 +75,7 @@ class TestTransportFaults:
         assert run.fault_counters.retransmits > 0
         assert run.stats.retransmits == run.fault_counters.retransmits
         # The run still analyzes cleanly: no trace was damaged.
-        result = analyze_run(run, degraded=True)
+        result = analyze_run(run, request=AnalysisRequest(degraded=True))
         assert len(result.analyzed_ranks) == NPROCS
 
     def test_retransmission_delays_surface_in_timing(self):
@@ -103,7 +104,7 @@ class TestMeasurementFaults:
         assert run.sync_data.failures  # measurements were abandoned
         with pytest.raises(Exception):
             analyze_run(run)  # strict replay refuses the gap
-        result = analyze_run(run, degraded=True)
+        result = analyze_run(run, request=AnalysisRequest(degraded=True))
         assert len(result.analyzed_ranks) == NPROCS
 
 
@@ -116,7 +117,7 @@ class TestDegradedReplay:
             analyze_run(run)
         with warnings.catch_warnings(record=True) as caught:
             warnings.simplefilter("always")
-            result = analyze_run(run, degraded=True)
+            result = analyze_run(run, request=AnalysisRequest(degraded=True))
         assert any(
             issubclass(w.category, PartialTraceWarning) for w in caught
         )
@@ -135,7 +136,7 @@ class TestDegradedReplay:
         assert run.fault_counters.traces_corrupted == 1
         with warnings.catch_warnings():
             warnings.simplefilter("ignore", PartialTraceWarning)
-            result = analyze_run(run, degraded=True)
+            result = analyze_run(run, request=AnalysisRequest(degraded=True))
         assert result.excluded_ranks == [2]
         assert result.completeness[2].events > 0
 
@@ -146,14 +147,14 @@ class TestDegradedReplay:
         run = _run(fault_plan=plan)
         with warnings.catch_warnings():
             warnings.simplefilter("ignore", PartialTraceWarning)
-            result = analyze_run(run, degraded=True)
+            result = analyze_run(run, request=AnalysisRequest(degraded=True))
         # Surviving ranks still wait at the barrier for the slow ranks.
         assert result.metric_total(WAIT_AT_BARRIER) > 0.0
 
     def test_degraded_on_clean_run_matches_strict(self):
         run = _run(fault_plan=None)
         strict = analyze_run(run)
-        degraded = analyze_run(run, degraded=True)
+        degraded = analyze_run(run, request=AnalysisRequest(degraded=True))
         assert degraded.analyzed_ranks == strict.analyzed_ranks
         for metric in ("time", "mpi", "late-sender", "wait-at-barrier"):
             assert degraded.metric_total(metric) == pytest.approx(

@@ -13,7 +13,7 @@ import warnings
 import pytest
 
 from repro.analysis.parallel import plan_shards, resolve_jobs
-from repro.api import analyze
+from repro.api import AnalysisRequest, analyze
 from repro.apps.imbalance import make_imbalance_app
 from repro.apps.metatrace import make_metatrace_app
 from repro.errors import AnalysisError, PartialTraceWarning
@@ -39,7 +39,7 @@ def assert_identical(serial, parallel):
     assert vars(serial.traffic) == vars(parallel.traffic)
     assert serial.total_time == parallel.total_time
     assert serial.scheme_name == parallel.scheme_name
-    assert serial.grid_pairs.__dict__ == parallel.grid_pairs.__dict__
+    assert serial.grid_pairs.data == parallel.grid_pairs.data
     assert list(serial.timelines) == list(parallel.timelines)
     assert serial.completeness == parallel.completeness
     assert render_analysis(serial) == render_analysis(parallel)
@@ -107,11 +107,11 @@ class TestStrictEquivalence:
     @pytest.mark.parametrize("jobs", [2, 3, 4, 8])
     def test_bit_identical_to_serial(self, small_run, jobs):
         serial = analyze(small_run)
-        parallel = analyze(small_run, jobs=jobs)
+        parallel = analyze(small_run, AnalysisRequest(jobs=jobs))
         assert_identical(serial, parallel)
 
     def test_jobs_one_uses_serial_path(self, small_run):
-        assert_identical(analyze(small_run), analyze(small_run, jobs=1))
+        assert_identical(analyze(small_run), analyze(small_run, AnalysisRequest(jobs=1)))
 
 
 @pytest.mark.slow
@@ -123,8 +123,8 @@ class TestGoldenFigure6:
             metacomputer, placement, seed=1, subcomms=config.subcomms()
         )
         run = runtime.run(make_metatrace_app(config))
-        serial = analyze(run, jobs=1)
-        parallel = analyze(run, jobs=4)
+        serial = analyze(run, AnalysisRequest(jobs=1))
+        parallel = analyze(run, AnalysisRequest(jobs=4))
         assert_identical(serial, parallel)
         assert render_analysis(serial).encode() == render_analysis(parallel).encode()
 
@@ -150,7 +150,7 @@ class TestDegradedEquivalence:
     def _analyze_with_warnings(self, run, jobs):
         with warnings.catch_warnings(record=True) as caught:
             warnings.simplefilter("always")
-            result = analyze(run, degraded=True, jobs=jobs)
+            result = analyze(run, AnalysisRequest(degraded=True, jobs=jobs))
         return result, [(w.category, str(w.message)) for w in caught]
 
     @pytest.mark.parametrize("jobs", [2, 4])

@@ -17,7 +17,7 @@ import time
 import pytest
 
 from repro.analysis.parallel import ParallelReplayAnalyzer
-from repro.api import analyze
+from repro.api import AnalysisRequest, analyze
 from repro.apps.imbalance import make_imbalance_app
 from repro.faults import FaultPlan, TraceCorruption
 from repro.resilience import ExecutionReport, PoolConfig, SupervisedPool
@@ -248,7 +248,7 @@ class TestAnalyzerChaos:
             specs=(TraceCorruption(rank=3, at_fraction=0.5, length=8),),
         )
         run = _small_run(fault_plan=plan, seed=3)
-        serial = analyze(run, degraded=True)
+        serial = analyze(run, AnalysisRequest(degraded=True))
         analyzer = ParallelReplayAnalyzer(
             {m: run.reader(m) for m in run.machines_used},
             degraded=True,
@@ -266,7 +266,7 @@ class TestAnalyzerChaos:
 
     def test_clean_parallel_run_reports_clean_execution(self):
         run = _small_run()
-        result = analyze(run, jobs=4)
+        result = analyze(run, AnalysisRequest(jobs=4))
         assert result.execution is not None
         assert result.execution.clean
         assert result.execution.retries == 0
@@ -278,6 +278,6 @@ class TestAnalyzerChaos:
 
     def test_timeout_and_retries_reach_the_pool(self):
         run = _small_run()
-        result = analyze(run, jobs=2, timeout=123.0, max_retries=5)
+        result = analyze(run, AnalysisRequest(jobs=2, timeout=123.0, max_retries=5))
         assert result.execution is not None
         assert result.execution.clean

@@ -169,6 +169,61 @@ class TestEndpoints:
         assert result["result"]["text"].startswith("Experiment 2")
 
 
+    def test_severity_timeline_endpoint(self, server):
+        base, _ = server
+        spec = {
+            "kind": "analyze",
+            "experiment": "figure6",
+            "seed": 2,
+            "jobs": 1,
+            "config": {
+                "timeline": True,
+                "coupling_intervals": 1,
+                "window_s": 0.5,
+                "stride_s": 0.25,
+            },
+        }
+        _, _, body = _request(base, "POST", "/jobs", spec)
+        key = body["job"]["key"]
+        job = _poll_done(base, key, timeout=120)
+        assert job["status"] == "done", job["error"]
+
+        status, _, overview = _request(base, "GET", f"/jobs/{key}/severity/timeline")
+        assert status == 200
+        assert overview["window_s"] == 0.5 and overview["stride_s"] == 0.25
+        assert overview["metrics"], "timeline came back empty"
+        series = overview["metrics"]["mpi"]["series"]
+        assert series and all(len(point) == 2 for point in series)
+        assert overview["metrics"]["mpi"]["by_rank"]
+
+        status, _, detail = _request(
+            base, "GET", f"/jobs/{key}/severity/timeline?metric=mpi"
+        )
+        assert status == 200 and list(detail["metrics"]) == ["mpi"]
+
+        status, _, body = _request(
+            base, "GET", f"/jobs/{key}/severity/timeline?metric=bogus"
+        )
+        assert status == 409 and "bogus" in body["error"]
+
+        # An analyze job submitted without timeline config has none to serve.
+        plain = {"kind": "analyze", "experiment": "figure6", "seed": 2, "jobs": 1,
+                 "config": {"coupling_intervals": 1}}
+        _, _, body = _request(base, "POST", "/jobs", plain)
+        plain_key = body["job"]["key"]
+        assert plain_key != key
+        assert _poll_done(base, plain_key, timeout=120)["status"] == "done"
+        status, _, body = _request(base, "GET", f"/jobs/{plain_key}/severity/timeline")
+        assert status == 409 and "timeline" in body["error"]
+
+        # Non-analyze jobs never carry one.
+        _, _, body = _request(base, "POST", "/jobs", SIM)
+        sim_key = body["job"]["key"]
+        _poll_done(base, sim_key)
+        status, _, body = _request(base, "GET", f"/jobs/{sim_key}/severity/timeline")
+        assert status == 409 and "only analyze jobs" in body["error"]
+
+
 class TestCliClient:
     def test_submit_wait_prints_result(self, server, capsys):
         base, _ = server

@@ -77,6 +77,27 @@ class TestCanonicalSpec:
         with pytest.raises(JobValidationError):
             canonical_spec(raw)
 
+    def test_timeline_config_keys_validate(self):
+        spec = canonical_spec(
+            {
+                "kind": "analyze",
+                "experiment": "figure6",
+                "config": {"timeline": True, "window_s": 2.0, "stride_s": 0.5,
+                           "bounded": True},
+            }
+        )
+        assert spec["config"]["timeline"] is True
+        for bad in (
+            {"timeline": "yes"},
+            {"window_s": 0},
+            {"stride_s": -0.5},
+            {"bounded": 1},
+        ):
+            with pytest.raises(JobValidationError):
+                canonical_spec(
+                    {"kind": "analyze", "experiment": "figure6", "config": bad}
+                )
+
     def test_analyze_and_simulate_whitelists(self):
         analyze = canonical_spec(
             {
@@ -94,6 +115,71 @@ class TestCanonicalSpec:
             }
         )
         assert simulate["seed"] == 0  # no committed default: falls back to 0
+
+
+class TestRequestCanonicalization:
+    """An AnalysisRequest is a first-class job config: it canonicalizes to
+    its defaults-omitted dict form and dedupes against the plain-JSON
+    submission that means the same work."""
+
+    def test_request_config_equals_plain_dict(self):
+        from repro.analysis.request import AnalysisRequest
+
+        as_request = canonical_spec(
+            {
+                "kind": "analyze",
+                "experiment": "figure6",
+                "seed": 1,
+                "config": AnalysisRequest(timeline=True, window_s=2.0),
+            }
+        )
+        as_dict = canonical_spec(
+            {
+                "kind": "analyze",
+                "experiment": "figure6",
+                "seed": 1,
+                "config": {"timeline": True, "window_s": 2.0},
+            }
+        )
+        assert as_request == as_dict
+        assert job_key(as_request) == job_key(as_dict)
+
+    def test_all_defaults_request_equals_empty_config(self):
+        from repro.analysis.request import AnalysisRequest
+
+        with_request = canonical_spec(
+            {"kind": "analyze", "experiment": "figure6",
+             "config": AnalysisRequest()}
+        )
+        without = canonical_spec({"kind": "analyze", "experiment": "figure6"})
+        assert job_key(with_request) == job_key(without)
+        assert with_request["config"] == {}
+
+    def test_request_jobs_lift_into_spec(self):
+        from repro.analysis.request import AnalysisRequest
+
+        spec = canonical_spec(
+            {"kind": "analyze", "experiment": "figure6",
+             "config": AnalysisRequest(jobs=4)},
+            default_jobs=1,
+        )
+        assert spec["jobs"] == 4
+        assert "jobs" not in spec["config"]
+
+    def test_request_jobs_conflict_rejected(self):
+        from repro.analysis.request import AnalysisRequest
+
+        with pytest.raises(JobValidationError, match="conflicts"):
+            canonical_spec(
+                {"kind": "analyze", "experiment": "figure6", "jobs": 2,
+                 "config": AnalysisRequest(jobs=4)}
+            )
+        # Agreeing values are not a conflict.
+        spec = canonical_spec(
+            {"kind": "analyze", "experiment": "figure6", "jobs": 4,
+             "config": AnalysisRequest(jobs=4)}
+        )
+        assert spec["jobs"] == 4
 
 
 class TestJobRecord:

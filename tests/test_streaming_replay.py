@@ -1,0 +1,489 @@
+"""The single-pass streaming replay and the AnalysisRequest surface.
+
+Three contracts under test:
+
+* **Golden equivalence** — the streaming analyzer (the default serial
+  path of ``analyze_run``) reproduces the buffered
+  :class:`~repro.analysis.replay.ReplayAnalyzer` bit for bit: same cube
+  floats, same call-path ids, same stamps, same rendered report bytes —
+  strict and degraded, retained and bounded, serial and sharded.
+* **Bounded memory** — ``bounded=True`` drops per-op retention without
+  changing any aggregate, and peak memory on a 10× longer trace stays
+  within the acceptance envelope (the irreducible O(trace) residuals —
+  raw blobs and the clock-condition stamp list — are small).
+* **Time-resolved severity** — ``timeline=True`` yields a
+  :class:`~repro.analysis.severity_timeline.SeverityTimeline` whose bins
+  conserve the cube's totals, without perturbing the aggregate result.
+
+Plus unit coverage of :class:`AnalysisRequest` (validation, canonical
+config form, the deprecated-keyword shim).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import warnings
+
+import pytest
+
+from repro.analysis.replay import ReplayAnalyzer, analyze_run
+from repro.analysis.request import AnalysisRequest
+from repro.analysis.severity_timeline import SeverityTimeline
+from repro.apps.imbalance import make_imbalance_app
+from repro.errors import AnalysisError
+from repro.faults import FaultPlan, TraceCorruption, TraceTruncation
+from repro.report import render_analysis, render_severity_timeline
+from repro.topology.presets import uniform_metacomputer
+
+from tests.conftest import run_app
+from tests.test_parallel_analysis import assert_identical
+
+
+def _readers(run):
+    return {machine: run.reader(machine) for machine in run.machines_used}
+
+
+def _buffered(run, degraded=False):
+    """The reference implementation: the two-pass buffered analyzer."""
+    return ReplayAnalyzer(_readers(run), degraded=degraded).analyze()
+
+
+@pytest.fixture(scope="module")
+def small_run():
+    mc = uniform_metacomputer(metahost_count=2, node_count=2, cpus_per_node=2)
+    work = {r: 0.005 * (1 + r % 3) for r in range(8)}
+    return run_app(mc, 8, make_imbalance_app(work, iterations=3), seed=5)
+
+
+@pytest.fixture(scope="module")
+def damaged_run():
+    """Upper ranks lose trace data: one truncated, one corrupted."""
+    mc = uniform_metacomputer(metahost_count=2, node_count=2, cpus_per_node=2)
+    work = {r: 0.005 * (1 + r % 3) for r in range(8)}
+    plan = FaultPlan(
+        name="damage",
+        seed=3,
+        specs=(
+            TraceTruncation(rank=6, keep_fraction=0.5),
+            TraceCorruption(rank=3, at_fraction=0.5, length=8),
+        ),
+    )
+    return run_app(
+        mc, 8, make_imbalance_app(work, iterations=3), seed=3, fault_plan=plan
+    )
+
+
+class TestStreamingEquivalence:
+    def test_strict_matches_buffered(self, small_run):
+        streaming = analyze_run(small_run, request=AnalysisRequest())
+        assert_identical(_buffered(small_run), streaming)
+
+    def test_degraded_matches_buffered(self, damaged_run):
+        def caught(fn):
+            with warnings.catch_warnings(record=True) as log:
+                warnings.simplefilter("always")
+                result = fn()
+            return result, [(w.category, str(w.message)) for w in log]
+
+        buffered, buffered_warnings = caught(
+            lambda: _buffered(damaged_run, degraded=True)
+        )
+        streaming, streaming_warnings = caught(
+            lambda: analyze_run(damaged_run, request=AnalysisRequest(degraded=True))
+        )
+        assert_identical(buffered, streaming)
+        assert buffered.excluded_ranks == streaming.excluded_ranks
+        # Same exclusions, same messages, same order — the fault
+        # experiments count these warnings.
+        assert buffered_warnings == streaming_warnings
+
+    def test_bounded_matches_retained(self, small_run):
+        retained = analyze_run(small_run, request=AnalysisRequest())
+        bounded = analyze_run(small_run, request=AnalysisRequest(bounded=True))
+        assert retained.cube.data == bounded.cube.data
+        assert retained.grid_pairs.data == bounded.grid_pairs.data
+        assert retained.violations.stamps == bounded.violations.stamps
+        assert retained.total_time == bounded.total_time
+        assert render_analysis(retained) == render_analysis(bounded)
+        # The one observable difference: per-op retention is dropped.
+        assert all(tl.mpi_ops for tl in retained.timelines.values())
+        assert all(not tl.mpi_ops for tl in bounded.timelines.values())
+        assert all(not tl.omp_regions for tl in bounded.timelines.values())
+        # Exclusive time survives (it feeds the TIME metric).
+        for rank, tl in retained.timelines.items():
+            assert bounded.timelines[rank].exclusive_time == tl.exclusive_time
+
+    def test_bounded_degraded_matches_buffered(self, damaged_run):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            buffered = _buffered(damaged_run, degraded=True)
+            bounded = analyze_run(
+                damaged_run, request=AnalysisRequest(degraded=True, bounded=True)
+            )
+        assert buffered.cube.data == bounded.cube.data
+        assert render_analysis(buffered) == render_analysis(bounded)
+
+
+@pytest.mark.slow
+class TestGoldenFigure6:
+    """The acceptance pin: figure6 seed 1, clean and faulted, jobs 1 and 4,
+    streaming vs the buffered reference — byte-identical reports."""
+
+    @pytest.fixture(scope="class")
+    def clean_run(self):
+        from repro.apps.metatrace import make_metatrace_app
+        from repro.experiments.configs import experiment1
+        from repro.sim.runtime import MetaMPIRuntime
+
+        metacomputer, placement, config = experiment1()
+        runtime = MetaMPIRuntime(
+            metacomputer, placement, seed=1, subcomms=config.subcomms()
+        )
+        return runtime.run(make_metatrace_app(config))
+
+    @pytest.fixture(scope="class")
+    def faulted_run(self):
+        from repro.apps.metatrace import make_metatrace_app
+        from repro.experiments.configs import experiment1
+        from repro.sim.runtime import MetaMPIRuntime
+
+        metacomputer, placement, config = experiment1()
+        plan = FaultPlan(
+            name="figure6-damage",
+            seed=1,
+            specs=(TraceTruncation(rank=5, keep_fraction=0.6),),
+        )
+        runtime = MetaMPIRuntime(
+            metacomputer, placement, seed=1, subcomms=config.subcomms(),
+            fault_plan=plan,
+        )
+        return runtime.run(make_metatrace_app(config))
+
+    @pytest.mark.parametrize("jobs", [1, 4])
+    def test_clean_matches_buffered(self, clean_run, jobs):
+        reference = _buffered(clean_run)
+        result = analyze_run(clean_run, request=AnalysisRequest(jobs=jobs))
+        assert_identical(reference, result)
+        assert render_analysis(reference).encode() == render_analysis(result).encode()
+
+    @pytest.mark.parametrize("jobs", [1, 4])
+    def test_faulted_matches_buffered(self, faulted_run, jobs):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            reference = _buffered(faulted_run, degraded=True)
+            result = analyze_run(
+                faulted_run, request=AnalysisRequest(degraded=True, jobs=jobs)
+            )
+        assert_identical(reference, result)
+        assert reference.excluded_ranks == result.excluded_ranks
+
+
+# -- bounded memory ------------------------------------------------------------
+
+_MEASURE = """
+import resource, sys
+from repro.analysis.replay import analyze_run
+from repro.analysis.request import AnalysisRequest
+from repro.apps.imbalance import make_imbalance_app
+from repro.sim.runtime import MetaMPIRuntime
+from repro.topology.metacomputer import Placement
+from repro.topology.presets import uniform_metacomputer
+
+iterations = int(sys.argv[1])
+mc = uniform_metacomputer(metahost_count=2, node_count=2, cpus_per_node=1)
+work = {r: 0.002 * (1 + r % 3) for r in range(4)}
+placement = Placement.block(mc, 4)
+run = MetaMPIRuntime(mc, placement, seed=2).run(
+    make_imbalance_app(work, iterations=iterations)
+)
+result = analyze_run(run, request=AnalysisRequest(bounded=True))
+assert result.cube.metrics()
+print(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+"""
+
+
+def _long_short_runs(iterations):
+    mc = uniform_metacomputer(metahost_count=2, node_count=2, cpus_per_node=1)
+    work = {r: 0.002 * (1 + r % 3) for r in range(4)}
+    return run_app(mc, 4, make_imbalance_app(work, iterations=iterations), seed=2)
+
+
+@pytest.mark.slow
+class TestBoundedMemory:
+    def test_bounded_peak_below_retained_on_long_trace(self):
+        """Dropping retention must actually shed the O(trace) working set.
+
+        Measured on this workload: bounded peaks at ~0.54× the retained
+        peak (the remainder is the raw blobs, the clock-condition stamps,
+        and the result itself).  0.8 leaves headroom against allocator
+        noise while still failing if retention quietly comes back.
+        """
+        import tracemalloc
+
+        run = _long_short_runs(300)
+
+        def peak(bounded):
+            tracemalloc.start()
+            result = analyze_run(run, request=AnalysisRequest(bounded=bounded))
+            _, peak_bytes = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+            return result, peak_bytes
+
+        retained, retained_peak = peak(False)
+        bounded, bounded_peak = peak(True)
+        assert retained.cube.data == bounded.cube.data
+        assert bounded_peak < 0.8 * retained_peak, (
+            f"bounded peak {bounded_peak} not below 0.8x retained "
+            f"{retained_peak}: per-op retention leaked back in"
+        )
+
+    def test_rss_flat_across_10x_trace(self):
+        """The acceptance criterion: peak RSS of a bounded analyze on a
+        10× longer trace stays within 2× of the short-trace baseline.
+        Measured ratio is ~1.01; 2.0 is the contract."""
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+
+        def peak_rss_kib(iterations):
+            proc = subprocess.run(
+                [sys.executable, "-c", _MEASURE, str(iterations)],
+                capture_output=True, text=True, env=env, timeout=300,
+            )
+            assert proc.returncode == 0, proc.stderr
+            return int(proc.stdout.strip())
+
+        short = peak_rss_kib(30)
+        long = peak_rss_kib(300)
+        assert long <= 2.0 * short, (
+            f"10x trace RSS {long} KiB exceeds 2x short-trace baseline "
+            f"{short} KiB"
+        )
+
+
+# -- the severity timeline -----------------------------------------------------
+
+
+class TestSeverityTimelineUnit:
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="window_s"):
+            SeverityTimeline(window_s=0.0)
+        with pytest.raises(ValueError, match="stride_s"):
+            SeverityTimeline(stride_s=-1.0)
+
+    def test_overlap_weighted_binning(self):
+        tl = SeverityTimeline(window_s=1.0, stride_s=1.0)
+        # [0.5, 2.5] spans three 1s bins with overlaps 0.5 / 1.0 / 0.5.
+        tl.add("m", 1, 0, 0.5, 2.5, 2.0)
+        bins = tl.bins("m")
+        assert bins == {0: pytest.approx(0.5), 1: pytest.approx(1.0),
+                        2: pytest.approx(0.5)}
+        assert sum(bins.values()) == pytest.approx(2.0)
+
+    def test_degenerate_interval_charges_one_bin(self):
+        tl = SeverityTimeline(stride_s=0.25)
+        tl.add("m", 1, 0, 1.0, 1.0, 3.0)
+        assert tl.bins("m") == {4: pytest.approx(3.0)}
+
+    def test_nonpositive_value_ignored(self):
+        tl = SeverityTimeline()
+        tl.add("m", 1, 0, 0.0, 1.0, 0.0)
+        tl.add("m", 1, 0, 0.0, 1.0, -1.0)
+        assert tl.metrics() == []
+
+    def test_rolling_window_series(self):
+        tl = SeverityTimeline(window_s=2.0, stride_s=1.0)
+        tl.add("m", 1, 0, 0.0, 1.0, 1.0)   # bin 0
+        tl.add("m", 1, 0, 2.0, 3.0, 4.0)   # bin 2
+        assert tl.window_bins == 2
+        series = tl.series("m")
+        # One entry per stride, value = bin + predecessor.
+        assert [t for t, _ in series] == [0.0, 1.0, 2.0]
+        assert [v for _, v in series] == [
+            pytest.approx(1.0), pytest.approx(1.0), pytest.approx(4.0)
+        ]
+        assert tl.peak_window("m") == (2.0, pytest.approx(4.0))
+
+    def test_peak_of_empty_metric(self):
+        tl = SeverityTimeline()
+        assert tl.peak_window("nothing") == (0.0, 0.0)
+        assert tl.series("nothing") == []
+
+    def test_filters_and_ranks(self):
+        tl = SeverityTimeline(stride_s=1.0)
+        tl.add("m", 1, 0, 0.0, 1.0, 1.0)
+        tl.add("m", 2, 3, 0.0, 1.0, 2.0)
+        assert tl.ranks("m") == [0, 3]
+        assert tl.bins("m", rank=3) == {0: pytest.approx(2.0)}
+        assert tl.bins("m", cpid=1) == {0: pytest.approx(1.0)}
+        assert tl.bins("m") == {0: pytest.approx(3.0)}
+
+    def test_remap_merges_colliding_cells(self):
+        tl = SeverityTimeline(stride_s=1.0)
+        tl.add("m", 1, 0, 0.0, 1.0, 1.0)
+        tl.add("m", 2, 0, 0.0, 1.0, 2.0)
+        # Both local paths map to global cpid 7: cells merge additively.
+        tl.remap_callpaths({0: {1: 7, 2: 7}})
+        assert tl.bins("m", cpid=7) == {0: pytest.approx(3.0)}
+
+    def test_payload_shape(self):
+        tl = SeverityTimeline(window_s=2.0, stride_s=1.0)
+        tl.add("m", 1, 0, 0.0, 1.0, 1.0)
+        payload = tl.to_payload()
+        assert payload["window_s"] == 2.0 and payload["stride_s"] == 1.0
+        entry = payload["metrics"]["m"]
+        assert entry["ranks"] == [0]
+        assert entry["series"] and entry["peak"][1] == pytest.approx(1.0)
+        assert entry["by_rank"]["0"] == entry["series"]
+        # A named metric with no contributions still gets an entry.
+        empty = tl.to_payload("absent")["metrics"]["absent"]
+        assert empty["series"] == [] and empty["peak"] == [0.0, 0.0]
+
+
+class TestTimelineThroughAnalyze:
+    def test_timeline_conserves_cube_totals(self, small_run):
+        request = AnalysisRequest(timeline=True, window_s=0.5, stride_s=0.1)
+        result = analyze_run(small_run, request=request)
+        timeline = result.severity_timeline
+        assert timeline is not None
+        assert "mpi" in timeline.metrics()
+        # Every binned metric's mass equals its cube total (floats: the
+        # timeline is diagnostic, so approx — the cube itself is exact).
+        for metric in timeline.metrics():
+            binned = sum(timeline.bins(metric).values())
+            assert binned == pytest.approx(result.cube.total(metric), rel=1e-9), metric
+
+    def test_timeline_does_not_perturb_aggregates(self, small_run):
+        plain = analyze_run(small_run, request=AnalysisRequest())
+        timed = analyze_run(small_run, request=AnalysisRequest(timeline=True))
+        assert plain.cube.data == timed.cube.data
+        assert render_analysis(plain) == render_analysis(timed)
+        assert plain.severity_timeline is None
+
+    def test_parallel_timeline_matches_serial_mass(self, small_run):
+        request = AnalysisRequest(timeline=True)
+        serial = analyze_run(small_run, request=request).severity_timeline
+        parallel = analyze_run(
+            small_run, request=AnalysisRequest(timeline=True, jobs=2)
+        ).severity_timeline
+        assert parallel is not None
+        assert serial.metrics() == parallel.metrics()
+        for metric in serial.metrics():
+            assert sum(parallel.bins(metric).values()) == pytest.approx(
+                sum(serial.bins(metric).values()), rel=1e-9
+            ), metric
+
+    def test_render_severity_timeline(self, small_run):
+        request = AnalysisRequest(timeline=True)
+        result = analyze_run(small_run, request=request)
+        text = render_severity_timeline(result.severity_timeline)
+        assert text.startswith("Time-resolved severity (window 1 s")
+        assert "mpi" in text and "peak" in text and "|" in text
+        only = render_severity_timeline(result.severity_timeline, metric="mpi")
+        assert "mpi" in only and "late-sender" not in only
+
+
+# -- the request object and its shim -------------------------------------------
+
+
+class TestAnalysisRequest:
+    def test_validation(self):
+        with pytest.raises(AnalysisError, match="jobs"):
+            AnalysisRequest(jobs=-1)
+        with pytest.raises(AnalysisError, match="timeout"):
+            AnalysisRequest(timeout=0.0)
+        with pytest.raises(AnalysisError, match="max_retries"):
+            AnalysisRequest(max_retries=-1)
+        with pytest.raises(AnalysisError, match="window_s"):
+            AnalysisRequest(window_s=0.0)
+        with pytest.raises(AnalysisError, match="stride_s"):
+            AnalysisRequest(stride_s=-0.1)
+
+    def test_frozen(self):
+        request = AnalysisRequest()
+        with pytest.raises(Exception):
+            request.jobs = 4  # type: ignore[misc]
+
+    def test_canonical_config_omits_defaults(self):
+        assert AnalysisRequest().to_config() == {}
+        assert AnalysisRequest(jobs=4, timeline=True).to_config() == {
+            "jobs": 4, "timeline": True,
+        }
+
+    def test_config_round_trip(self):
+        request = AnalysisRequest(
+            degraded=True, jobs=2, timeout=5.0, timeline=True, stride_s=0.5
+        )
+        assert AnalysisRequest.from_config(request.to_config()) == request
+
+    def test_from_config_rejects_unknown_keys(self):
+        with pytest.raises(AnalysisError, match="unknown analysis config"):
+            AnalysisRequest.from_config({"jbos": 4})
+
+    def test_from_config_overrides(self):
+        request = AnalysisRequest.from_config({"jobs": 2}, timeline=True)
+        assert request.jobs == 2 and request.timeline
+
+
+class TestDeprecatedKwargShim:
+    def test_analyze_run_legacy_kwargs_warn(self, small_run):
+        with pytest.warns(
+            DeprecationWarning,
+            match=r"analyze_run: keyword arguments jobs= are deprecated",
+        ):
+            legacy = analyze_run(small_run, jobs=1)
+        assert legacy.cube.data == analyze_run(
+            small_run, request=AnalysisRequest(jobs=1)
+        ).cube.data
+
+    def test_analyze_run_rejects_both_forms(self, small_run):
+        with pytest.raises(AnalysisError, match="not both"):
+            analyze_run(small_run, request=AnalysisRequest(), jobs=2)
+
+    def test_api_analyze_legacy_kwargs_warn(self, small_run):
+        import repro.api as api
+
+        with pytest.warns(
+            DeprecationWarning,
+            match=r"analyze: keyword arguments degraded=, jobs= are deprecated",
+        ):
+            api.analyze(small_run, degraded=False, jobs=1)
+
+    def test_api_run_experiment_legacy_kwargs_warn(self, monkeypatch):
+        import repro.api as api
+
+        calls = {}
+
+        def stub(seed, jobs, **opts):
+            calls["seed"], calls["jobs"] = seed, jobs
+            calls.update(opts)
+            return "stub-report"
+
+        monkeypatch.setitem(api.EXPERIMENTS, "stub", stub)
+        with pytest.warns(
+            DeprecationWarning,
+            match=r"run_experiment: keyword arguments jobs=, timeout= are",
+        ):
+            text = api.run_experiment("stub", seed=0, jobs=3, timeout=9.0)
+        assert text == "stub-report"
+        assert calls["jobs"] == 3 and calls["timeout"] == 9.0
+        # Request form runs warning-free and carries the same values.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            api.run_experiment(
+                "stub", AnalysisRequest(jobs=3, timeout=9.0), seed=0
+            )
+
+    def test_api_run_experiment_rejects_both_forms(self, monkeypatch):
+        import repro.api as api
+
+        monkeypatch.setitem(api.EXPERIMENTS, "stub", lambda *a, **k: "x")
+        with pytest.raises(AnalysisError, match="not both"):
+            api.run_experiment("stub", AnalysisRequest(), seed=0, jobs=2)
+
+    def test_request_form_is_warning_free(self, small_run):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            analyze_run(small_run, request=AnalysisRequest(jobs=1))
