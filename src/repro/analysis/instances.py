@@ -291,13 +291,21 @@ class TimelineBuilder:
         else:  # pragma: no cover - closed event union
             raise AnalysisError(f"rank {rank}: unknown event {event!r}")
 
-    def finish(self) -> ProcessTimeline:
-        """Validate trace closure and return the completed timeline."""
+    def finish(self, *, force: bool = False) -> ProcessTimeline:
+        """Validate trace closure and return the completed timeline.
+
+        ``force=True`` tolerates open region frames — the deadline-expired
+        pump stops mid-trace, so an interrupted rank legitimately ends with
+        its stack non-empty.  Open frames are discarded (their enclosing
+        time never settled), not synthesized.
+        """
         if self._frame_stack:
-            raise AnalysisError(
-                f"rank {self.rank}: {len(self._frame_stack)} regions still open "
-                "at trace end"
-            )
+            if not force:
+                raise AnalysisError(
+                    f"rank {self.rank}: {len(self._frame_stack)} regions still "
+                    "open at trace end"
+                )
+            self._frame_stack.clear()
         timeline = self.timeline
         timeline.event_count = self._count
         timeline.first_time = self._first if self._first is not None else 0.0

@@ -66,8 +66,14 @@ from repro.analysis.severity_timeline import (
 )
 from repro.clocks.condition import ClockConditionChecker, MessageStamp
 from repro.clocks.sync import HierarchicalInterpolation, LinearConverter, SyncScheme
-from repro.errors import AnalysisError, ArchiveError, PartialTraceWarning
+from repro.errors import (
+    AnalysisError,
+    ArchiveError,
+    PartialTraceWarning,
+    TimeBudgetExceeded,
+)
 from repro.ids import NodeId, node_of
+from repro.resilience.deadline import Deadline
 from repro.resilience.pool import PoolConfig, SupervisedPool
 from repro.trace.archive import (
     ArchiveReader,
@@ -553,6 +559,7 @@ class ParallelReplayAnalyzer:
         timeout: Optional[float] = None,
         max_retries: Optional[int] = None,
         timeline: Optional[SeverityTimeline] = None,
+        deadline: Optional[Deadline] = None,
     ) -> None:
         if not readers:
             raise AnalysisError("no archive readers supplied")
@@ -572,6 +579,10 @@ class ParallelReplayAnalyzer:
         self.pool = pool
         self.timeout = timeout
         self.max_retries = max_retries
+        # End-to-end budget: per-shard pool budgets derive from what is
+        # left of it, and an expiry mid-run merges the settled shards into
+        # a degraded-style partial result instead of raising.
+        self.deadline = deadline
         # Filled by the merge (where the matched pairs exist again).
         self.timeline = timeline
         config = pool_config or PoolConfig()
@@ -667,15 +678,30 @@ class ParallelReplayAnalyzer:
             for index, shard in enumerate(shards)
         ]
 
+        interrupted: Optional[str] = None
+        execution = None
         if len(tasks) <= 1:
-            partials = [analyze_shard(task) for task in tasks]
-            execution = None
+            partials = []
+            for task in tasks:
+                if self.deadline is not None:
+                    interrupted = self.deadline.reason()
+                    if interrupted is not None:
+                        break
+                partials.append(analyze_shard(task))
         elif self.pool is not None:
             # A shared (warm, externally owned) pool: the owner controls
             # worker count and lifetime; this run only overrides budgets.
-            partials, execution = self.pool.run(
-                tasks, timeout_s=self.timeout, max_retries=self.max_retries
-            )
+            try:
+                partials, execution = self.pool.run(
+                    tasks,
+                    timeout_s=self.timeout,
+                    max_retries=self.max_retries,
+                    deadline=self.deadline,
+                )
+            except TimeBudgetExceeded as exc:
+                interrupted = exc.reason
+                partials = [exc.results[i] for i in sorted(exc.results)]
+                execution = exc.report
         else:
             # The supervised pool keeps the serial analyzer's semantics —
             # results in shard order, the lowest-ranked shard's exception
@@ -685,10 +711,43 @@ class ParallelReplayAnalyzer:
                 analyze_shard,
                 self.pool_config.with_workers(min(self.jobs, len(tasks))),
             )
-            partials, execution = pool.run(tasks)
+            try:
+                partials, execution = pool.run(tasks, deadline=self.deadline)
+            except TimeBudgetExceeded as exc:
+                interrupted = exc.reason
+                partials = [exc.results[i] for i in sorted(exc.results)]
+                execution = exc.report
+
+        if interrupted is not None and not partials:
+            # Nothing settled before the budget ran out: there is no
+            # partial result to salvage, so the budget error stands.
+            raise TimeBudgetExceeded(interrupted, report=execution)
+
+        # An interrupted merge is degraded-style by construction: shards
+        # that never settled look exactly like excluded ranks (boundary
+        # receives must void, collectives tolerate missing members).
         result = merge_partials(
-            partials, definitions, self.scheme.name, self.degraded,
+            partials,
+            definitions,
+            self.scheme.name,
+            self.degraded or interrupted is not None,
             timeline=self.timeline,
         )
+        if interrupted is not None:
+            settled = {rank for partial in partials for rank in partial.ranks}
+            for rank in ranks:
+                if rank not in settled:
+                    result.completeness[rank] = RankCompleteness(
+                        rank=rank,
+                        complete=False,
+                        completeness=0.0,
+                        events=0,
+                        analyzed=False,
+                        error=(
+                            f"TimeBudgetExceeded: {interrupted} before its "
+                            "shard finished"
+                        ),
+                    )
+            result.interrupted = interrupted
         result.execution = execution
         return result

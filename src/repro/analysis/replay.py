@@ -116,6 +116,11 @@ class AnalysisResult:
     #: Deliberately outside the equality contract of the result: the same
     #: analysis recovered after a worker crash is the same analysis.
     execution: Optional[ExecutionReport] = field(default=None, compare=False)
+    #: Why the analysis was cut short (deadline expiry / cancellation), or
+    #: None for a run that completed.  An interrupted result is *partial*:
+    #: severity accumulated up to the cut, per-rank ``completeness``
+    #: reporting exactly how far each rank got.
+    interrupted: Optional[str] = field(default=None, compare=False)
 
     # Lazily built query indexes.  The cube and call-path registry are
     # frozen once analyze() returns, so caching is safe; before these,
@@ -574,6 +579,7 @@ def analyze_run(
     request: Optional[AnalysisRequest] = None,
     *,
     pool=None,
+    deadline=None,
     degraded=_UNSET,
     jobs=_UNSET,
     timeout=_UNSET,
@@ -595,12 +601,18 @@ def analyze_run(
     fresh one — long-lived owners such as the analysis service reuse one
     warm pool across many runs.
 
+    ``deadline`` lends an externally owned
+    :class:`~repro.resilience.deadline.Deadline` (the service does this so
+    a client cancel reaches the running analysis); when None and the
+    request carries ``deadline_s``, a fresh deadline starts here.
+
     The loose ``degraded=``/``jobs=``/``timeout=``/``max_retries=``
     keywords are deprecated: they warn and are folded into a request.
     """
     # Imported lazily: both modules import this one.
     from repro.analysis.parallel import ParallelReplayAnalyzer, resolve_jobs
     from repro.analysis.streaming import StreamingReplayAnalyzer
+    from repro.resilience.deadline import Deadline
 
     legacy = {
         name: value
@@ -613,6 +625,8 @@ def analyze_run(
         if value is not _UNSET
     }
     request = resolve_request(request, legacy, "analyze_run")
+    if deadline is None and request.deadline_s is not None:
+        deadline = Deadline(request.deadline_s)
 
     readers = {
         machine: run_result.reader(machine) for machine in run_result.machines_used
@@ -630,6 +644,7 @@ def analyze_run(
             degraded=request.degraded,
             retain=not request.bounded,
             timeline=timeline,
+            deadline=deadline,
         ).analyze()
     return ParallelReplayAnalyzer(
         readers,
@@ -640,4 +655,5 @@ def analyze_run(
         timeout=request.timeout,
         max_retries=request.max_retries,
         timeline=timeline,
+        deadline=deadline,
     ).analyze()

@@ -51,6 +51,12 @@ class AnalysisRequest:
         ``result.timelines[r].mpi_ops``/``omp_regions`` come back empty
         (so the per-rank Gantt rendering needs ``bounded=False``).
         Serial path only; sharded workers always retain.
+    deadline_s:
+        End-to-end wall-clock budget for the whole analysis.  Unlike
+        ``timeout`` (which bounds one shard attempt), the deadline bounds
+        the request: when it expires the analyzer stops cooperatively and
+        returns a partial result with honest per-rank completeness and
+        ``result.interrupted`` set, instead of raising or hanging.
     """
 
     degraded: bool = False
@@ -62,6 +68,7 @@ class AnalysisRequest:
     window_s: float = 1.0
     stride_s: float = 0.25
     bounded: bool = False
+    deadline_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.jobs is not None and self.jobs < 0:
@@ -76,6 +83,10 @@ class AnalysisRequest:
             raise AnalysisError(f"window_s must be positive, got {self.window_s}")
         if not self.stride_s > 0:
             raise AnalysisError(f"stride_s must be positive, got {self.stride_s}")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise AnalysisError(
+                f"deadline_s must be positive, got {self.deadline_s}"
+            )
 
     def to_config(self) -> Dict[str, Any]:
         """Canonical plain-dict form with every default omitted.

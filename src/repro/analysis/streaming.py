@@ -88,11 +88,18 @@ from repro.clocks.condition import ClockConditionChecker, MessageStamp
 from repro.clocks.sync import HierarchicalInterpolation, LinearConverter, SyncScheme
 from repro.errors import AnalysisError, ArchiveError, PartialTraceWarning
 from repro.ids import node_of
+from repro.resilience.deadline import Deadline
 from repro.trace.archive import ArchiveReader, salvage_checked, trace_filename
 from repro.trace.encoding import iter_events
 
 #: A point-to-point channel: (sender rank, receiver rank, tag, communicator).
 ChannelKey = Tuple[int, int, int, int]
+
+#: Events pumped between deadline polls.  One ``time.monotonic`` call per
+#: this many events keeps the cooperative check under ~1% of pump cost
+#: while still bounding the reaction latency to a few dozen microseconds
+#: of work on toy traces.
+DEADLINE_POLL_EVENTS = 64
 
 
 class _ReceiverReleases:
@@ -160,6 +167,13 @@ class StreamingReplayAnalyzer:
     ``timeline``
         a :class:`~repro.analysis.severity_timeline.SeverityTimeline` to
         accumulate time-resolved severity into (None: skip).
+    ``deadline``
+        a :class:`~repro.resilience.deadline.Deadline` polled
+        cooperatively every :data:`DEADLINE_POLL_EVENTS` pump iterations.
+        On expiry (or cancellation) the pump stops, stragglers settle
+        degraded-style, and the result carries the severity accumulated
+        so far with honest per-rank completeness and
+        ``result.interrupted`` set — never a hang, never a crash.
     """
 
     def __init__(
@@ -169,6 +183,7 @@ class StreamingReplayAnalyzer:
         degraded: bool = False,
         retain: bool = True,
         timeline: Optional[SeverityTimeline] = None,
+        deadline: Optional[Deadline] = None,
     ) -> None:
         if not readers:
             raise AnalysisError("no archive readers supplied")
@@ -179,6 +194,7 @@ class StreamingReplayAnalyzer:
         self.scheme = scheme
         self.retain = retain
         self.timeline = timeline
+        self.deadline = deadline
 
     # -- prepass ---------------------------------------------------------------
 
@@ -397,10 +413,34 @@ class StreamingReplayAnalyzer:
                 yield (event.time * slope + intercept, rank, seq, event)
                 seq += 1
 
-        for _, rank, _, event in heapq.merge(*(keyed(rank) for rank in analyzed)):
-            builders[rank].feed(event)
+        interrupted: Optional[str] = None
+        merged = heapq.merge(*(keyed(rank) for rank in analyzed))
+        if self.deadline is None:
+            for _, rank, _, event in merged:
+                builders[rank].feed(event)
+        else:
+            # Deadline-aware pump: same event order, plus a cooperative
+            # poll every DEADLINE_POLL_EVENTS events and a per-rank count
+            # of consumed events for honest completeness on interruption.
+            deadline = self.deadline
+            pumped: Dict[int, int] = dict.fromkeys(analyzed, 0)
+            countdown = DEADLINE_POLL_EVENTS
+            for _, rank, _, event in merged:
+                builders[rank].feed(event)
+                pumped[rank] += 1
+                countdown -= 1
+                if countdown <= 0:
+                    countdown = DEADLINE_POLL_EVENTS
+                    interrupted = deadline.reason()
+                    if interrupted is not None:
+                        break
 
-        state.finish_stream()
+        state.finish_stream(interrupted=interrupted is not None)
+
+        if interrupted is not None:
+            completeness = self._interrupted_completeness(
+                interrupted, analyzed, pumped, blobs, completeness
+            )
 
         # Finalize timelines and renumber call paths rank-major — the
         # buffered analyzer's first-encounter order, exactly.
@@ -408,7 +448,7 @@ class StreamingReplayAnalyzer:
         callpaths = CallPathRegistry()
         mapping: Dict[int, Dict[int, int]] = {}
         for rank in analyzed:
-            timeline = builders[rank].finish()
+            timeline = builders[rank].finish(force=interrupted is not None)
             remap = {ROOT_PATH: ROOT_PATH}
             for path in local_registries[rank].all_paths():
                 remap[path.cpid] = callpaths.intern(remap[path.parent], path.region)
@@ -452,10 +492,53 @@ class StreamingReplayAnalyzer:
             total_time=total_time_of(timelines),
             timelines=timelines,
             grid_pairs=state.grid_pairs,
-            degraded=degraded,
+            # An interrupted result is degraded-style by construction:
+            # starved receives were voided, not matched.
+            degraded=degraded or interrupted is not None,
             completeness=completeness,
             severity_timeline=self.timeline,
+            interrupted=interrupted,
         )
+
+    @staticmethod
+    def _interrupted_completeness(
+        reason: str,
+        analyzed: List[int],
+        pumped: Dict[int, int],
+        blobs: Dict[int, bytes],
+        completeness: Dict[int, RankCompleteness],
+    ) -> Dict[int, RankCompleteness]:
+        """Honest per-rank accounting for a deadline-cut pump.
+
+        Every analyzed rank reports the events it actually consumed and
+        the fraction of its trace that represents; the error string names
+        the budget so the partial result can never be mistaken for a
+        complete one.
+        """
+        out = dict(completeness)
+        for rank in analyzed:
+            consumed = pumped.get(rank, 0)
+            prior = completeness.get(rank)
+            total = prior.events if prior is not None and prior.events else None
+            if total is None:
+                try:
+                    _, events = iter_events(blobs[rank])
+                    total = sum(1 for _ in events)
+                except Exception:  # noqa: BLE001 - count is best-effort
+                    total = None
+            fraction = consumed / total if total else 0.0
+            out[rank] = RankCompleteness(
+                rank=rank,
+                complete=False,
+                completeness=min(fraction, 1.0),
+                events=consumed,
+                analyzed=True,
+                error=(
+                    f"TimeBudgetExceeded: {reason} after {consumed} of "
+                    f"{total if total is not None else 'unknown'} event(s)"
+                ),
+            )
+        return out
 
 
 class _StreamState:
@@ -702,18 +785,23 @@ class _StreamState:
 
     # -- end of stream ---------------------------------------------------------
 
-    def finish_stream(self) -> None:
+    def finish_stream(self, interrupted: bool = False) -> None:
         """Flush stragglers and settle unmatched accounting.
 
         In strict mode an unmatched receive reproduces the buffered
         analyzer's error exactly: its first unmatched receive in
-        receiver-major replay order, same message.
+        receiver-major replay order, same message.  An *interrupted*
+        stream (deadline expiry cut the pump mid-trace) settles
+        degraded-style instead: a receive whose send never arrived is
+        expected when the sender's trace was only half pumped, so it is
+        voided and counted, never raised.
         """
+        settle_unmatched = self.degraded or interrupted
         starved: List[Tuple[int, int, int, ChannelKey]] = []
         for key, pending in self._pending_recvs.items():
             if not pending:
                 continue
-            if not self.degraded:
+            if not settle_unmatched:
                 _op, _recv, _seq, op_idx, recv_idx = pending[0]
                 starved.append((key[1], op_idx, recv_idx, key))
                 continue

@@ -40,9 +40,9 @@ from repro.analysis.replay import _UNSET, AnalysisResult, analyze_run, resolve_r
 from repro.analysis.request import AnalysisRequest
 from repro.analysis.severity_timeline import SeverityTimeline
 from repro.clocks.sync import SyncScheme
-from repro.errors import ExperimentError
+from repro.errors import ExperimentError, TimeBudgetExceeded
 from repro.report.render import render_analysis
-from repro.resilience import CheckpointJournal, ExecutionReport
+from repro.resilience import CheckpointJournal, Deadline, ExecutionReport
 from repro.service import JobStore, ServiceConfig, create_app, serve
 from repro.sim.process import AppGenerator
 from repro.sim.runtime import MetaMPIRuntime, RunResult
@@ -68,7 +68,9 @@ __all__ = [
     "Metacomputer",
     "Placement",
     "CheckpointJournal",
+    "Deadline",
     "ExecutionReport",
+    "TimeBudgetExceeded",
     "create_app",
     "serve",
     "ServiceConfig",
@@ -110,6 +112,7 @@ def analyze(
     *,
     scheme: Optional[SyncScheme] = None,
     pool=None,
+    deadline=None,
     degraded=_UNSET,
     jobs=_UNSET,
     timeout=_UNSET,
@@ -135,6 +138,13 @@ def analyze(
     (task function ``analyze_shard``) instead of spawning one — how the
     analysis service shares a single pool across every job it serves.
 
+    ``request.deadline_s`` bounds the whole analysis end to end: on
+    expiry the analyzer stops cooperatively and returns a *partial*
+    result — severity accumulated so far, honest per-rank completeness,
+    ``result.interrupted`` set — instead of hanging.  ``deadline`` lends
+    an externally owned :class:`Deadline` instead (how the service makes
+    a client ``DELETE`` reach the running analysis).
+
     The loose ``degraded=``/``jobs=``/``timeout=``/``max_retries=``
     keywords are deprecated; they warn and are folded into a request.
     """
@@ -149,7 +159,9 @@ def analyze(
         if value is not _UNSET
     }
     request = resolve_request(request, legacy, "analyze")
-    return analyze_run(run, scheme=scheme, request=request, pool=pool)
+    return analyze_run(
+        run, scheme=scheme, request=request, pool=pool, deadline=deadline
+    )
 
 
 def verify_archives(run: RunResult) -> RunVerification:
@@ -190,7 +202,7 @@ DEFAULT_SEEDS: Dict[str, int] = {
 # are forwarded to the drivers that have an analysis phase and ignored by
 # the purely computational ones.
 
-_ANALYSIS_OPTS = ("timeout", "max_retries", "verify_archive", "pool")
+_ANALYSIS_OPTS = ("timeout", "max_retries", "verify_archive", "pool", "deadline")
 
 
 def _analysis_opts(opts: Dict, *extra: str) -> Dict:
@@ -316,6 +328,7 @@ def run_experiment(
     seed: Optional[int] = None,
     journal: Optional[CheckpointJournal] = None,
     pool=None,
+    deadline=None,
     jobs=_UNSET,
     timeout=_UNSET,
     max_retries=_UNSET,
@@ -361,6 +374,10 @@ def run_experiment(
     request = resolve_request(request, legacy, "run_experiment")
     if seed is None:
         seed = DEFAULT_SEEDS[name]
+    if deadline is None and request.deadline_s is not None:
+        # One budget for the whole experiment: simulation, verification,
+        # and every analysis phase draw down the same clock.
+        deadline = Deadline(request.deadline_s)
     cell = {"experiment": name, "seed": seed}
     if journal is not None:
         cached = journal.get(cell)
@@ -374,6 +391,7 @@ def run_experiment(
         journal=journal,
         verify_archive=request.verify_archive,
         pool=pool,
+        deadline=deadline,
     )
     if journal is not None:
         journal.record(cell, {"text": text})

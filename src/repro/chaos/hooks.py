@@ -1,0 +1,41 @@
+"""Worker-side chaos hooks (must be module-level to cross fork/pickle).
+
+The supervised pool runs its ``chaos_hook`` inside the worker process
+immediately before the task function.  Victim election uses ``O_EXCL``
+marker files in a per-episode directory, so concurrent workers cannot
+both claim the same victim slot and re-dispatched attempts of the same
+task are spared — exactly one SIGKILL (or SIGSTOP) per slot per episode,
+whatever the scheduling order.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+__all__ = ["process_chaos"]
+
+
+def _claim(marker_dir: str, slot: str) -> bool:
+    try:
+        fd = os.open(
+            os.path.join(marker_dir, slot), os.O_CREAT | os.O_EXCL | os.O_WRONLY
+        )
+    except FileExistsError:
+        return False
+    os.close(fd)
+    return True
+
+
+def process_chaos(marker_dir: str, kills: int, stalls: int, task) -> None:
+    """Kill or stall this worker if an unclaimed victim slot remains.
+
+    Bind ``marker_dir``/``kills``/``stalls`` with :func:`functools.partial`
+    and pass the result as ``PoolConfig.chaos_hook``.
+    """
+    for slot in range(kills):
+        if _claim(marker_dir, f"kill-{slot}"):
+            os.kill(os.getpid(), signal.SIGKILL)
+    for slot in range(stalls):
+        if _claim(marker_dir, f"stall-{slot}"):
+            os.kill(os.getpid(), signal.SIGSTOP)

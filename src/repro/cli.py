@@ -25,6 +25,10 @@ Usage::
     python -m repro submit figure6 --wait        # submit a job, poll, print
     python -m repro jobs                         # list the service's jobs
     python -m repro jobs --store .repro-jobs.jsonl   # ... offline, from disk
+    python -m repro jobs --requeue KEY           # re-admit a quarantined job
+    python -m repro jobs --cancel KEY            # cancel a queued/running job
+
+    python -m repro chaos --seeds 0..4           # seeded chaos invariants
 
 (``python -m repro.cli`` keeps working as an alias.)
 """
@@ -225,6 +229,20 @@ def _build_parser() -> argparse.ArgumentParser:
         help="graceful-shutdown budget for the in-flight job (default: 30)",
     )
     serve_parser.add_argument(
+        "--job-deadline", type=float, default=None, metavar="SECONDS",
+        help="default wall-clock budget per job; jobs over budget are "
+        "cancelled with a partial record (default: unbounded)",
+    )
+    serve_parser.add_argument(
+        "--breaker-threshold", type=int, default=3, metavar="N",
+        help="consecutive worker failures before the circuit breaker "
+        "opens and submissions get 503 (default: 3)",
+    )
+    serve_parser.add_argument(
+        "--breaker-cooldown", type=float, default=30.0, metavar="SECONDS",
+        help="open-breaker cooldown before a half-open probe (default: 30)",
+    )
+    serve_parser.add_argument(
         "--ready-file", default=None, metavar="PATH",
         help="write host:port here once listening (for scripts/tests)",
     )
@@ -269,7 +287,63 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="read this job store journal directly instead of over HTTP",
     )
+    jobs_parser.add_argument(
+        "--requeue",
+        default=None,
+        metavar="KEY",
+        help="re-admit a quarantined (failed) or cancelled job by key",
+    )
+    jobs_parser.add_argument(
+        "--cancel",
+        default=None,
+        metavar="KEY",
+        help="cancel a queued or running job by key (DELETE /jobs/<key>)",
+    )
+
+    chaos_parser = sub.add_parser(
+        "chaos",
+        help="run seeded chaos episodes and check their invariants",
+    )
+    chaos_parser.add_argument(
+        "--seeds",
+        default="0..4",
+        metavar="SPEC",
+        help="seed list/ranges, e.g. '0..4' or '0,2,7' (default: 0..4)",
+    )
+    chaos_parser.add_argument(
+        "--jobs", type=int, default=4, metavar="N",
+        help="analysis worker processes per episode (default: 4)",
+    )
+    chaos_parser.add_argument(
+        "--grace", type=float, default=120.0, metavar="SECONDS",
+        help="termination slack added to each episode's deadline "
+        "(default: 120)",
+    )
+    chaos_parser.add_argument(
+        "--workdir", default=None, metavar="PATH",
+        help="directory for episode markers/journals (default: a temp dir)",
+    )
     return parser
+
+
+def _parse_seeds(spec: str) -> List[int]:
+    """``"0..4"`` → [0,1,2,3,4]; ``"0,2,7"`` → [0,2,7]; mixes allowed."""
+    seeds: List[int] = []
+    for chunk in spec.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        if ".." in chunk:
+            low, _, high = chunk.partition("..")
+            start, end = int(low), int(high)
+            if end < start:
+                raise ValueError(f"empty seed range {chunk!r}")
+            seeds.extend(range(start, end + 1))
+        else:
+            seeds.append(int(chunk))
+    if not seeds:
+        raise ValueError(f"no seeds in {spec!r}")
+    return seeds
 
 
 # -- experiment commands ---------------------------------------------------------
@@ -368,6 +442,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         pool_workers=args.pool_workers,
         default_jobs=args.default_jobs,
         drain_grace_s=args.drain_grace,
+        job_deadline_s=args.job_deadline,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_s=args.breaker_cooldown,
     )
     return serve(config, ready_file=args.ready_file)
 
@@ -415,7 +492,53 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.chaos import render_report, run_chaos
+
+    try:
+        seeds = _parse_seeds(args.seeds)
+    except ValueError as exc:
+        print(f"error: --seeds: {exc}", file=sys.stderr)
+        return 2
+    report = run_chaos(
+        seeds, jobs=args.jobs, grace_s=args.grace, workdir=args.workdir
+    )
+    print(render_report(report))
+    return 0 if report.ok else 1
+
+
 def _cmd_jobs(args: argparse.Namespace) -> int:
+    if args.requeue and args.cancel:
+        print("error: --requeue and --cancel are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    if args.requeue or args.cancel:
+        if args.store:
+            print("error: --requeue/--cancel need a running service (--url), "
+                  "not --store", file=sys.stderr)
+            return 2
+        key = args.requeue or args.cancel
+        method, url = (
+            ("POST", f"{args.url}/jobs/{key}/requeue")
+            if args.requeue
+            else ("DELETE", f"{args.url}/jobs/{key}")
+        )
+        try:
+            status, body = _http_json(method, url)
+        except OSError as exc:
+            print(f"error: cannot reach service at {args.url}: {exc}",
+                  file=sys.stderr)
+            return 1
+        if status not in (200, 202):
+            detail = body.get("error")
+            if detail is None and "job" in body:
+                detail = f"job is already {body['job'].get('status')}"
+            print(f"error: request failed ({status}): {detail}", file=sys.stderr)
+            return 1
+        job = body["job"]
+        verb = body.get("disposition", "requeued")
+        print(f"{verb}: job {job['key']} ({job['status']})")
+        return 0
     if args.store:
         # Offline listing reads the journal directly; a plain (lazy-lock)
         # journal never takes the writer lock for reads, so this works
@@ -475,6 +598,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_submit(args)
         if args.command == "jobs":
             return _cmd_jobs(args)
+        if args.command == "chaos":
+            return _cmd_chaos(args)
     except BrokenPipeError:
         # The reader closed stdout early (`repro ... | head`).  Point the
         # fd at devnull so the interpreter's exit-time flush stays quiet.

@@ -6,6 +6,8 @@ callers can catch toolkit failures without masking programming errors.
 
 from __future__ import annotations
 
+from typing import Optional
+
 
 class ReproError(Exception):
     """Base class of all toolkit errors."""
@@ -197,6 +199,35 @@ class PoolShutdown(ReproError):
         self.report = report
 
 
+class TimeBudgetExceeded(ReproError):
+    """An end-to-end deadline expired (or was cancelled) before work finished.
+
+    Raised by deadline-aware layers — the streaming analyzer's pump, the
+    supervised pool's dispatch loop, the service executor — when the
+    :class:`~repro.resilience.deadline.Deadline` attached to the request
+    runs out or a client cancels it.  Whatever partial progress exists at
+    that point travels on the exception so callers can salvage it.
+
+    Attributes
+    ----------
+    reason:
+        Why the budget ended (``"deadline of 2.0s exceeded"`` or a
+        cancellation reason such as ``"cancelled by client"``).
+    results:
+        Partial results keyed by task index, when a pool run was cut
+        short (mirrors :class:`PoolShutdown`).
+    report:
+        The :class:`~repro.resilience.pool.ExecutionReport` for the cut
+        run, when one exists.
+    """
+
+    def __init__(self, reason: str, results=None, report=None) -> None:
+        super().__init__(f"time budget exhausted: {reason}")
+        self.reason = reason
+        self.results = dict(results or {})
+        self.report = report
+
+
 class ServiceError(ReproError):
     """The analysis service rejected or could not process a request."""
 
@@ -212,8 +243,18 @@ class JobRejected(ServiceError):
     ----------
     retry_after_s:
         Suggested client backoff before resubmitting.
+    status:
+        HTTP status the transport should use, or ``None`` to let it pick
+        (draining → 503, queue pressure → 429).  The circuit breaker sets
+        503 explicitly: an open breaker is server trouble, not client load.
     """
 
-    def __init__(self, message: str, retry_after_s: float = 1.0) -> None:
+    def __init__(
+        self,
+        message: str,
+        retry_after_s: float = 1.0,
+        status: Optional[int] = None,
+    ) -> None:
         super().__init__(message)
         self.retry_after_s = retry_after_s
+        self.status = status

@@ -243,6 +243,7 @@ def _analyze(
     timeout: Optional[float] = None,
     max_retries: Optional[int] = None,
     pool=None,
+    deadline=None,
 ) -> tuple:
     """Run the (possibly degraded) replay, counting partial-trace warnings."""
     with warnings.catch_warnings(record=True) as caught:
@@ -256,6 +257,7 @@ def _analyze(
                 max_retries=max_retries,
             ),
             pool=pool,
+            deadline=deadline,
         )
     partial = sum(
         1 for w in caught if issubclass(w.category, PartialTraceWarning)
@@ -273,6 +275,7 @@ def run_fault_experiment(
     journal: Optional[CheckpointJournal] = None,
     verify_archive: bool = False,
     pool=None,
+    deadline=None,
 ) -> DegradationReport:
     """Execute the MetaTrace workload once per fault plan.
 
@@ -339,6 +342,7 @@ def run_fault_experiment(
             timeout=timeout,
             max_retries=max_retries,
             pool=pool,
+            deadline=deadline,
         )
         entry.analyzed_ranks = len(result.analyzed_ranks)
         entry.excluded_ranks = len(result.excluded_ranks)

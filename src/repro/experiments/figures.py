@@ -142,6 +142,7 @@ def run_figure4(
     max_retries: Optional[int] = None,
     verify_archive: bool = False,
     pool=None,
+    deadline=None,
 ) -> Dict[str, AnalysisResult]:
     """Pattern-semantics micro-experiments.
 
@@ -165,8 +166,8 @@ def run_figure4(
 
     request = AnalysisRequest(jobs=jobs, timeout=timeout, max_retries=max_retries)
     return {
-        "late_sender": analyze(ls_run, request, pool=pool),
-        "wait_at_nxn": analyze(nxn_run, request, pool=pool),
+        "late_sender": analyze(ls_run, request, pool=pool, deadline=deadline),
+        "wait_at_nxn": analyze(nxn_run, request, pool=pool, deadline=deadline),
     }
 
 
@@ -236,6 +237,7 @@ def run_metatrace_experiment(
     max_retries: Optional[int] = None,
     verify_archive: bool = False,
     pool=None,
+    deadline=None,
 ) -> MetaTraceOutcome:
     """Run and analyze MetaTrace Experiment 1 (Figure 6) or 2 (Figure 7).
 
@@ -290,7 +292,7 @@ def run_metatrace_experiment(
         )
     if request.verify_archive:
         _verify_or_raise(f"figure{5 + which}", run)
-    result = analyze(run, request, pool=pool)
+    result = analyze(run, request, pool=pool, deadline=deadline)
     return MetaTraceOutcome(run=run, result=result, label=label)
 
 

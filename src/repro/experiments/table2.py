@@ -63,6 +63,7 @@ def run_table2(
     journal: Optional[CheckpointJournal] = None,
     verify_archive: bool = False,
     pool=None,
+    deadline=None,
 ) -> Tuple[List[Table2Row], RunResult, Dict[str, AnalysisResult]]:
     """Regenerate Table 2.
 
@@ -121,6 +122,7 @@ def run_table2(
             AnalysisRequest(jobs=jobs, timeout=timeout, max_retries=max_retries),
             scheme=scheme,
             pool=pool,
+            deadline=deadline,
         )
         analyses[scheme.name] = result
         summary = result.violations.summary()

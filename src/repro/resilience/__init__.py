@@ -8,6 +8,7 @@ without redoing completed cells (:mod:`repro.resilience.checkpoint`).
 """
 
 from repro.resilience.checkpoint import CheckpointJournal, open_journal
+from repro.resilience.deadline import Deadline
 from repro.resilience.pool import (
     ExecutionReport,
     PoolConfig,
@@ -17,6 +18,7 @@ from repro.resilience.pool import (
 
 __all__ = [
     "CheckpointJournal",
+    "Deadline",
     "ExecutionReport",
     "PoolConfig",
     "SupervisedPool",

@@ -55,7 +55,8 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import PoolShutdown, ReproError
+from repro.errors import PoolShutdown, ReproError, TimeBudgetExceeded
+from repro.resilience.deadline import Deadline
 
 __all__ = [
     "PoolConfig",
@@ -481,12 +482,19 @@ class SupervisedPool:
         *,
         timeout_s: Optional[float] = None,
         max_retries: Optional[int] = None,
+        deadline: Optional["Deadline"] = None,
     ) -> Tuple[List[Any], ExecutionReport]:
         """Execute every task; returns ``(results in task order, report)``.
 
         ``timeout_s`` and ``max_retries`` override the pool's configured
         deadline/retry budget for this run only — a shared long-lived pool
         serves jobs with differing budgets without being reconfigured.
+        ``deadline`` bounds the *whole run*: per-attempt timeouts are
+        clamped to the remaining budget, and when it expires (or is
+        cancelled) in-flight workers are killed immediately and
+        :class:`~repro.errors.TimeBudgetExceeded` carries out whatever
+        settled — unlike :meth:`request_shutdown`, the run is cut without
+        a drain grace and the pool itself stays usable.
 
         Application exceptions (raised by ``fn``) abort the run once every
         lower-indexed task has settled, re-raising the lowest-indexed one —
@@ -501,6 +509,14 @@ class SupervisedPool:
             config = replace(config, timeout_s=float(timeout_s))
         if max_retries is not None:
             config = replace(config, max_retries=int(max_retries))
+        if deadline is not None:
+            remaining = deadline.remaining()
+            if remaining != float("inf"):
+                # Per-shard budgets derive from what is left end to end:
+                # no single attempt may outlive the request's deadline.
+                config = replace(
+                    config, timeout_s=min(config.timeout_s, max(remaining, 0.001))
+                )
         began = time.monotonic()
         report = ExecutionReport(
             tasks=[TaskExecution(index=i) for i in range(len(tasks))],
@@ -520,6 +536,7 @@ class SupervisedPool:
         ]
         running: Dict[int, _Attempt] = {}
         drain_deadline: Optional[float] = None
+        budget_reason: Optional[str] = None
 
         def settle(index: int) -> None:
             report.tasks[index].wall_time_s = time.monotonic() - first_dispatch[index]
@@ -550,6 +567,13 @@ class SupervisedPool:
         try:
             while len(results) + len(errors) < len(tasks):
                 now = time.monotonic()
+                if deadline is not None and budget_reason is None:
+                    budget_reason = deadline.reason()
+                    if budget_reason is not None:
+                        # The budget IS the bound: no drain grace — kill
+                        # in-flight attempts (finally block) and report
+                        # what settled.
+                        break
                 if self._shutdown.is_set():
                     # Drain: no new dispatches; give in-flight tasks one
                     # bounded grace window, then stop.
@@ -609,6 +633,11 @@ class SupervisedPool:
             report.wall_time_s = time.monotonic() - began
             self._restore_signal_handlers(previous_handlers)
 
+        if budget_reason is not None and len(results) + len(errors) < len(tasks):
+            for record in report.tasks:
+                if record.index not in results and record.index not in errors:
+                    record.failures.append(f"cancelled: {budget_reason}")
+            raise TimeBudgetExceeded(budget_reason, results=results, report=report)
         if self._shutdown.is_set() and len(results) + len(errors) < len(tasks):
             for record in report.tasks:
                 if record.index not in results and record.index not in errors:

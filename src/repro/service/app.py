@@ -39,13 +39,22 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any, Deque, Dict, List, Optional, Tuple
 
-from repro.errors import JobRejected, PoolShutdown, ServiceError
+from repro.errors import (
+    JobRejected,
+    PoolShutdown,
+    ServiceError,
+    TimeBudgetExceeded,
+)
+from repro.resilience.deadline import Deadline
+from repro.service.breaker import CircuitBreaker
 from repro.service.runners import execute_job
 from repro.service.store import (
     ACCEPTED,
+    CANCELLED,
     DONE,
     FAILED,
     RUNNING,
+    TERMINAL,
     JobRecord,
     JobStore,
     canonical_spec,
@@ -78,6 +87,15 @@ class ServiceConfig:
     drain_grace_s: float = 30.0
     #: Journaled attempts after which a job is declared crash-looping.
     max_job_attempts: int = 3
+    #: Default wall-clock budget applied to every job that does not set
+    #: ``config["deadline_s"]`` itself.  ``None`` means unbounded (jobs
+    #: are still cancellable via ``DELETE /jobs/<key>``).
+    job_deadline_s: Optional[float] = None
+    #: Consecutive infrastructure failures (crash-loop quarantines,
+    #: blown deadlines) before the circuit breaker opens.
+    breaker_threshold: int = 3
+    #: Seconds the open breaker rejects submissions before probing.
+    breaker_cooldown_s: float = 30.0
 
 
 class AnalysisService:
@@ -96,10 +114,17 @@ class AnalysisService:
         self._accepting = False
         self._stopping = False
         self._running_key: Optional[str] = None
+        self._running_deadline: Optional[Deadline] = None
+        self._cancel_requested: set = set()
+        self._drain_started: Optional[float] = None
         self._executed = 0  # jobs actually computed by this process
         self.store: Optional[JobStore] = None
         self.pool = None
         self._executor: Optional[threading.Thread] = None
+        self.breaker = CircuitBreaker(
+            threshold=self.config.breaker_threshold,
+            cooldown_s=self.config.breaker_cooldown_s,
+        )
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -153,6 +178,8 @@ class AnalysisService:
         with self._lock:
             self._accepting = False
             self._stopping = True
+            if self._drain_started is None:
+                self._drain_started = time.monotonic()
             self._wakeup.notify_all()
         if self.pool is not None and not drain:
             self.pool.request_shutdown("service shutdown (no drain)")
@@ -184,14 +211,15 @@ class AnalysisService:
         Dispositions: ``created`` (new work journaled), ``duplicate``
         (same job already queued or running), ``cached`` (already done —
         the stored result is authoritative, nothing recomputes),
-        ``retried`` (a previously failed job re-admitted).
+        ``retried`` (a previously failed or cancelled job re-admitted).
         """
         spec = canonical_spec(raw, default_jobs=self.config.default_jobs)
         key = job_key(spec)
         with self._lock:
             if not self._accepting:
                 raise JobRejected(
-                    "service is draining and not accepting jobs", retry_after_s=5.0
+                    "service is draining and not accepting jobs",
+                    retry_after_s=self.drain_retry_after_s(),
                 )
             assert self.store is not None
             existing = self.store.get(key)
@@ -205,12 +233,26 @@ class AnalysisService:
                     "retry later",
                     retry_after_s=2.0,
                 )
-            if existing is not None:  # a failed job, resubmitted
+            # Cached and duplicate answers cost nothing, so they are
+            # served even while the breaker is open; only *new compute*
+            # is gated.  Checked after the queue bound so a rejected
+            # submission never consumes the half-open probe slot.
+            retry_after = self.breaker.allow()
+            if retry_after is not None:
+                raise JobRejected(
+                    "circuit breaker is open after repeated worker "
+                    "failures; retry later",
+                    retry_after_s=retry_after,
+                    status=503,
+                )
+            if existing is not None:  # a failed/cancelled job, resubmitted
                 record = existing
+                prior = record.status
                 record.status = ACCEPTED
-                record.phase = "re-admitted after failure"
+                record.phase = f"re-admitted after {prior}"
                 record.error = None
                 record.attempts = 0
+                record.finished_at = None
                 disposition = "retried"
             else:
                 record = JobRecord(
@@ -227,6 +269,97 @@ class AnalysisService:
             self._queue.append(key)
             self._wakeup.notify_all()
             return record, disposition
+
+    def cancel(
+        self, key: str, *, reason: str = "cancelled by client"
+    ) -> Tuple[JobRecord, str]:
+        """Cancel a queued or running job; returns ``(record, disposition)``.
+
+        Dispositions: ``cancelled`` (a queued job, journaled terminal
+        immediately), ``cancelling`` (the running job — its deadline is
+        cancelled and the executor journals the ``cancelled`` state as
+        soon as the analysis reaches its next cooperative check),
+        ``terminal`` (already done/failed/cancelled; nothing to do).
+        Raises :class:`~repro.errors.ServiceError` for unknown keys.
+        """
+        with self._lock:
+            if self.store is None:
+                raise ServiceError("service is not running")
+            record = self.store.get(key)
+            if record is None:
+                raise ServiceError(f"no job {key}")
+            if record.status in TERMINAL:
+                return record, "terminal"
+            if key == self._running_key:
+                self._cancel_requested.add(key)
+                if self._running_deadline is not None:
+                    self._running_deadline.cancel(reason)
+                record.phase = "cancellation requested"
+                return record, "cancelling"
+            try:
+                self._queue.remove(key)
+            except ValueError:  # pragma: no cover - queue/store drift guard
+                pass
+            record.status = CANCELLED
+            record.error = reason
+            record.finished_at = time.time()
+            record.phase = ""
+            self.store.save(record)
+            return record, "cancelled"
+
+    def requeue(self, key: str) -> JobRecord:
+        """Re-admit a quarantined (failed) or cancelled job.
+
+        An explicit operator action, so it bypasses the circuit breaker
+        — requeueing *is* how you probe a quarantined job after fixing
+        the underlying problem — but still honours the queue bound and
+        the draining state.
+        """
+        with self._lock:
+            if self.store is None:
+                raise ServiceError("service is not running")
+            if not self._accepting:
+                raise JobRejected(
+                    "service is draining and not accepting jobs",
+                    retry_after_s=self.drain_retry_after_s(),
+                )
+            record = self.store.get(key)
+            if record is None:
+                raise ServiceError(f"no job {key}")
+            if record.status not in (FAILED, CANCELLED):
+                raise ServiceError(
+                    f"job {key} is {record.status}; only failed or "
+                    "cancelled jobs can be re-queued"
+                )
+            if len(self._queue) >= self.config.queue_limit:
+                raise JobRejected(
+                    f"job queue is full ({self.config.queue_limit} waiting); "
+                    "retry later",
+                    retry_after_s=2.0,
+                )
+            record.status = ACCEPTED
+            record.phase = "re-queued by operator"
+            record.error = None
+            record.attempts = 0
+            record.finished_at = None
+            self.store.save(record)
+            self._queue.append(key)
+            self._wakeup.notify_all()
+            return record
+
+    def drain_retry_after_s(self) -> float:
+        """Seconds a client should wait while the service drains.
+
+        Derived from the remaining drain grace — a drain that started
+        ``t`` seconds ago will either finish its in-flight job or cancel
+        it within ``drain_grace_s - t``, after which a restarted
+        instance can take the retry.  Never less than one second.
+        """
+        with self._lock:
+            if self._drain_started is None:
+                return self.config.drain_grace_s
+            elapsed = time.monotonic() - self._drain_started
+            return max(1.0, self.config.drain_grace_s - elapsed)
 
     # -- introspection ---------------------------------------------------------
 
@@ -262,6 +395,7 @@ class AnalysisService:
                 "jobs_total": len(self.store) if self.store is not None else 0,
                 "store": self.store.path if self.store is not None else None,
                 "pool_workers": self.config.pool_workers,
+                "breaker": self.breaker.snapshot(),
             }
 
     def severity(
@@ -387,18 +521,31 @@ class AnalysisService:
                     record.finished_at = time.time()
                     record.phase = ""
                     self.store.save(record)
+                    self.breaker.record_failure(
+                        f"job {key} quarantined after crash-looping"
+                    )
                     continue
                 record.status = RUNNING
                 record.started_at = time.time()
                 record.phase = "starting"
                 self.store.save(record)
                 self._running_key = key
+                # One Deadline per job: the budget from the job's config
+                # (falling back to the service default), and always a
+                # handle — an unbounded deadline is still the channel a
+                # client cancel travels through.
+                budget = record.spec.get("config", {}).get("deadline_s")
+                if budget is None:
+                    budget = self.config.job_deadline_s
+                deadline = Deadline(budget)
+                self._running_deadline = deadline
                 pool = self.pool
             try:
                 result, execution = execute_job(
                     record.spec,
                     pool=pool,
                     progress=lambda phase: self._set_phase(key, phase),
+                    deadline=deadline,
                 )
             except PoolShutdown:
                 # Shutdown raced the job: put it back to ``accepted`` so
@@ -408,7 +555,30 @@ class AnalysisService:
                     record.status = ACCEPTED
                     record.phase = "interrupted by shutdown; resumes on restart"
                     self.store.save(record)
-                    self._running_key = None
+                    self._clear_running(key)
+                continue
+            except TimeBudgetExceeded as exc:
+                # Budget expired or a client cancelled: terminal
+                # ``cancelled`` state; the partial result is discarded so
+                # the content-addressed cache only ever holds complete
+                # answers.
+                with self._lock:
+                    client = key in self._cancel_requested
+                    record.status = CANCELLED
+                    record.error = f"TimeBudgetExceeded: {exc.reason}"
+                    record.finished_at = time.time()
+                    record.phase = ""
+                    self.store.save(record)
+                    self._clear_running(key)
+                if client:
+                    # A client cancel says nothing about service health:
+                    # don't count it, but do free the half-open probe
+                    # slot if this job happened to be the probe.
+                    self.breaker.release_probe()
+                else:
+                    self.breaker.record_failure(
+                        f"job {key} exceeded its time budget: {exc.reason}"
+                    )
                 continue
             except Exception as exc:
                 with self._lock:
@@ -417,7 +587,11 @@ class AnalysisService:
                     record.finished_at = time.time()
                     record.phase = ""
                     self.store.save(record)
-                    self._running_key = None
+                    self._clear_running(key)
+                # A deterministic application error from a healthy worker
+                # proves the infrastructure works; it resets the breaker
+                # rather than tripping it.
+                self.breaker.record_success()
                 continue
             with self._lock:
                 record.status = DONE
@@ -426,8 +600,15 @@ class AnalysisService:
                 record.finished_at = time.time()
                 record.phase = ""
                 self.store.save(record)
-                self._running_key = None
+                self._clear_running(key)
                 self._executed += 1
+            self.breaker.record_success()
+
+    def _clear_running(self, key: str) -> None:
+        """Drop the running-job bookkeeping (caller holds the lock)."""
+        self._running_key = None
+        self._running_deadline = None
+        self._cancel_requested.discard(key)
 
 
 def create_app(config: Optional[ServiceConfig] = None) -> AnalysisService:

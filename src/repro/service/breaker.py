@@ -1,0 +1,144 @@
+"""Circuit breaker guarding the analysis pool against overload collapse.
+
+The service keeps accepting jobs while its worker pool crash-loops, which
+turns one poisoned input or an exhausted machine into an unbounded queue
+of doomed work.  The breaker watches *infrastructure* outcomes — jobs
+quarantined after repeated worker crashes or hangs, and jobs that blew
+their time budget — and trips open after ``threshold`` consecutive
+failures.  While open, new submissions are rejected with ``503`` and a
+``Retry-After`` equal to the remaining cooldown.  After the cooldown one
+probe job is admitted (half-open); its success closes the breaker, its
+failure re-opens it for another full cooldown.
+
+Application-level errors (bad specs, analysis errors raised by healthy
+workers) and client-requested cancellations say nothing about service
+health, so they neither trip nor reset the breaker.
+
+The breaker is deliberately clock-injected (``clock`` defaults to
+``time.monotonic``) so tests and the chaos harness can drive state
+transitions deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional
+
+__all__ = ["CLOSED", "OPEN", "HALF_OPEN", "CircuitBreaker"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with a single half-open probe slot."""
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        cooldown_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        if cooldown_s <= 0:
+            raise ValueError(f"cooldown_s must be positive, got {cooldown_s}")
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at: Optional[float] = None
+        self._last_failure: Optional[str] = None
+        self._probe_inflight = False
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def allow(self) -> Optional[float]:
+        """Gate one admission.
+
+        Returns ``None`` when the submission may proceed, or the number of
+        seconds the caller should wait before retrying.  Calling this when
+        the cooldown has elapsed consumes the half-open probe slot: exactly
+        one job is admitted until the probe's outcome is recorded.
+        """
+        with self._lock:
+            if self._state == CLOSED:
+                return None
+            if self._state == OPEN:
+                elapsed = self._clock() - (self._opened_at or 0.0)
+                remaining = self.cooldown_s - elapsed
+                if remaining > 0:
+                    return remaining
+                self._state = HALF_OPEN
+                self._probe_inflight = False
+            # Half-open: admit exactly one probe; everyone else waits a
+            # short beat for the probe's verdict.
+            if self._probe_inflight:
+                return min(self.cooldown_s, 1.0)
+            self._probe_inflight = True
+            return None
+
+    def record_success(self) -> None:
+        """A job completed on healthy infrastructure: reset to closed."""
+        with self._lock:
+            self._state = CLOSED
+            self._failures = 0
+            self._opened_at = None
+            self._last_failure = None
+            self._probe_inflight = False
+
+    def record_failure(self, reason: str) -> None:
+        """An infrastructure failure: count it, trip when at threshold."""
+        with self._lock:
+            self._last_failure = reason
+            if self._state == HALF_OPEN:
+                # The probe failed: straight back to open, full cooldown.
+                self._state = OPEN
+                self._opened_at = self._clock()
+                self._probe_inflight = False
+                return
+            self._failures += 1
+            if self._failures >= self.threshold and self._state == CLOSED:
+                self._state = OPEN
+                self._opened_at = self._clock()
+
+    def release_probe(self) -> None:
+        """The probe ended without an infrastructure verdict.
+
+        Used when the half-open probe job is cancelled by a client: the
+        slot frees up so the next submission becomes the new probe,
+        instead of the breaker waiting forever on a verdict that will
+        never arrive.
+        """
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._probe_inflight = False
+
+    def snapshot(self) -> Dict[str, object]:
+        """State for ``healthz`` / ``stats`` — JSON-serialisable."""
+        with self._lock:
+            snap: Dict[str, object] = {
+                "state": self._state,
+                "consecutive_failures": self._failures,
+                "threshold": self.threshold,
+                "cooldown_s": self.cooldown_s,
+            }
+            if self._last_failure is not None:
+                snap["last_failure"] = self._last_failure
+            if self._state == OPEN and self._opened_at is not None:
+                elapsed = self._clock() - self._opened_at
+                snap["retry_after_s"] = max(0.0, self.cooldown_s - elapsed)
+            return snap
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CircuitBreaker(state={self.state!r}, "
+            f"failures={self._failures}/{self.threshold})"
+        )

@@ -17,8 +17,15 @@ Routes (all JSON):
 * ``GET /jobs/<key>/severity/timeline[?metric=...]`` — window-resolved
   severity series of a finished analyze job submitted with config
   ``{"timeline": true}``.
-* ``GET /healthz`` — liveness; ``GET /readyz`` — readiness (``503``
-  while draining) plus queue statistics.
+* ``DELETE /jobs/<key>`` — cancel.  ``200`` for a queued job (journaled
+  ``cancelled`` immediately); ``202`` for the running job (its deadline
+  is cancelled, the executor journals ``cancelled`` at the next
+  cooperative check); ``409`` when already terminal; ``404`` unknown.
+* ``POST /jobs/<key>/requeue`` — re-admit a quarantined or cancelled
+  job (``202``), bypassing the circuit breaker but not the queue bound.
+* ``GET /healthz`` — liveness plus circuit-breaker state; ``GET
+  /readyz`` — readiness (``503`` + ``Retry-After`` derived from the
+  remaining drain grace while draining) plus queue statistics.
 
 :func:`serve` is the blocking entry point behind ``repro serve``: it
 starts the app, serves until SIGTERM/SIGINT, then drains gracefully —
@@ -116,17 +123,53 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             if path == "/jobs":
                 self._submit()
+            elif path.startswith("/jobs/") and path.endswith("/requeue"):
+                key = path[len("/jobs/") : -len("/requeue")]
+                record = self.app.requeue(key)
+                self._send(
+                    202,
+                    {
+                        "disposition": "requeued",
+                        "job": record.to_payload(),
+                        "url": f"/jobs/{record.key}",
+                    },
+                )
             else:
                 self._send(404, {"error": f"no route POST {path}"})
         except JobValidationError as exc:
             self._send(400, {"error": str(exc)})
         except JobRejected as exc:
-            status = 503 if not self.app.accepting else 429
+            status = exc.status or (503 if not self.app.accepting else 429)
             self._send(
                 status,
                 {"error": str(exc), "retry_after_s": exc.retry_after_s},
                 headers={"Retry-After": str(max(1, int(exc.retry_after_s)))},
             )
+        except ServiceError as exc:
+            self._send(404, {"error": str(exc)})
+        except CheckpointError as exc:
+            self._send(500, {"error": f"job store failure: {exc}"})
+        except Exception as exc:  # pragma: no cover - last-resort 500
+            self._send(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        path = urlsplit(self.path).path.rstrip("/")
+        try:
+            if path.startswith("/jobs/"):
+                key = path[len("/jobs/") :]
+                if "/" in key:
+                    self._send(404, {"error": f"no route DELETE {path}"})
+                    return
+                record, disposition = self.app.cancel(key)
+                status = {"cancelled": 200, "cancelling": 202}.get(disposition, 409)
+                self._send(
+                    status,
+                    {"disposition": disposition, "job": record.to_payload()},
+                )
+            else:
+                self._send(404, {"error": f"no route DELETE {path}"})
+        except ServiceError as exc:
+            self._send(404, {"error": str(exc)})
         except CheckpointError as exc:
             self._send(500, {"error": f"job store failure: {exc}"})
         except Exception as exc:  # pragma: no cover - last-resort 500
@@ -138,14 +181,24 @@ class _Handler(BaseHTTPRequestHandler):
         query = parse_qs(split.query)
         try:
             if path == "/healthz":
-                self._send(200, {"status": "alive"})
+                self._send(
+                    200,
+                    {"status": "alive", "breaker": self.app.breaker.snapshot()},
+                )
             elif path == "/readyz":
                 stats = self.app.stats()
                 if self.app.ready:
                     self._send(200, {"status": "ready", **stats})
                 else:
+                    retry_after = self.app.drain_retry_after_s()
                     self._send(
-                        503, {"status": "draining", **stats}, headers={"Retry-After": "5"}
+                        503,
+                        {
+                            "status": "draining",
+                            "retry_after_s": retry_after,
+                            **stats,
+                        },
+                        headers={"Retry-After": str(max(1, int(retry_after)))},
                     )
             elif path == "/jobs":
                 self._send(200, {"jobs": [r.summary() for r in self.app.jobs()]})

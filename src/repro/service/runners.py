@@ -34,6 +34,7 @@ def execute_job(
     *,
     pool=None,
     progress: Optional[Progress] = None,
+    deadline=None,
 ) -> Tuple[Dict[str, Any], Optional[Dict[str, Any]]]:
     """Run one canonical job spec; return ``(result, execution)``.
 
@@ -41,20 +42,37 @@ def execute_job(
     :class:`~repro.resilience.pool.SupervisedPool` (task function
     ``analyze_shard``), lent to every analysis phase.  ``progress`` is
     called with human-readable phase strings as the job advances.
+    ``deadline`` is an optional :class:`~repro.resilience.Deadline`
+    bounding the whole job; when it expires (or a client cancels it) the
+    job raises :class:`~repro.errors.TimeBudgetExceeded` rather than
+    returning — a partial result must never enter the content-addressed
+    cache, where it would shadow the complete answer forever.
     """
     notify = progress or (lambda phase: None)
+    if deadline is None:
+        budget = spec.get("config", {}).get("deadline_s")
+        if budget:
+            from repro.resilience import Deadline
+
+            deadline = Deadline(budget)
     kind = spec.get("kind")
     if kind == "run_experiment":
-        return _run_experiment_job(spec, pool, notify)
+        return _run_experiment_job(spec, pool, notify, deadline)
     if kind == "analyze":
-        return _analyze_job(spec, pool, notify)
+        return _analyze_job(spec, pool, notify, deadline)
     if kind == "simulate":
-        return _simulate_job(spec, notify)
+        return _simulate_job(spec, notify, deadline)
     raise JobValidationError(f"unknown job kind {kind!r}")
 
 
+def _check_budget(deadline) -> None:
+    """Refuse to cache a result whose budget ran out along the way."""
+    if deadline is not None:
+        deadline.check()
+
+
 def _run_experiment_job(
-    spec: Mapping[str, Any], pool, notify: Progress
+    spec: Mapping[str, Any], pool, notify: Progress, deadline
 ) -> Tuple[Dict[str, Any], None]:
     """Regenerate a paper artifact; the result is its rendered text."""
     from repro.api import AnalysisRequest, run_experiment
@@ -68,15 +86,21 @@ def _run_experiment_job(
             timeout=config.get("timeout"),
             max_retries=config.get("max_retries"),
             verify_archive=bool(config.get("verify_archive", False)),
+            deadline_s=config.get("deadline_s"),
         ),
         seed=spec["seed"],
         pool=pool,
+        deadline=deadline,
     )
+    # The experiment renderers flatten the AnalysisResult to text, so an
+    # interrupted analysis is invisible here; the budget check is the
+    # cache guard for this kind.
+    _check_budget(deadline)
     return {"kind": "run_experiment", "experiment": spec["experiment"], "text": text}, None
 
 
 def _analyze_job(
-    spec: Mapping[str, Any], pool, notify: Progress
+    spec: Mapping[str, Any], pool, notify: Progress, deadline
 ) -> Tuple[Dict[str, Any], Optional[Dict[str, Any]]]:
     """MetaTrace pipeline end to end: simulate, replay, render, cube.
 
@@ -104,6 +128,7 @@ def _analyze_job(
         window_s=float(config.get("window_s", 1.0)),
         stride_s=float(config.get("stride_s", 0.25)),
         bounded=bool(config.get("bounded", False)),
+        deadline_s=config.get("deadline_s"),
     )
     outcome = run_metatrace_experiment(
         figure=_FIGURES[experiment],
@@ -111,7 +136,13 @@ def _analyze_job(
         coupling_intervals=config.get("coupling_intervals"),
         request=request,
         pool=pool,
+        deadline=deadline,
     )
+    if outcome.result.interrupted is not None:
+        from repro.errors import TimeBudgetExceeded
+
+        raise TimeBudgetExceeded(outcome.result.interrupted)
+    _check_budget(deadline)
     notify("rendering report")
     result = {
         "kind": "analyze",
@@ -131,7 +162,7 @@ def _analyze_job(
 
 
 def _simulate_job(
-    spec: Mapping[str, Any], notify: Progress
+    spec: Mapping[str, Any], notify: Progress, deadline
 ) -> Tuple[Dict[str, Any], None]:
     """Run a synthetic imbalance workload; report archive integrity."""
     import math
@@ -159,6 +190,7 @@ def _simulate_job(
     )
     notify("verifying archives")
     verification = verify_archives(run)
+    _check_budget(deadline)
     result = {
         "kind": "simulate",
         "experiment": spec["experiment"],

@@ -41,6 +41,7 @@ __all__ = [
     "RUNNING",
     "DONE",
     "FAILED",
+    "CANCELLED",
     "JOB_KINDS",
     "canonical_spec",
     "job_key",
@@ -49,12 +50,17 @@ __all__ = [
 ]
 
 #: Job lifecycle states.  ``accepted`` and ``running`` are recoverable
-#: (re-queued on restart); ``done`` and ``failed`` are terminal.
+#: (re-queued on restart); ``done``, ``failed`` and ``cancelled`` are
+#: terminal.  A cancelled job (client ``DELETE`` or deadline expiry) is
+#: deliberately *not* recoverable — the whole point of cancelling is that
+#: a restart must not resurrect the work — but it may be re-admitted by a
+#: fresh submission or ``requeue``.
 ACCEPTED = "accepted"
 RUNNING = "running"
 DONE = "done"
 FAILED = "failed"
-TERMINAL = (DONE, FAILED)
+CANCELLED = "cancelled"
+TERMINAL = (DONE, FAILED, CANCELLED)
 RECOVERABLE = (ACCEPTED, RUNNING)
 
 JOB_KINDS = ("simulate", "analyze", "run_experiment")
@@ -71,11 +77,13 @@ _CONFIG_SCHEMA: Dict[str, Dict[str, Any]] = {
         "timeout": ("positive number", lambda v: _is_number(v) and v > 0),
         "max_retries": ("non-negative integer", lambda v: _is_int(v) and v >= 0),
         "verify_archive": ("boolean", lambda v: isinstance(v, bool)),
+        "deadline_s": ("positive number", lambda v: _is_number(v) and v > 0),
     },
     "analyze": {
         "timeout": ("positive number", lambda v: _is_number(v) and v > 0),
         "max_retries": ("non-negative integer", lambda v: _is_int(v) and v >= 0),
         "verify_archive": ("boolean", lambda v: isinstance(v, bool)),
+        "deadline_s": ("positive number", lambda v: _is_number(v) and v > 0),
         "coupling_intervals": ("positive integer", lambda v: _is_int(v) and v >= 1),
         "timeline": ("boolean", lambda v: isinstance(v, bool)),
         "window_s": ("positive number", lambda v: _is_number(v) and v > 0),
@@ -86,6 +94,7 @@ _CONFIG_SCHEMA: Dict[str, Dict[str, Any]] = {
         "ranks": ("integer >= 2", lambda v: _is_int(v) and v >= 2),
         "metahosts": ("positive integer", lambda v: _is_int(v) and v >= 1),
         "iterations": ("positive integer", lambda v: _is_int(v) and v >= 1),
+        "deadline_s": ("positive number", lambda v: _is_number(v) and v > 0),
     },
 }
 

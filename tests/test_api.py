@@ -24,6 +24,7 @@ API_SURFACE_SNAPSHOT = [
     "AnalysisResult",
     "CheckpointJournal",
     "DEFAULT_SEEDS",
+    "Deadline",
     "EXPERIMENTS",
     "ExecutionReport",
     "JobStore",
@@ -32,6 +33,7 @@ API_SURFACE_SNAPSHOT = [
     "RunResult",
     "ServiceConfig",
     "SeverityTimeline",
+    "TimeBudgetExceeded",
     "analyze",
     "create_app",
     "ibm_aix_power",

@@ -1,0 +1,131 @@
+"""End-to-end deadline propagation through the analysis layers.
+
+The acceptance shape of the deadline tentpole: an analysis given a
+budget of ``D`` seconds against wedged workers returns a *partial* result
+(severity so far, honest per-rank completeness, ``TimeBudgetExceeded`` in
+the record) within ``D + grace`` — it never hangs and never dies — while
+an analysis with no deadline (or a generous one) stays byte-identical to
+the unbudgeted run.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+
+import pytest
+
+from repro.analysis.parallel import ParallelReplayAnalyzer
+from repro.analysis.request import AnalysisRequest
+from repro.api import analyze
+from repro.errors import AnalysisError, TimeBudgetExceeded
+from repro.resilience import Deadline
+
+from tests.test_parallel_analysis import assert_identical
+from tests.test_resilience_pool import _fast_config, _hang, _small_run
+
+
+class TestRequestField:
+    def test_deadline_must_be_positive(self):
+        with pytest.raises(AnalysisError, match="deadline_s must be positive"):
+            AnalysisRequest(deadline_s=0)
+        with pytest.raises(AnalysisError, match="deadline_s must be positive"):
+            AnalysisRequest(deadline_s=-3)
+
+    def test_default_deadline_keeps_job_keys_stable(self):
+        # deadline_s=None must not appear in to_config(), or every
+        # content-addressed job key minted before this field existed
+        # would change.
+        assert "deadline_s" not in AnalysisRequest().to_config()
+        assert AnalysisRequest(deadline_s=5.0).to_config()["deadline_s"] == 5.0
+
+
+class TestSerialDeadline:
+    def test_generous_deadline_is_byte_identical(self):
+        run = _small_run()
+        plain = analyze(run)
+        budgeted = analyze(run, AnalysisRequest(deadline_s=300.0))
+        assert budgeted.interrupted is None
+        assert_identical(plain, budgeted)
+
+    def test_cancelled_deadline_returns_partial(self):
+        run = _small_run()
+        deadline = Deadline(3600.0)
+        deadline.cancel("cancelled by client")
+        result = analyze(run, deadline=deadline)
+        assert result.interrupted == "cancelled by client"
+        assert result.degraded  # partials settle degraded-style
+        # Honest completeness: every analyzed rank says how far it got.
+        assert result.completeness
+        for entry in result.completeness.values():
+            assert not entry.complete
+            assert "TimeBudgetExceeded" in entry.error
+            assert 0.0 <= entry.completeness <= 1.0
+
+    def test_tiny_budget_interrupts_mid_stream(self):
+        run = _small_run()
+        result = analyze(run, AnalysisRequest(deadline_s=1e-9))
+        assert result.interrupted is not None
+        assert "deadline of" in result.interrupted
+
+
+class TestParallelDeadline:
+    def test_wedged_workers_bounded_by_deadline(self, tmp_path):
+        """The acceptance criterion: deadline D against wedged workers →
+        partial result within D + grace, never a hang."""
+        run = _small_run()
+        analyzer = ParallelReplayAnalyzer(
+            {m: run.reader(m) for m in run.machines_used},
+            jobs=4,
+            # Workers hang forever; timeout_s would allow 60s — only the
+            # deadline can bound the run.
+            pool_config=_fast_config(
+                max_workers=4, timeout_s=60.0, max_retries=0, chaos_hook=_hang
+            ),
+            deadline=Deadline(3.0),
+        )
+        began = time.monotonic()
+        try:
+            result = analyzer.analyze()
+            interrupted = result.interrupted
+            completeness = result.completeness
+        except TimeBudgetExceeded as exc:
+            # Zero shards settled — equally acceptable, equally bounded.
+            interrupted = exc.reason
+            completeness = None
+        elapsed = time.monotonic() - began
+        assert elapsed < 3.0 + 15.0, f"took {elapsed:.1f}s, deadline was 3s"
+        assert interrupted is not None and "deadline of 3.0s" in interrupted
+        if completeness is not None:
+            unfinished = [
+                entry
+                for entry in completeness.values()
+                if not entry.analyzed
+            ]
+            assert unfinished, "some shard should have been cut off"
+            assert all(
+                "TimeBudgetExceeded" in entry.error for entry in unfinished
+            )
+
+    def test_generous_parallel_deadline_is_byte_identical(self):
+        run = _small_run()
+        plain = analyze(run, AnalysisRequest(jobs=4))
+        budgeted = analyze(run, AnalysisRequest(jobs=4, deadline_s=300.0))
+        assert budgeted.interrupted is None
+        assert_identical(plain, budgeted)
+
+
+class TestExperimentDeadline:
+    def test_run_experiment_shares_one_budget(self):
+        # A pre-cancelled deadline handed to run_experiment must stop the
+        # whole experiment, not one phase of it.
+        from repro.api import run_experiment
+
+        deadline = Deadline(3600.0)
+        deadline.cancel("operator stop")
+        result = run_experiment(
+            "figure4", AnalysisRequest(jobs=1), seed=3, deadline=deadline
+        )
+        # figure4's analyze() phases observe the dead budget and settle
+        # partial; the rendered text still comes back (degraded-style).
+        assert isinstance(result, str)

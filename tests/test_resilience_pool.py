@@ -73,6 +73,17 @@ def _sigstop_self(task):
     os.kill(os.getpid(), signal.SIGSTOP)
 
 
+def _sigstop_first(marker_dir, task):
+    """SIGSTOP exactly one worker across the whole run, whatever its task."""
+    marker = os.path.join(marker_dir, "stopped")
+    try:
+        fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return
+    os.close(fd)
+    os.kill(os.getpid(), signal.SIGSTOP)
+
+
 def _fast_config(**overrides) -> PoolConfig:
     defaults = dict(
         max_workers=2,
@@ -263,6 +274,38 @@ class TestAnalyzerChaos:
         assert recovered.execution is not None
         assert not recovered.execution.clean
         assert recovered.execution.retries >= 1
+
+    def test_sigstopped_worker_during_degraded_analysis(self, tmp_path):
+        """A SIGSTOPped (wedged, not dead) worker during a *degraded-mode*
+        parallel analysis: the heartbeat detects the stall, the retry
+        redoes the shard, and the result still matches the serial degraded
+        run bit for bit."""
+        plan = FaultPlan(
+            name="bitrot",
+            seed=3,
+            specs=(TraceCorruption(rank=3, at_fraction=0.5, length=8),),
+        )
+        run = _small_run(fault_plan=plan, seed=3)
+        serial = analyze(run, AnalysisRequest(degraded=True))
+        analyzer = ParallelReplayAnalyzer(
+            {m: run.reader(m) for m in run.machines_used},
+            degraded=True,
+            jobs=4,
+            pool_config=_fast_config(
+                max_workers=4,
+                timeout_s=60.0,
+                heartbeat_interval_s=0.05,
+                heartbeat_grace_s=0.3,
+                chaos_hook=functools.partial(_sigstop_first, str(tmp_path)),
+            ),
+        )
+        began = time.monotonic()
+        recovered = analyzer.analyze()
+        assert time.monotonic() - began < 60.0
+        assert_identical(serial, recovered)
+        assert recovered.execution is not None
+        assert not recovered.execution.clean
+        assert any("heartbeat" in f for f in recovered.execution.failures)
 
     def test_clean_parallel_run_reports_clean_execution(self):
         run = _small_run()

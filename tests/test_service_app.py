@@ -43,7 +43,7 @@ class _Gate:
         self.started = threading.Event()
         self.calls = 0
 
-    def __call__(self, spec, *, pool=None, progress=None):
+    def __call__(self, spec, *, pool=None, progress=None, deadline=None):
         self.calls += 1
         self.started.set()
         if not self.release.wait(timeout=60):
@@ -124,7 +124,7 @@ class TestIdempotency:
             assert gate.calls == calls_before
 
     def test_failed_job_readmitted_on_resubmit(self, config, monkeypatch):
-        def explode(spec, *, pool=None, progress=None):
+        def explode(spec, *, pool=None, progress=None, deadline=None):
             raise RuntimeError("boom")
 
         monkeypatch.setattr(app_module, "execute_job", explode)

@@ -123,7 +123,7 @@ class TestEndpoints:
 
         gate = threading.Event()
 
-        def gated(spec, *, pool=None, progress=None):
+        def gated(spec, *, pool=None, progress=None, deadline=None):
             gate.wait(timeout=60)
             return {"kind": spec["kind"]}, None
 
