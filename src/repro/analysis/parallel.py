@@ -649,7 +649,7 @@ class ParallelReplayAnalyzer:
             shard.manifests.update(snapshot.manifests)
         shard_converters = {
             node: converters.get(node)
-            for node in {node_of(definitions.locations[rank]) for rank in ranks}
+            for node in sorted({node_of(definitions.locations[rank]) for rank in ranks})
         }
         return ShardTask(
             index=index,

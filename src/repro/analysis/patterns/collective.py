@@ -21,16 +21,16 @@ from typing import Dict, List
 from repro.analysis.matching import CollectiveInstance
 from repro.analysis.patterns.base import (
     BARRIER_COMPLETION,
-    EARLY_SCAN,
-    NXN_COMPLETION,
     EARLY_REDUCE,
-    PREFIX_OPS,
+    EARLY_SCAN,
     GRID_WAIT_AT_BARRIER,
     GRID_WAIT_AT_NXN,
     LATE_BROADCAST,
-    NXN_OPS,
     N_TO_1_OPS,
+    NXN_COMPLETION,
+    NXN_OPS,
     ONE_TO_N_OPS,
+    PREFIX_OPS,
     WAIT_AT_BARRIER,
     WAIT_AT_NXN,
 )

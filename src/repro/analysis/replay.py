@@ -159,7 +159,7 @@ class AnalysisResult:
                 parent_set = region_sets.get(path.parent, frozenset())
                 regions = parent_set | {path.region}
                 region_sets[path.cpid] = regions
-                for rid in regions:
+                for rid in sorted(regions):
                     containment.setdefault(rid, []).append(path.cpid)
             self._leaf_index = leaf
             self._containment_index = containment

@@ -33,7 +33,7 @@ exclusively through this facade.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Optional
 
 from repro.analysis.parallel import resolve_jobs
 from repro.analysis.replay import _UNSET, AnalysisResult, analyze_run, resolve_request
@@ -59,6 +59,7 @@ __all__ = [
     "simulate",
     "analyze",
     "run_experiment",
+    "run_checks",
     "verify_archives",
     "resolve_jobs",
     "AnalysisRequest",
@@ -176,6 +177,23 @@ def verify_archives(run: RunResult) -> RunVerification:
     for machine in run.machines_used:
         verification.archives.append(run.reader(machine).verify())
     return verification
+
+
+def run_checks(root: Optional[str] = None, **options):
+    """Run the :mod:`repro.check` static-analysis pass over a source tree.
+
+    Walks *root* (default: the installed ``repro`` package) through every
+    rule family — determinism, atomicity, concurrency, API drift — applies
+    the checked-in suppression baseline, and returns a
+    :class:`~repro.check.findings.CheckReport`.  ``repro check`` is a thin
+    CLI shell over this function; see its docstring for the options.
+
+    Imported lazily so the facade does not pull the checker (and the
+    ``ast`` machinery) into ordinary simulation runs.
+    """
+    from repro.check.engine import run_checks as _run_checks
+
+    return _run_checks(root=root, **options)
 
 
 # -- named experiments --------------------------------------------------------

@@ -1,0 +1,57 @@
+"""``repro check`` — an AST-based invariant linter for this repository.
+
+Every guarantee the pipeline sells — byte-identical replay for a fixed
+seed, SIGKILL-safe journals, deadline propagation — rests on source-level
+contracts that golden tests can only catch *after* a violation corrupts a
+result.  This package enforces them mechanically, at the source level:
+
+* **Determinism** (``DET1xx``): no unseeded random generators anywhere;
+  no wall-clock reads in result-bearing packages; wall-clock in the
+  service/resilience layers routed through the one auditable
+  :func:`repro.wallclock.wallclock` helper; no iteration over
+  ``set``/``frozenset`` or ``os.listdir`` whose order could leak into
+  serialized output.
+* **Atomicity** (``ATM2xx``): no bare ``open(..., "w")`` writes in the
+  archive/store/journal packages — durable files go through the
+  temp-file + ``os.replace`` helpers; no ``os.rename``.
+* **Concurrency** (``CON3xx``): a per-module lock-acquisition graph over
+  the threaded packages with lock-order-cycle detection; no blocking
+  call without a timeout while holding a lock; no untimed blocking calls
+  in the threaded packages; every ``threading.Thread`` carries an
+  explicit daemon/join story.
+* **API drift** (``API4xx``): ``repro.api.__all__`` must match the
+  checked-in snapshot contract, and every ``DeprecationWarning`` shim is
+  registered with a removal window that has not lapsed.
+
+Rules report typed :class:`~repro.check.findings.Finding`\\ s with
+``file:line``, a rule id and a fix hint.  The checked-in
+``checks_baseline.json`` suppresses accepted pre-existing sites (each
+entry carries a justification); stale or unjustified baseline entries are
+themselves findings (``BASE0xx``), so the baseline can only shrink
+honestly.
+
+Entry points: :func:`run_checks` (also exported via :mod:`repro.api`)
+and the ``repro check`` CLI command (exit 0 clean / 1 findings /
+2 usage).
+"""
+
+from repro.check.baseline import Baseline, BaselineError
+from repro.check.engine import (
+    DEFAULT_BASELINE_PATH,
+    DEFAULT_SNAPSHOT_PATH,
+    check_source,
+    run_checks,
+)
+from repro.check.findings import RULES, CheckReport, Finding
+
+__all__ = [
+    "Baseline",
+    "BaselineError",
+    "CheckReport",
+    "DEFAULT_BASELINE_PATH",
+    "DEFAULT_SNAPSHOT_PATH",
+    "Finding",
+    "RULES",
+    "check_source",
+    "run_checks",
+]

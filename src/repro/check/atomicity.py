@@ -1,0 +1,79 @@
+"""Atomicity rules (``ATM2xx``).
+
+The crash-safety story (SIGKILL at any instant leaves loadable state)
+rests on one discipline: durable files are written to a same-directory
+temp file and moved into place with ``os.replace``.  Two rules keep every
+write site honest:
+
+* ``ATM201`` — in the packages that own durable files
+  (:data:`DURABLE_PACKAGES`: the trace archive, the simulated file
+  systems, the job store/journal layers), calling the builtin
+  ``open(path, "w"/"wb"/"a"/"x")`` directly is flagged: a crash
+  mid-write leaves a torn file at its final path.  The sanctioned
+  helpers (``MountNamespace.write_file_atomic``,
+  ``CheckpointJournal._flush``) build on ``tempfile.mkstemp`` +
+  ``os.fdopen`` + ``os.replace`` and are not matched by this rule.
+* ``ATM202`` — ``os.rename`` is flagged everywhere: it raises on
+  cross-device moves and on Windows on existing targets; ``os.replace``
+  has the atomic-overwrite semantics every call site here wants.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List
+
+from repro.check.findings import Finding
+from repro.check.visitors import Module, RuleVisitor, call_keyword, resolve
+
+#: Packages whose files must survive a crash loadable.
+DURABLE_PACKAGES = frozenset({"trace", "fs", "service", "resilience"})
+
+_WRITE_MODE_CHARS = set("wax+")
+
+
+def _write_mode(node: ast.Call) -> str:
+    """The literal write mode of an ``open`` call, or "" when read-only."""
+    mode_node = None
+    if len(node.args) >= 2:
+        mode_node = node.args[1]
+    else:
+        mode_node = call_keyword(node, "mode")
+    if isinstance(mode_node, ast.Constant) and isinstance(mode_node.value, str):
+        if _WRITE_MODE_CHARS & set(mode_node.value):
+            return mode_node.value
+    return ""
+
+
+class AtomicityVisitor(RuleVisitor):
+    def __init__(self, module: Module, imports: Dict[str, str]) -> None:
+        super().__init__(module, imports)
+        self.in_durable_package = module.package in DURABLE_PACKAGES
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = resolve(node.func, self.imports)
+        if name == "open" and self.in_durable_package:
+            mode = _write_mode(node)
+            if mode:
+                self.add(
+                    "ATM201",
+                    node,
+                    f"bare open(..., {mode!r}) in durable-file package "
+                    f"{self.module.package!r} — a crash mid-write leaves a "
+                    "torn file at its final path",
+                    "write to a same-directory temp file and os.replace() "
+                    "it into place (see MountNamespace.write_file_atomic / "
+                    "CheckpointJournal._flush)",
+                )
+        elif name == "os.rename":
+            self.add(
+                "ATM202",
+                node,
+                "os.rename is not atomic-overwrite on every platform",
+                "use os.replace, which overwrites atomically everywhere",
+            )
+        self.generic_visit(node)
+
+
+def check_atomicity(module: Module, imports: Dict[str, str]) -> List[Finding]:
+    return AtomicityVisitor(module, imports).run()

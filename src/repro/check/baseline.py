@@ -1,0 +1,176 @@
+"""The checked-in suppression baseline.
+
+The linter's contract with CI is "fail only on *new* violations": sites
+that were reviewed and accepted live in ``checks_baseline.json``, each
+entry carrying the reason it is allowed to stand.  Baseline entries match
+findings on the line-number-free identity ``(rule, file, symbol,
+snippet)`` — see :meth:`repro.check.findings.Finding.identity` — so edits
+elsewhere in a file do not invalidate them, while any edit to the flagged
+line itself does.
+
+The baseline polices itself with two meta-rules:
+
+* ``BASE001`` — an entry that matches no current finding is stale: the
+  violation was fixed (delete the entry) or the line changed (re-review
+  it).  Stale entries fail the run so the baseline never silently rots.
+* ``BASE002`` — an entry with no ``reason`` string fails: a suppression
+  nobody can justify is a suppression nobody reviewed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from repro.check.findings import Finding
+
+
+class BaselineError(ValueError):
+    """The baseline file is malformed (not JSON / wrong shape)."""
+
+
+@dataclass
+class Baseline:
+    """Accepted findings, keyed by line-number-free identity."""
+
+    entries: List[Dict[str, Any]] = field(default_factory=list)
+    path: str = ""
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            return cls(entries=[], path=path)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise BaselineError(f"unreadable baseline {path}: {exc}") from exc
+        if not isinstance(payload, dict) or not isinstance(
+            payload.get("entries"), list
+        ):
+            raise BaselineError(
+                f"baseline {path} must be an object with an 'entries' list"
+            )
+        entries = []
+        for entry in payload["entries"]:
+            if not isinstance(entry, dict):
+                raise BaselineError(
+                    f"baseline {path}: every entry must be an object"
+                )
+            entries.append(entry)
+        return cls(entries=entries, path=path)
+
+    @staticmethod
+    def _identity(entry: Dict[str, Any]) -> Tuple[str, str, str, str]:
+        return (
+            str(entry.get("rule", "")),
+            str(entry.get("file", "")),
+            str(entry.get("symbol", "")),
+            str(entry.get("snippet", "")),
+        )
+
+    def apply(
+        self, findings: List[Finding]
+    ) -> Tuple[List[Finding], List[Finding]]:
+        """Split findings into (active, suppressed) and append meta-findings.
+
+        Stale entries (BASE001) and reason-less entries (BASE002) come
+        back as *active* findings against the baseline file itself.
+        """
+        by_identity: Dict[Tuple[str, str, str, str], Dict[str, Any]] = {}
+        for entry in self.entries:
+            by_identity[self._identity(entry)] = entry
+        used: set = set()
+        active: List[Finding] = []
+        suppressed: List[Finding] = []
+        for finding in findings:
+            identity = finding.identity()
+            if identity in by_identity:
+                used.add(identity)
+                suppressed.append(finding)
+            else:
+                active.append(finding)
+        baseline_file = self.path or "checks_baseline.json"
+        for entry in self.entries:
+            identity = self._identity(entry)
+            if identity not in used:
+                active.append(
+                    Finding(
+                        rule="BASE001",
+                        file=baseline_file,
+                        line=0,
+                        symbol=identity[2],
+                        message=(
+                            f"stale baseline entry {identity[0]} at "
+                            f"{identity[1]} matches no finding"
+                        ),
+                        hint="the site was fixed or its line changed — "
+                        "delete the entry (or re-run with "
+                        "--update-baseline after review)",
+                        snippet=identity[3],
+                    )
+                )
+            elif not str(entry.get("reason", "")).strip():
+                active.append(
+                    Finding(
+                        rule="BASE002",
+                        file=baseline_file,
+                        line=0,
+                        symbol=identity[2],
+                        message=(
+                            f"baseline entry {identity[0]} at {identity[1]} "
+                            "has no reason"
+                        ),
+                        hint="every accepted violation needs its "
+                        "justification recorded next to it",
+                        snippet=identity[3],
+                    )
+                )
+        return active, suppressed
+
+    @classmethod
+    def from_findings(
+        cls, findings: List[Finding], path: str = ""
+    ) -> "Baseline":
+        """A fresh baseline accepting every given finding (reasons blank)."""
+        entries = []
+        for finding in sorted(findings, key=lambda f: f.identity()):
+            entries.append(
+                {
+                    "rule": finding.rule,
+                    "file": finding.file,
+                    "symbol": finding.symbol,
+                    "snippet": finding.snippet,
+                    "reason": "",
+                }
+            )
+        return cls(entries=entries, path=path)
+
+    def merge_reasons(self, previous: "Baseline") -> None:
+        """Carry reasons forward from a previous baseline on update."""
+        reasons = {
+            previous._identity(e): str(e.get("reason", ""))
+            for e in previous.entries
+        }
+        for entry in self.entries:
+            if not entry.get("reason"):
+                entry["reason"] = reasons.get(self._identity(entry), "")
+
+    def save(self, path: str) -> None:
+        payload = {"version": 1, "entries": self.entries}
+        directory = os.path.dirname(os.path.abspath(path)) or "."
+        fd, tmp = tempfile.mkstemp(prefix=".baseline-", dir=directory)
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise

@@ -45,10 +45,10 @@ import urllib.request
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.api import (
-    AnalysisRequest,
-    CheckpointJournal,
     DEFAULT_SEEDS,
     EXPERIMENTS,
+    AnalysisRequest,
+    CheckpointJournal,
     run_experiment,
 )
 from repro.errors import CheckpointLockError, PoolShutdown, ReproError
@@ -323,6 +323,35 @@ def _build_parser() -> argparse.ArgumentParser:
         "--workdir", default=None, metavar="PATH",
         help="directory for episode markers/journals (default: a temp dir)",
     )
+
+    check_parser = sub.add_parser(
+        "check",
+        help="run the static invariant checks (determinism, atomicity, "
+        "concurrency, API drift) over the repro sources",
+    )
+    check_parser.add_argument(
+        "--root", default=None, metavar="PATH",
+        help="source tree to scan (default: the installed repro package)",
+    )
+    check_parser.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="suppression baseline to apply (default: the shipped "
+        "checks_baseline.json)",
+    )
+    check_parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="report every finding, ignoring the baseline",
+    )
+    check_parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline to accept every current finding "
+        "(existing reasons are carried forward; new entries still fail "
+        "until a reason is written)",
+    )
+    check_parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
     return parser
 
 
@@ -507,6 +536,44 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.check import DEFAULT_BASELINE_PATH, BaselineError, run_checks
+
+    if args.no_baseline and (args.baseline or args.update_baseline):
+        print(
+            "error: --no-baseline conflicts with --baseline/--update-baseline",
+            file=sys.stderr,
+        )
+        return 2
+    if args.root is not None and not os.path.isdir(args.root):
+        print(f"error: --root {args.root!r} is not a directory",
+              file=sys.stderr)
+        return 2
+    baseline_path: Optional[str]
+    if args.no_baseline:
+        baseline_path = None
+    else:
+        baseline_path = args.baseline or DEFAULT_BASELINE_PATH
+    try:
+        report = run_checks(
+            root=args.root,
+            baseline_path=baseline_path,
+            update_baseline=args.update_baseline,
+        )
+    except BaselineError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except SyntaxError as exc:
+        print(f"error: cannot parse {exc.filename}:{exc.lineno}: {exc.msg}",
+              file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        print(report.to_text())
+    return 0 if report.ok else 1
+
+
 def _cmd_jobs(args: argparse.Namespace) -> int:
     if args.requeue and args.cancel:
         print("error: --requeue and --cancel are mutually exclusive",
@@ -600,6 +667,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_jobs(args)
         if args.command == "chaos":
             return _cmd_chaos(args)
+        if args.command == "check":
+            return _cmd_check(args)
     except BrokenPipeError:
         # The reader closed stdout early (`repro ... | head`).  Point the
         # fd at devnull so the interpreter's exit-time flush stays quiet.

@@ -16,7 +16,7 @@ lives on the slow inter-metahost paths.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Tuple, Union
 
 from repro.errors import ConfigurationError

@@ -121,7 +121,7 @@ def diff(a: ExperimentData, b: ExperimentData) -> ExperimentData:
         machine_names=a.machine_names or b.machine_names,
         machine_of_rank={**b.machine_of_rank, **a.machine_of_rank},
     )
-    for key in set(a.cells) | set(b.cells):
+    for key in sorted(set(a.cells) | set(b.cells)):
         out.cells[key] = a.cells.get(key, 0.0) - b.cells.get(key, 0.0)
     return out
 
@@ -135,7 +135,7 @@ def merge(a: ExperimentData, b: ExperimentData) -> ExperimentData:
         machine_names=a.machine_names or b.machine_names,
         machine_of_rank={**b.machine_of_rank, **a.machine_of_rank},
     )
-    for key in set(a.cells) | set(b.cells):
+    for key in sorted(set(a.cells) | set(b.cells)):
         out.cells[key] = a.cells.get(key, 0.0) + b.cells.get(key, 0.0)
     return out
 
@@ -154,7 +154,7 @@ def mean(experiments: Iterable[ExperimentData], name: Optional[str] = None) -> E
     keys = set()
     for e in pool:
         keys |= set(e.cells)
-    for key in keys:
+    for key in sorted(keys):
         out.cells[key] = sum(e.cells.get(key, 0.0) for e in pool) / len(pool)
     return out
 

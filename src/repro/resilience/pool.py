@@ -482,7 +482,7 @@ class SupervisedPool:
         *,
         timeout_s: Optional[float] = None,
         max_retries: Optional[int] = None,
-        deadline: Optional["Deadline"] = None,
+        deadline: Optional[Deadline] = None,
     ) -> Tuple[List[Any], ExecutionReport]:
         """Execute every task; returns ``(results in task order, report)``.
 

@@ -60,6 +60,7 @@ from repro.service.store import (
     canonical_spec,
     job_key,
 )
+from repro.wallclock import wallclock
 
 __all__ = ["ServiceConfig", "AnalysisService", "create_app"]
 
@@ -260,7 +261,7 @@ class AnalysisService:
                     seq=self.store.next_seq(),
                     spec=spec,
                     status=ACCEPTED,
-                    submitted_at=time.time(),
+                    submitted_at=wallclock(),
                 )
                 disposition = "created"
             # Durability before acknowledgement: the fsync'd journal
@@ -302,7 +303,7 @@ class AnalysisService:
                 pass
             record.status = CANCELLED
             record.error = reason
-            record.finished_at = time.time()
+            record.finished_at = wallclock()
             record.phase = ""
             self.store.save(record)
             return record, "cancelled"
@@ -518,7 +519,7 @@ class AnalysisService:
                     record.error = (
                         f"gave up after {record.attempts - 1} interrupted attempts"
                     )
-                    record.finished_at = time.time()
+                    record.finished_at = wallclock()
                     record.phase = ""
                     self.store.save(record)
                     self.breaker.record_failure(
@@ -526,7 +527,7 @@ class AnalysisService:
                     )
                     continue
                 record.status = RUNNING
-                record.started_at = time.time()
+                record.started_at = wallclock()
                 record.phase = "starting"
                 self.store.save(record)
                 self._running_key = key
@@ -566,7 +567,7 @@ class AnalysisService:
                     client = key in self._cancel_requested
                     record.status = CANCELLED
                     record.error = f"TimeBudgetExceeded: {exc.reason}"
-                    record.finished_at = time.time()
+                    record.finished_at = wallclock()
                     record.phase = ""
                     self.store.save(record)
                     self._clear_running(key)
@@ -584,7 +585,7 @@ class AnalysisService:
                 with self._lock:
                     record.status = FAILED
                     record.error = f"{type(exc).__name__}: {exc}"
-                    record.finished_at = time.time()
+                    record.finished_at = wallclock()
                     record.phase = ""
                     self.store.save(record)
                     self._clear_running(key)
@@ -597,7 +598,7 @@ class AnalysisService:
                 record.status = DONE
                 record.result = result
                 record.execution = execution
-                record.finished_at = time.time()
+                record.finished_at = wallclock()
                 record.phase = ""
                 self.store.save(record)
                 self._clear_running(key)

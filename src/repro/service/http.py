@@ -36,7 +36,9 @@ grace), journal the rest for the next start.
 from __future__ import annotations
 
 import json
+import os
 import signal
+import tempfile
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
@@ -292,8 +294,13 @@ def serve(
     server_thread.start()
     print(f"repro service listening on http://{host}:{port} (store: {app.config.store_path})", flush=True)
     if ready_file:
-        with open(ready_file, "w", encoding="utf-8") as handle:
+        # Watchers poll for this file; an atomic replace means they never
+        # observe a torn half-written address.
+        directory = os.path.dirname(os.path.abspath(ready_file)) or "."
+        fd, tmp = tempfile.mkstemp(prefix=".ready-", dir=directory)
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
             handle.write(f"{host}:{port}\n")
+        os.replace(tmp, ready_file)
     try:
         while not stop.is_set():
             stop.wait(timeout=0.5)

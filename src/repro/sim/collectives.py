@@ -80,7 +80,7 @@ def comm_alpha_beta(
                 link = metacomputer.external_link(a, b)
                 alpha = max(alpha, link.latency_s)
                 inv_bw = max(inv_bw, 1.0 / link.bandwidth_bps)
-    for machine in machines:
+    for machine in sorted(machines):
         link = metacomputer.internal_link(machine)
         alpha = max(alpha, link.latency_s)
         inv_bw = max(inv_bw, 1.0 / link.bandwidth_bps)

@@ -21,11 +21,10 @@ instrumentation hooks that turn simulated MPI activity into trace events.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from sys import intern
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
-
-from sys import intern
 
 from repro.errors import DeadlockError, MPIUsageError, SimulationError
 from repro.ids import ANY_SOURCE, ANY_TAG, Location, node_of

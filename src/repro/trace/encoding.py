@@ -43,11 +43,11 @@ from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 from repro.errors import EncodingError
 from repro.trace.events import (
     CollExitEvent,
-    OmpRegionEvent,
     EnterEvent,
     Event,
     EventKind,
     ExitEvent,
+    OmpRegionEvent,
     RecvEvent,
     SendEvent,
 )

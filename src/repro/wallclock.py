@@ -1,0 +1,23 @@
+"""The one sanctioned wall-clock read.
+
+Result-bearing packages never read any clock (rule ``DET102``): simulated
+time is the only time they know, which is what makes same-seed runs
+byte-identical.  The service and resilience layers *do* need wall time —
+job records carry submitted/started/finished timestamps — and rule
+``DET103`` requires every such read to route through :func:`wallclock`
+so the tree's entire wall-clock dependency is auditable at this one
+import site.
+
+Keeping the helper trivial is the point: anything cleverer (caching,
+mocking hooks, timezone logic) would turn an audit point into a
+behavior.  Tests that need a fake clock monkeypatch this function.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def wallclock() -> float:
+    """Seconds since the epoch, as :func:`time.time` reports them."""
+    return time.time()

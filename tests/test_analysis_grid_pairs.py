@@ -9,7 +9,6 @@ from repro.analysis.patterns import (
 )
 from repro.analysis.replay import analyze_run
 from repro.apps.imbalance import make_barrier_imbalance_app, make_imbalance_app
-from repro.topology.metacomputer import Placement
 from repro.topology.presets import uniform_metacomputer
 
 from tests.conftest import run_app

@@ -4,7 +4,6 @@ import pytest
 
 from repro.analysis.patterns import (
     BARRIER_COMPLETION,
-    COLLECTIVE,
     COMMUNICATION,
     EXECUTION,
     GRID_LATE_SENDER,

@@ -39,6 +39,7 @@ API_SURFACE_SNAPSHOT = [
     "ibm_aix_power",
     "render_analysis",
     "resolve_jobs",
+    "run_checks",
     "run_experiment",
     "serve",
     "simulate",

@@ -32,7 +32,6 @@ from repro.trace.archive import (
     TraceManifestEntry,
     salvage_checked,
     trace_filename,
-    verify_trace_blob,
 )
 from repro.trace.encoding import (
     CHECKSUM_BLOCK_BYTES,

@@ -12,7 +12,6 @@ from __future__ import annotations
 import pytest
 
 from repro.chaos import run_chaos, run_episode, schedule_for_seed
-from repro.chaos.schedule import ChaosSchedule
 from repro.cli import _parse_seeds
 from repro.faults.plan import TraceCorruption
 

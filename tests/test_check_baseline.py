@@ -1,0 +1,121 @@
+"""Baseline semantics: suppression, staleness, and the shipped file."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.check import Baseline, BaselineError, check_source, run_checks
+from repro.check.engine import DEFAULT_BASELINE_PATH
+
+VIOLATION = textwrap.dedent(
+    """
+    import numpy as np
+    rng = np.random.default_rng()
+    """
+)
+
+
+def finding():
+    (result,) = check_source(VIOLATION, "repro/sim/fx.py")
+    return result
+
+
+def entry_for(f, reason="accepted for the test"):
+    return {
+        "rule": f.rule,
+        "file": f.file,
+        "symbol": f.symbol,
+        "snippet": f.snippet,
+        "reason": reason,
+    }
+
+
+class TestBaselineMatching:
+    def test_matching_entry_suppresses(self):
+        f = finding()
+        baseline = Baseline(entries=[entry_for(f)])
+        active, suppressed = baseline.apply([f])
+        assert active == []
+        assert suppressed == [f]
+
+    def test_match_survives_line_moves(self):
+        # The identity is (rule, file, symbol, snippet) — no line number:
+        # edits *above* a baselined site must not invalidate it.
+        f = finding()
+        baseline = Baseline(entries=[entry_for(f)])
+        moved = check_source(
+            "# a new comment line\n# and another\n" + VIOLATION,
+            "repro/sim/fx.py",
+        )
+        active, suppressed = baseline.apply(moved)
+        assert active == []
+        assert len(suppressed) == 1
+        assert suppressed[0].line != f.line
+
+    def test_edited_line_breaks_the_match(self):
+        f = finding()
+        baseline = Baseline(entries=[entry_for(f)])
+        edited = check_source(
+            VIOLATION.replace("rng =", "generator ="), "repro/sim/fx.py"
+        )
+        active, _ = baseline.apply(edited)
+        # The new finding escapes the baseline AND the old entry is stale.
+        assert sorted(x.rule for x in active) == ["BASE001", "DET101"]
+
+    def test_stale_entry_is_base001(self):
+        baseline = Baseline(entries=[entry_for(finding())])
+        active, suppressed = baseline.apply([])
+        assert [x.rule for x in active] == ["BASE001"]
+        assert suppressed == []
+
+    def test_missing_reason_is_base002(self):
+        f = finding()
+        baseline = Baseline(entries=[entry_for(f, reason="  ")])
+        active, suppressed = baseline.apply([f])
+        assert [x.rule for x in active] == ["BASE002"]
+        assert suppressed == [f]
+
+    def test_malformed_baseline_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(BaselineError):
+            Baseline.load(str(path))
+        path.write_text('["wrong shape"]')
+        with pytest.raises(BaselineError):
+            Baseline.load(str(path))
+
+    def test_missing_file_is_empty_baseline(self, tmp_path):
+        baseline = Baseline.load(str(tmp_path / "absent.json"))
+        assert baseline.entries == []
+
+    def test_update_carries_reasons_forward(self):
+        f = finding()
+        previous = Baseline(entries=[entry_for(f, reason="kept on purpose")])
+        fresh = Baseline.from_findings([f])
+        fresh.merge_reasons(previous)
+        assert fresh.entries[0]["reason"] == "kept on purpose"
+
+
+class TestShippedBaseline:
+    def test_tree_is_clean_under_shipped_baseline(self):
+        # The acceptance gate: `repro check` over the real sources with
+        # the checked-in baseline reports nothing.  A failure here means
+        # either a new violation or a stale/reason-less baseline entry.
+        report = run_checks()
+        assert report.to_text().splitlines()[:1] and report.ok, (
+            report.to_text()
+        )
+
+    def test_every_shipped_entry_has_a_reason(self):
+        with open(DEFAULT_BASELINE_PATH, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        for entry in payload["entries"]:
+            assert entry.get("reason", "").strip(), entry
+
+    def test_runs_are_deterministic(self):
+        first = run_checks()
+        second = run_checks()
+        assert first.to_json() == second.to_json()

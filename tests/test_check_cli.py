@@ -1,0 +1,118 @@
+"""``repro check`` CLI: exit codes and the schema-stable JSON format."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+from repro.cli import main
+
+#: The JSON output contract: exactly these top-level keys, exactly these
+#: per-finding keys.  Consumers (the CI annotation step) parse this — a
+#: shape change is an API change and must be deliberate.
+TOP_LEVEL_KEYS = {"version", "root", "ok", "findings", "suppressed", "rules"}
+FINDING_KEYS = {"rule", "file", "line", "symbol", "message", "hint", "snippet"}
+
+
+def write_tree(tmp_path, source, rel="repro/sim/fx.py"):
+    root = tmp_path / "repro"
+    target = tmp_path / rel
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(textwrap.dedent(source))
+    return str(root)
+
+
+DIRTY = """
+import numpy as np
+rng = np.random.default_rng()
+"""
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, capsys):
+        assert main(["check"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        root = write_tree(tmp_path, DIRTY)
+        assert main(["check", "--root", root, "--no-baseline"]) == 1
+        assert "DET101" in capsys.readouterr().out
+
+    def test_conflicting_flags_exit_two(self, capsys):
+        assert main(["check", "--no-baseline", "--baseline", "x.json"]) == 2
+        assert "conflicts" in capsys.readouterr().err
+
+    def test_bad_root_exits_two(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope")
+        assert main(["check", "--root", missing]) == 2
+        assert "not a directory" in capsys.readouterr().err
+
+    def test_malformed_baseline_exits_two(self, tmp_path, capsys):
+        root = write_tree(tmp_path, DIRTY)
+        bad = tmp_path / "baseline.json"
+        bad.write_text("{broken")
+        assert main(["check", "--root", root, "--baseline", str(bad)]) == 2
+        assert "unreadable baseline" in capsys.readouterr().err
+
+
+class TestJsonFormat:
+    def test_schema_is_stable(self, tmp_path, capsys):
+        root = write_tree(tmp_path, DIRTY)
+        code = main(
+            ["check", "--root", root, "--no-baseline", "--format", "json"]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == TOP_LEVEL_KEYS
+        assert payload["version"] == 1
+        assert payload["ok"] is False
+        assert payload["suppressed"] == 0
+        assert payload["rules"] == {"DET101": 1}
+        (found,) = payload["findings"]
+        assert set(found) == FINDING_KEYS
+        assert found["rule"] == "DET101"
+        assert found["file"] == "repro/sim/fx.py"
+        assert found["line"] == 3
+        assert found["snippet"] == "rng = np.random.default_rng()"
+
+    def test_clean_json_on_real_tree(self, capsys):
+        assert main(["check", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["findings"] == []
+
+
+class TestUpdateBaseline:
+    def test_update_then_justify_then_clean(self, tmp_path, capsys):
+        root = write_tree(tmp_path, DIRTY)
+        baseline = tmp_path / "baseline.json"
+
+        # Update writes an entry but leaves the reason blank — the run
+        # still fails (BASE002) until someone writes the justification.
+        code = main(
+            ["check", "--root", root, "--baseline", str(baseline),
+             "--update-baseline"]
+        )
+        assert code == 1
+        assert "BASE002" in capsys.readouterr().out
+
+        payload = json.loads(baseline.read_text())
+        (entry,) = payload["entries"]
+        assert entry["rule"] == "DET101"
+        assert entry["reason"] == ""
+        entry["reason"] = "fixture rng is display-only"
+        baseline.write_text(json.dumps(payload))
+
+        assert main(["check", "--root", root, "--baseline", str(baseline)]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+
+    def test_stale_entry_fails_loudly(self, tmp_path, capsys):
+        root = write_tree(tmp_path, DIRTY)
+        baseline = tmp_path / "baseline.json"
+        main(["check", "--root", root, "--baseline", str(baseline),
+              "--update-baseline"])
+        capsys.readouterr()
+        # Fix the violation: the baseline entry is now stale and must fail.
+        write_tree(tmp_path, "import numpy as np\nrng = np.random.default_rng(7)\n")
+        assert main(["check", "--root", root, "--baseline", str(baseline)]) == 1
+        assert "BASE001" in capsys.readouterr().out

@@ -13,15 +13,14 @@ import os
 
 import pytest
 
+from repro import cli
 from repro.api import CheckpointJournal, run_experiment
 from repro.errors import CheckpointError
 from repro.experiments import faults as faults_module
 from repro.experiments import table2 as table2_module
 from repro.experiments.faults import run_fault_experiment
 from repro.experiments.table2 import run_table2
-from repro.faults import FaultPlan
 from repro.resilience import open_journal
-from repro import cli
 
 
 class TestJournal:

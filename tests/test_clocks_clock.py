@@ -1,6 +1,5 @@
 """Tests for linear clock models and ensembles."""
 
-import numpy as np
 import pytest
 
 from repro.clocks.clock import ClockEnsemble, LinearClock, perfect_clock

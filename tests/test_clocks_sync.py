@@ -12,13 +12,13 @@ import numpy as np
 import pytest
 
 from repro.clocks.clock import ClockEnsemble, LinearClock
-from repro.clocks.measurement import OffsetMeasurement, OffsetMeasurementConfig
+from repro.clocks.measurement import OffsetMeasurement
 from repro.clocks.sync import (
+    SCHEMES,
     FlatInterpolation,
     FlatSingleOffset,
     HierarchicalInterpolation,
     LinearConverter,
-    SCHEMES,
     SyncData,
     collect_sync_data,
     true_master_time,

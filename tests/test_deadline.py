@@ -15,7 +15,7 @@ import pytest
 
 from repro.errors import TimeBudgetExceeded
 from repro.resilience import Deadline
-from repro.resilience.pool import PoolConfig, SupervisedPool
+from repro.resilience.pool import SupervisedPool
 
 from tests.test_resilience_pool import _fast_config, _hang, _square
 

@@ -10,7 +10,6 @@ the unbudgeted run.
 
 from __future__ import annotations
 
-import functools
 import time
 
 import pytest

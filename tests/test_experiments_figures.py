@@ -18,12 +18,12 @@ from repro.analysis.patterns import (
     LATE_SENDER,
     WAIT_AT_BARRIER,
 )
+from repro.errors import ExperimentError
 from repro.experiments.figures import (
     run_figure1,
     run_figure3,
     run_figure4,
 )
-from repro.errors import ExperimentError
 
 
 class TestFigure1:

@@ -7,7 +7,7 @@ from repro.ids import Location, NodeId
 from repro.instrument.tracer import Tracer
 from repro.topology.machine import CpuSpec
 from repro.topology.metacomputer import ProcessSlot
-from repro.trace.events import EnterEvent, RecvEvent, SendEvent
+from repro.trace.events import EnterEvent, SendEvent
 
 
 def _slot(rank=0, machine=0, node=0):

@@ -15,7 +15,7 @@ from repro.analysis.patterns import (
 )
 from repro.analysis.replay import analyze_run
 from repro.apps.imbalance import make_barrier_imbalance_app, make_imbalance_app
-from repro.clocks.sync import SCHEMES, FlatSingleOffset, HierarchicalInterpolation
+from repro.clocks.sync import SCHEMES
 from repro.fs.filesystem import shared_namespace
 from repro.report.algebra import canonicalize, diff
 from repro.report.render import render_analysis

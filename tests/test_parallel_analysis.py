@@ -21,7 +21,6 @@ from repro.experiments.configs import experiment1
 from repro.faults import FaultPlan, TraceCorruption, TraceTruncation
 from repro.report import render_analysis
 from repro.sim.runtime import MetaMPIRuntime
-from repro.topology.metacomputer import Placement
 from repro.topology.presets import uniform_metacomputer
 
 from tests.conftest import run_app

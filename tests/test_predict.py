@@ -12,11 +12,9 @@ from repro.apps.imbalance import make_barrier_imbalance_app, make_imbalance_app
 from repro.errors import ConfigurationError
 from repro.predict import predict_run, skeleton_from_run
 from repro.predict.skeleton import (
-    ComputeAction,
     SendrecvAction,
     invert_bytes_moved,
 )
-from repro.sim.runtime import MetaMPIRuntime
 from repro.topology.metacomputer import Placement
 from repro.topology.presets import single_cluster, uniform_metacomputer
 

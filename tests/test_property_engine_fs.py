@@ -1,7 +1,7 @@
 """Property-based tests for the event engine, FIFO clamp, file systems,
 and the pair schedule."""
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.apps.clockbench import pair_schedule

@@ -1,6 +1,5 @@
 """Tests for the comparison renderer (algebra presentation)."""
 
-import pytest
 
 from repro.report.algebra import ExperimentData, render_comparison
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.errors import MPIUsageError
-from repro.ids import Location
 from repro.sim import collectives as coll
 from repro.sim.transfer import SimParams
 from repro.topology.presets import single_cluster, uniform_metacomputer

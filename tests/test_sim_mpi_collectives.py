@@ -1,15 +1,13 @@
 """Tests for collective operations through the world."""
 
+import numpy as np
 import pytest
 
 from repro.errors import DeadlockError, MPIUsageError
 from repro.sim.mpi import World
-from repro.sim.transfer import SimParams
 from repro.topology.metacomputer import Placement
 from repro.topology.presets import single_cluster
 from tests.test_sim_mpi_p2p import run_world
-
-import numpy as np
 
 
 @pytest.fixture

@@ -7,9 +7,9 @@ from repro.topology.network import LinkClass
 from repro.topology.presets import (
     CAESAR,
     FH_BRS,
+    FZJ_FHBRS_LATENCY_S,
     FZJ_XD1,
     IBM_POWER,
-    FZJ_FHBRS_LATENCY_S,
     ibm_aix_power,
     single_cluster,
     uniform_metacomputer,

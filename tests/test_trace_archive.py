@@ -6,18 +6,18 @@ import pytest
 from repro.clocks.clock import ClockEnsemble
 from repro.clocks.sync import collect_sync_data
 from repro.errors import ArchiveError
-from repro.fs.filesystem import SimFileSystem, MountNamespace
+from repro.fs.filesystem import MountNamespace, SimFileSystem
 from repro.ids import Location, NodeId
+from repro.topology.presets import single_cluster
 from repro.trace.archive import (
+    DEFINITIONS_FILE,
     ArchiveReader,
     ArchiveWriter,
-    DEFINITIONS_FILE,
     Definitions,
     trace_filename,
 )
 from repro.trace.events import EnterEvent, ExitEvent, SendEvent
 from repro.trace.regions import RegionRegistry
-from repro.topology.presets import single_cluster
 
 
 def _definitions():
